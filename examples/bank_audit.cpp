@@ -1,0 +1,115 @@
+//===- examples/bank_audit.cpp - Classic transfer/audit violation ---------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The textbook atomicity bug: `transfer` locks each account individually
+/// while moving money, and `audit` sums all accounts under no lock at all.
+/// Every individual access is data-race-free on its lock discipline's
+/// terms, yet `audit` can observe money in flight — a conflict-
+/// serializability violation that lockset-style race detectors miss but
+/// DoubleChecker and Velodrome both catch. The example runs both checkers
+/// and shows they agree.
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "core/Checker.h"
+#include "ir/Builder.h"
+
+using namespace dc;
+using namespace dc::ir;
+
+static Program buildBank() {
+  ProgramBuilder B("bank-audit");
+  const uint32_t Accounts = 4;
+  PoolId Acct = B.addPool("accounts", Accounts, 1);
+
+  // transfer(i): withdraw from account i, deposit to account i+1 — each
+  // leg under that account's own lock (fine-grained, but not atomic as a
+  // whole: the "in flight" window is observable).
+  MethodId Transfer = B.beginMethod("transfer", /*Atomic=*/true)
+                          .acquire(Acct, idxParam(1, 0, Accounts))
+                          .read(Acct, idxParam(1, 0, Accounts), 0u)
+                          .write(Acct, idxParam(1, 0, Accounts), 0u)
+                          .release(Acct, idxParam(1, 0, Accounts))
+                          .work(15) // money is in flight here
+                          .acquire(Acct, idxParam(1, 1, Accounts))
+                          .read(Acct, idxParam(1, 1, Accounts), 0u)
+                          .write(Acct, idxParam(1, 1, Accounts), 0u)
+                          .release(Acct, idxParam(1, 1, Accounts))
+                          .endMethod();
+
+  // audit(): read every balance with no locks.
+  auto &Audit = B.beginMethod("audit", /*Atomic=*/true);
+  Audit.beginLoop(idxConst(Accounts))
+      .read(Acct, idxLoop(), 0u)
+      .endLoop()
+      .work(10);
+  MethodId AuditId = Audit.endMethod();
+
+  MethodId Teller = B.beginMethod("teller", /*Atomic=*/false)
+                        .beginLoop(idxConst(1500))
+                        .call(Transfer, idxRandom(4))
+                        .endLoop()
+                        .endMethod();
+
+  MethodId Auditor = B.beginMethod("auditor", /*Atomic=*/false)
+                         .beginLoop(idxConst(1500))
+                         .call(AuditId)
+                         .endLoop()
+                         .endMethod();
+
+  MethodId Main = B.beginMethod("main", /*Atomic=*/false)
+                      .forkThread(idxConst(1))
+                      .forkThread(idxConst(2))
+                      .joinThread(idxConst(1))
+                      .joinThread(idxConst(2))
+                      .endMethod();
+  B.addThread(Main);
+  B.addThread(Teller);
+  B.addThread(Auditor);
+  return B.build();
+}
+
+int main() {
+  Program P = buildBank();
+  core::AtomicitySpec Spec = core::AtomicitySpec::initial(P);
+
+  auto Run = [&](core::Mode M, uint64_t Seed) {
+    core::RunConfig Cfg;
+    Cfg.M = M;
+    Cfg.RunOpts.Deterministic = true;
+    Cfg.RunOpts.ScheduleSeed = Seed;
+    return core::runChecker(P, Spec, Cfg);
+  };
+
+  bool DcFound = false, VeloFound = false;
+  for (uint64_t Seed = 0; Seed < 6 && !(DcFound && VeloFound); ++Seed) {
+    core::RunOutcome DC = Run(core::Mode::SingleRun, Seed);
+    core::RunOutcome Velo = Run(core::Mode::Velodrome, Seed);
+    DcFound = DcFound || !DC.BlamedMethods.empty();
+    VeloFound = VeloFound || !Velo.BlamedMethods.empty();
+    std::printf("seed %llu: DoubleChecker blamed %zu method(s), "
+                "Velodrome blamed %zu\n",
+                (unsigned long long)Seed, DC.BlamedMethods.size(),
+                Velo.BlamedMethods.size());
+    for (const auto &V : DC.Violations) {
+      std::printf("  cycle:");
+      for (const auto &M : V.Cycle)
+        std::printf(" (thread %u, %s)", M.Tid,
+                    M.Site == ir::InvalidMethodId
+                        ? "non-atomic code"
+                        : P.Methods[M.Site].Name.c_str());
+      std::printf("\n");
+      break; // One sample cycle per seed is enough output.
+    }
+  }
+  std::printf("%s\n", DcFound && VeloFound
+                          ? "both checkers caught the transfer/audit bug"
+                          : "bug not observed under these schedules");
+  return DcFound && VeloFound ? 0 : 1;
+}

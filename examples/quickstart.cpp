@@ -1,0 +1,79 @@
+//===- examples/quickstart.cpp - Five-minute tour of the API --------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Build a small multithreaded program with the IR builder, check it with
+/// DoubleChecker's single-run mode, and print what it found.
+///
+///   $ ./quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "core/Checker.h"
+#include "ir/Builder.h"
+
+using namespace dc;
+using namespace dc::ir;
+
+int main() {
+  // --- 1. Describe the program. -------------------------------------------
+  // Two workers repeatedly run `increment` on a shared counter. The method
+  // is *supposed* to be atomic (it is in the specification), but its
+  // read-modify-write is unsynchronized.
+  ProgramBuilder B("quickstart");
+  PoolId Counter = B.addPool("counter", 1, 1);
+
+  MethodId Increment = B.beginMethod("increment", /*Atomic=*/true)
+                           .read(Counter, idxConst(0), 0u)
+                           .work(10) // compute between read and write
+                           .write(Counter, idxConst(0), 0u)
+                           .endMethod();
+
+  MethodId Worker = B.beginMethod("worker", /*Atomic=*/false)
+                        .beginLoop(idxConst(2000))
+                        .call(Increment)
+                        .endLoop()
+                        .endMethod();
+
+  MethodId Main = B.beginMethod("main", /*Atomic=*/false)
+                      .forkThread(idxConst(1))
+                      .forkThread(idxConst(2))
+                      .joinThread(idxConst(1))
+                      .joinThread(idxConst(2))
+                      .endMethod();
+  B.addThread(Main);
+  B.addThread(Worker);
+  B.addThread(Worker);
+  Program P = B.build();
+
+  // --- 2. Derive the specification and run the checker. -------------------
+  // The initial specification assumes every method is atomic except
+  // top-level ones (main) — exactly the paper's starting point.
+  core::AtomicitySpec Spec = core::AtomicitySpec::initial(P);
+
+  core::RunConfig Cfg;
+  Cfg.M = core::Mode::SingleRun; // ICD + PCD: fully sound and precise.
+  // The deterministic scheduler interleaves threads at instruction
+  // granularity; on a big machine you could use free-running threads.
+  Cfg.RunOpts.Deterministic = true;
+  Cfg.RunOpts.ScheduleSeed = 42;
+
+  core::RunOutcome Outcome = core::runChecker(P, Spec, Cfg);
+
+  // --- 3. Report. ----------------------------------------------------------
+  std::printf("executed %llu instructions, found %zu violation(s)\n",
+              (unsigned long long)Outcome.Result.Steps,
+              Outcome.Violations.size());
+  for (const std::string &Name : Outcome.BlamedMethods)
+    std::printf("atomicity violation blamed on method '%s'\n", Name.c_str());
+  std::printf("ICD cross-thread edges: %llu, SCCs: %llu, PCD cycles: %llu\n",
+              (unsigned long long)Outcome.stat("icd.idg_cross_edges"),
+              (unsigned long long)Outcome.stat("icd.sccs"),
+              (unsigned long long)Outcome.stat("pcd.cycles"));
+  return Outcome.BlamedMethods.count("increment") ? 0 : 1;
+}

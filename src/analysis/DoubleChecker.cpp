@@ -1,0 +1,543 @@
+//===- analysis/DoubleChecker.cpp -----------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/DoubleChecker.h"
+
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+
+using namespace dc;
+using namespace dc::analysis;
+
+/// Background PCD worker (parallel-PCD extension, §5.3 future work):
+/// consumes queued SCCs; members are pinned while queued.
+class DoubleCheckerRuntime::AsyncPcdWorker {
+public:
+  explicit AsyncPcdWorker(PreciseCycleDetector &Pcd) : Pcd(Pcd) {
+    Worker = std::thread([this] { run(); });
+  }
+
+  ~AsyncPcdWorker() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Stop = true;
+    }
+    CV.notify_all();
+    Worker.join();
+  }
+
+  /// Enqueues an SCC; every member gains a pin released after replay.
+  void enqueue(std::vector<Transaction *> Members) {
+    for (Transaction *Tx : Members)
+      Tx->Pins.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> L(M);
+      Queue.push_back(std::move(Members));
+    }
+    CV.notify_one();
+  }
+
+  /// Blocks until every queued SCC has been processed.
+  void drain() {
+    std::unique_lock<std::mutex> L(M);
+    Idle.wait(L, [this] { return Queue.empty() && !Busy; });
+  }
+
+private:
+  void run() {
+    std::unique_lock<std::mutex> L(M);
+    for (;;) {
+      CV.wait(L, [this] { return Stop || !Queue.empty(); });
+      if (Queue.empty() && Stop)
+        return;
+      std::vector<Transaction *> Members = std::move(Queue.front());
+      Queue.pop_front();
+      Busy = true;
+      L.unlock();
+      Pcd.processScc(Members);
+      for (Transaction *Tx : Members)
+        Tx->Pins.fetch_sub(1, std::memory_order_release);
+      L.lock();
+      Busy = false;
+      if (Queue.empty())
+        Idle.notify_all();
+    }
+  }
+
+  PreciseCycleDetector &Pcd;
+  std::mutex M;
+  std::condition_variable CV;
+  std::condition_variable Idle;
+  std::deque<std::vector<Transaction *>> Queue;
+  bool Stop = false;
+  bool Busy = false;
+  std::thread Worker;
+};
+
+namespace {
+
+/// Elision cell packing: tid (16 bits) | wasWrite (1) | ts (47).
+uint64_t packCell(uint32_t Tid, bool WasWrite, uint64_t Ts) {
+  return (static_cast<uint64_t>(Tid) << 48) |
+         (static_cast<uint64_t>(WasWrite) << 47) |
+         (Ts & ((1ULL << 47) - 1));
+}
+uint32_t cellTid(uint64_t Cell) { return static_cast<uint32_t>(Cell >> 48); }
+bool cellWasWrite(uint64_t Cell) { return (Cell >> 47) & 1; }
+uint64_t cellTs(uint64_t Cell) { return Cell & ((1ULL << 47) - 1); }
+
+} // namespace
+
+DoubleCheckerRuntime::DoubleCheckerRuntime(const ir::Program &P,
+                                           DoubleCheckerOptions Opts,
+                                           ViolationLog &Violations,
+                                           StatisticRegistry &Stats)
+    : P(P), Opts(Opts), Violations(Violations), Stats(Stats) {
+  if (Opts.PcdOnly) {
+    this->Opts.LogAccesses = true;
+    this->Opts.RunPcd = false;
+    // The persistent precise state pins transactions; never sweep.
+    this->Opts.CollectEveryTx = ~0u;
+    PcdOnlyAnalysis = std::make_unique<OnlinePcd>(Violations, Stats);
+    return;
+  }
+  if (Opts.RunPcd) {
+    PreciseCycleDetector::Options PcdOpts;
+    PcdOpts.MaxSccTxs = Opts.MaxSccTxsForPcd;
+    Pcd = std::make_unique<PreciseCycleDetector>(Violations, Stats, PcdOpts);
+  }
+}
+
+DoubleCheckerRuntime::~DoubleCheckerRuntime() {
+  // Stop the async PCD worker before freeing the transactions it may still
+  // be replaying.
+  AsyncPcd.reset();
+  for (uint32_t T = 0; T < NumThreads; ++T)
+    for (Transaction *Tx : Threads[T].Owned)
+      delete Tx;
+}
+
+void DoubleCheckerRuntime::beginRun(rt::Runtime &RT) {
+  NumThreads = RT.numThreads();
+  Threads = std::make_unique<PerThread[]>(NumThreads);
+  Octet = std::make_unique<octet::OctetManager>(
+      RT.heap(), NumThreads, this, Stats, &RT.abortFlag());
+  if (Opts.ParallelPcd && Pcd)
+    AsyncPcd = std::make_unique<AsyncPcdWorker>(*Pcd);
+  if (Opts.LogAccesses) {
+    ElisionCells = std::vector<std::atomic<uint64_t>>(
+        RT.heap().numFieldAddrs());
+    CellContended.assign(RT.heap().numFieldAddrs(), 0);
+  }
+}
+
+void DoubleCheckerRuntime::endRun(rt::Runtime &RT) {
+  if (AsyncPcd)
+    AsyncPcd->drain();
+  Octet->flushStatistics();
+  uint64_t Regular = 0, Unary = 0, AccR = 0, AccU = 0, LogN = 0, LogE = 0;
+  for (uint32_t T = 0; T < NumThreads; ++T) {
+    const PerThread &PT = Threads[T];
+    Regular += PT.RegularTxs;
+    Unary += PT.UnaryTxs;
+    AccR += PT.AccRegular;
+    AccU += PT.AccUnary;
+    LogN += PT.LogEntries;
+    LogE += PT.LogElided;
+  }
+  Stats.get("icd.regular_transactions").add(Regular);
+  Stats.get("icd.unary_transactions").add(Unary);
+  Stats.get("icd.instrumented_accesses_regular").add(AccR);
+  Stats.get("icd.instrumented_accesses_unary").add(AccU);
+  Stats.get("icd.log_entries").add(LogN);
+  Stats.get("icd.log_entries_elided").add(LogE);
+  SpinLockGuard Guard(IdgLock);
+  Stats.get("icd.idg_cross_edges").add(CrossEdges);
+  Stats.get("icd.sccs").add(SccCount);
+  Stats.get("icd.collector_runs").add(CollectorRuns);
+  Stats.get("icd.collector_ns").add(CollectorNs);
+  Stats.get("icd.txs_swept").add(TxsSwept);
+}
+
+void DoubleCheckerRuntime::threadStarted(rt::ThreadContext &TC) {
+  Octet->threadStarted(TC.Tid);
+  SpinLockGuard Guard(IdgLock);
+  newTransactionLocked(TC.Tid, ir::InvalidMethodId, /*Regular=*/false);
+}
+
+void DoubleCheckerRuntime::threadExiting(rt::ThreadContext &TC) {
+  {
+    SpinLockGuard Guard(IdgLock);
+    endCurrentTxLocked(TC.Tid);
+    // CurrTx intentionally stays on the (finished) final transaction: a
+    // conflicting transition can still name this thread as its responder
+    // (its objects keep their WrEx/RdEx states after exit), and the edge
+    // source must then be the thread's last transaction — nulling it here
+    // would silently drop those edges.
+  }
+  Octet->threadExited(TC.Tid);
+}
+
+void DoubleCheckerRuntime::txBegin(rt::ThreadContext &TC,
+                                   const ir::Method &M) {
+  SpinLockGuard Guard(IdgLock);
+  endCurrentTxLocked(TC.Tid);
+  newTransactionLocked(TC.Tid, P.originalOf(M.Id), /*Regular=*/true);
+}
+
+void DoubleCheckerRuntime::txEnd(rt::ThreadContext &TC, const ir::Method &M) {
+  // §4: at method end, a new unary transaction begins.
+  SpinLockGuard Guard(IdgLock);
+  endCurrentTxLocked(TC.Tid);
+  newTransactionLocked(TC.Tid, ir::InvalidMethodId, /*Regular=*/false);
+}
+
+Transaction *DoubleCheckerRuntime::currentForAccess(rt::ThreadContext &TC) {
+  PerThread &PT = Threads[TC.Tid];
+  Transaction *Cur = PT.CurrTx.load(std::memory_order_relaxed);
+  assert(Cur && "access outside any transaction context");
+  if (Cur->Regular || !Cur->Interrupted.load(std::memory_order_relaxed))
+    return Cur;
+  // The merged unary transaction was interrupted by a cross-thread edge;
+  // end it and start a fresh one (§4's merge optimization boundary).
+  SpinLockGuard Guard(IdgLock);
+  endCurrentTxLocked(TC.Tid);
+  return newTransactionLocked(TC.Tid, ir::InvalidMethodId,
+                              /*Regular=*/false);
+}
+
+void DoubleCheckerRuntime::instrumentedAccess(rt::ThreadContext &TC,
+                                              const rt::AccessInfo &Info,
+                                              function_ref<void()> Access) {
+  PerThread &PT = Threads[TC.Tid];
+  Transaction *Cur = currentForAccess(TC);
+  if (Info.Flags & ir::IF_OctetBarrier) {
+    if (Info.IsWrite)
+      Octet->writeBarrier(TC, Info.Obj);
+    else
+      Octet->readBarrier(TC, Info.Obj);
+  }
+  Access();
+  if (Opts.LogAccesses && (Info.Flags & ir::IF_LogAccess))
+    logAccess(TC, Cur, Info);
+  if (Cur->Regular)
+    ++PT.AccRegular;
+  else
+    ++PT.AccUnary;
+}
+
+void DoubleCheckerRuntime::logAccess(rt::ThreadContext &TC, Transaction *Cur,
+                                     const rt::AccessInfo &Info) {
+  PerThread &PT = Threads[TC.Tid];
+  std::atomic<uint64_t> &CellA = ElisionCells[Info.Addr];
+  uint64_t Cell = CellA.load(std::memory_order_relaxed);
+  uint64_t MyTs = PT.CurTs.load(std::memory_order_relaxed);
+  if (cellTid(Cell) == TC.Tid && cellTs(Cell) == MyTs &&
+      (cellWasWrite(Cell) || !Info.IsWrite)) {
+    // Duplicate with no intervening edge or transaction boundary: elide.
+    ++PT.LogElided;
+    return;
+  }
+  LogEntry E;
+  E.K = Info.IsWrite ? LogEntry::Kind::Write : LogEntry::Kind::Read;
+  E.Obj = Info.Obj;
+  E.Addr = Info.Addr;
+  Cur->appendLog(E);
+  ++PT.LogEntries;
+  if (Opts.LogRemoteMissPenalty != 0) {
+    // Remote-miss simulation for the elision cell rewrite (see
+    // DoubleCheckerOptions::LogRemoteMissPenalty).
+    if (Cell != 0 && cellTid(Cell) != TC.Tid)
+      CellContended[Info.Addr] = 1;
+    if (CellContended[Info.Addr]) {
+      uint64_t Acc = Info.Addr;
+      for (uint32_t I = 0; I < Opts.LogRemoteMissPenalty; ++I)
+        Acc = Acc * 6364136223846793005ULL + 1442695040888963407ULL;
+      PenaltySink.fetch_add(Acc, std::memory_order_relaxed);
+    }
+  }
+  CellA.store(packCell(TC.Tid, Info.IsWrite, MyTs),
+              std::memory_order_relaxed);
+}
+
+void DoubleCheckerRuntime::syncOp(rt::ThreadContext &TC,
+                                  const rt::AccessInfo &Info,
+                                  rt::SyncKind Kind) {
+  if (Info.Flags == ir::IF_None)
+    return;
+  // Acquire-like ops behave as reads, release-like as writes, on the
+  // synchronized object (already encoded in Info by the runtime).
+  instrumentedAccess(TC, Info, [] {});
+}
+
+void DoubleCheckerRuntime::safePoint(rt::ThreadContext &TC) {
+  Octet->pollSafePoint(TC.Tid);
+}
+
+void DoubleCheckerRuntime::aboutToBlock(rt::ThreadContext &TC) {
+  Octet->aboutToBlock(TC.Tid);
+}
+
+void DoubleCheckerRuntime::unblocked(rt::ThreadContext &TC) {
+  Octet->unblocked(TC.Tid);
+}
+
+//===----------------------------------------------------------------------===//
+// Octet listener: Figure 4 edge creation
+//===----------------------------------------------------------------------===//
+
+void DoubleCheckerRuntime::onConflictingEdge(uint32_t RespTid,
+                                             const octet::Transition &T) {
+  SpinLockGuard Guard(IdgLock);
+  Transaction *Src =
+      Threads[RespTid].CurrTx.load(std::memory_order_relaxed);
+  Transaction *Dst =
+      Threads[T.Requester].CurrTx.load(std::memory_order_relaxed);
+  addCrossEdgeLocked(Src, Dst);
+}
+
+void DoubleCheckerRuntime::onBecameRdEx(uint32_t Tid) {
+  SpinLockGuard Guard(IdgLock);
+  Threads[Tid].LastRdEx = Threads[Tid].CurrTx.load(std::memory_order_relaxed);
+}
+
+void DoubleCheckerRuntime::onUpgradeToRdSh(uint32_t Tid, uint32_t OldOwner,
+                                           uint64_t Counter) {
+  SpinLockGuard Guard(IdgLock);
+  Transaction *Cur = Threads[Tid].CurrTx.load(std::memory_order_relaxed);
+  // Edge from the old owner's last transition into RdEx (conservative
+  // source for the write-read dependence being upgraded over).
+  addCrossEdgeLocked(Threads[OldOwner].LastRdEx, Cur);
+  // Edge ordering all transitions to RdSh (needed so fence transitions
+  // capture write-read dependences transitively, Fig. 3).
+  addCrossEdgeLocked(GLastRdSh, Cur);
+  GLastRdSh = Cur;
+}
+
+void DoubleCheckerRuntime::onFence(uint32_t Tid) {
+  SpinLockGuard Guard(IdgLock);
+  addCrossEdgeLocked(GLastRdSh,
+                     Threads[Tid].CurrTx.load(std::memory_order_relaxed));
+}
+
+//===----------------------------------------------------------------------===//
+// IDG maintenance (all under IdgLock)
+//===----------------------------------------------------------------------===//
+
+Transaction *DoubleCheckerRuntime::newTransactionLocked(uint32_t Tid,
+                                                        ir::MethodId Site,
+                                                        bool Regular) {
+  PerThread &PT = Threads[Tid];
+  auto *Tx = new Transaction(++NextTxId, Tid, PT.NextSeq++, Site, Regular);
+  {
+    SpinLockGuard Guard(PT.OwnedLock);
+    PT.Owned.push_back(Tx);
+  }
+  Transaction *Prev = PT.CurrTx.load(std::memory_order_relaxed);
+  if (Prev != nullptr) {
+    OutEdge E;
+    E.Dst = Tx;
+    E.Id = ++NextEdgeId;
+    E.SrcPos = Prev->LogLen.load(std::memory_order_relaxed);
+    E.Intra = true;
+    Prev->Out.push_back(E);
+  }
+  PT.CurrTx.store(Tx, std::memory_order_release);
+  PT.CurTs.fetch_add(1, std::memory_order_relaxed);
+  if (Regular)
+    ++PT.RegularTxs;
+  else
+    ++PT.UnaryTxs;
+  return Tx;
+}
+
+void DoubleCheckerRuntime::endCurrentTxLocked(uint32_t Tid) {
+  PerThread &PT = Threads[Tid];
+  Transaction *Cur = PT.CurrTx.load(std::memory_order_relaxed);
+  if (Cur == nullptr)
+    return;
+  Cur->EndTime = ++OrderClock;
+  Cur->Finished.store(true, std::memory_order_release);
+  if (PcdOnlyAnalysis)
+    PcdOnlyAnalysis->processTransaction(Cur);
+  else if (Cur->HasCrossEdge && Opts.DetectIcdCycles)
+    sccFromLocked(Cur);
+  if (++FinishedTxs % Opts.CollectEveryTx == 0)
+    collectLocked();
+}
+
+void DoubleCheckerRuntime::addCrossEdgeLocked(Transaction *Src,
+                                              Transaction *Dst) {
+  if (Src == nullptr || Dst == nullptr || Src == Dst)
+    return;
+  OutEdge E;
+  E.Dst = Dst;
+  E.Id = ++NextEdgeId;
+  E.SrcPos = Src->LogLen.load(std::memory_order_acquire);
+  E.Intra = false;
+  Src->Out.push_back(E);
+  Src->HasCrossEdge = true;
+  Dst->HasCrossEdge = true;
+  // Timestamp bumps end log-elision windows on both threads (§4).
+  Threads[Src->Tid].CurTs.fetch_add(1, std::memory_order_relaxed);
+  Threads[Dst->Tid].CurTs.fetch_add(1, std::memory_order_relaxed);
+  // Edges interrupt unary-transaction merging.
+  if (!Src->Regular)
+    Src->Interrupted.store(true, std::memory_order_relaxed);
+  if (!Dst->Regular)
+    Dst->Interrupted.store(true, std::memory_order_relaxed);
+  if (Opts.LogAccesses) {
+    LogEntry Marker;
+    Marker.K = LogEntry::Kind::EdgeIn;
+    Marker.Obj = Src->Tid;
+    Marker.Addr = E.SrcPos;
+    Marker.SrcSeq = Src->SeqInThread;
+    Marker.Time = ++OrderClock;
+    Dst->appendLog(Marker);
+  }
+  ++CrossEdges;
+}
+
+//===----------------------------------------------------------------------===//
+// SCC detection (Tarjan over finished transactions)
+//===----------------------------------------------------------------------===//
+
+void DoubleCheckerRuntime::sccFromLocked(Transaction *V) {
+  const uint64_t Epoch = ++SccEpochCounter;
+  uint32_t NextIndex = 0;
+  std::vector<Transaction *> TarjanStack;
+  struct Frame {
+    Transaction *Tx;
+    size_t EdgeIdx;
+  };
+  std::vector<Frame> CallStack;
+
+  auto Visit = [&](Transaction *Tx) {
+    Tx->SccEpoch = Epoch;
+    Tx->SccIndex = Tx->SccLow = NextIndex++;
+    Tx->OnStack = true;
+    TarjanStack.push_back(Tx);
+    CallStack.push_back(Frame{Tx, 0});
+  };
+  Visit(V);
+
+  while (!CallStack.empty()) {
+    Frame &F = CallStack.back();
+    if (F.EdgeIdx < F.Tx->Out.size()) {
+      Transaction *Next = F.Tx->Out[F.EdgeIdx++].Dst;
+      // Only expand finished transactions (§3.2.3): unfinished members
+      // will trigger their own detection when they end.
+      if (!Next->Finished.load(std::memory_order_acquire))
+        continue;
+      if (Next->SccEpoch != Epoch) {
+        Visit(Next);
+      } else if (Next->OnStack) {
+        F.Tx->SccLow = std::min(F.Tx->SccLow, Next->SccIndex);
+      }
+      continue;
+    }
+    // Post-order: pop the frame; maybe pop a component.
+    Transaction *Tx = F.Tx;
+    CallStack.pop_back();
+    if (!CallStack.empty())
+      CallStack.back().Tx->SccLow =
+          std::min(CallStack.back().Tx->SccLow, Tx->SccLow);
+    if (Tx->SccLow != Tx->SccIndex)
+      continue;
+    // Tx is the root of a component; pop its members.
+    std::vector<Transaction *> Members;
+    for (;;) {
+      Transaction *M = TarjanStack.back();
+      TarjanStack.pop_back();
+      M->OnStack = false;
+      Members.push_back(M);
+      if (M == Tx)
+        break;
+    }
+    // Only the component containing V is new; components among descendants
+    // were detected when their own last member finished.
+    if (Tx != V || Members.size() < 2)
+      continue;
+    ++SccCount;
+    for (Transaction *M : Members) {
+      if (M->Regular)
+        SccSites.insert(M->Site);
+      else
+        SccAnyUnary = true;
+    }
+    if (AsyncPcd)
+      AsyncPcd->enqueue(std::move(Members));
+    else if (Pcd)
+      Pcd->processScc(Members);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Transaction collection (stands in for the JVM's GC)
+//===----------------------------------------------------------------------===//
+
+void DoubleCheckerRuntime::collectLocked() {
+  auto Start = std::chrono::steady_clock::now();
+  const uint64_t Epoch = ++MarkEpochCounter;
+  std::vector<Transaction *> Work;
+  auto AddRoot = [&](Transaction *Tx) {
+    if (Tx != nullptr && Tx->MarkEpoch != Epoch) {
+      Tx->MarkEpoch = Epoch;
+      Work.push_back(Tx);
+    }
+  };
+  for (uint32_t T = 0; T < NumThreads; ++T) {
+    AddRoot(Threads[T].CurrTx.load(std::memory_order_relaxed));
+    AddRoot(Threads[T].LastRdEx);
+  }
+  AddRoot(GLastRdSh);
+  while (!Work.empty()) {
+    Transaction *Tx = Work.back();
+    Work.pop_back();
+    for (const OutEdge &E : Tx->Out)
+      AddRoot(E.Dst);
+  }
+  // Sweep: a finished transaction not forward-reachable from any root can
+  // never gain another edge (edge sinks are current transactions; edge
+  // sources are roots), so it cannot join a future cycle.
+  for (uint32_t T = 0; T < NumThreads; ++T) {
+    PerThread &PT = Threads[T];
+    SpinLockGuard Guard(PT.OwnedLock);
+    size_t Kept = 0;
+    for (size_t I = 0; I < PT.Owned.size(); ++I) {
+      Transaction *Tx = PT.Owned[I];
+      if (Tx->MarkEpoch == Epoch ||
+          Tx->Pins.load(std::memory_order_acquire) != 0) {
+        PT.Owned[Kept++] = Tx;
+      } else {
+        assert(Tx->Finished.load(std::memory_order_relaxed) &&
+               "sweeping a live transaction");
+        delete Tx;
+        ++TxsSwept;
+      }
+    }
+    PT.Owned.resize(Kept);
+  }
+  ++CollectorRuns;
+  CollectorNs += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - Start)
+          .count());
+}
+
+StaticTransactionInfo DoubleCheckerRuntime::staticInfo() const {
+  SpinLockGuard Guard(IdgLock);
+  StaticTransactionInfo Info;
+  Info.AnyUnary = SccAnyUnary;
+  for (ir::MethodId Site : SccSites)
+    if (Site != ir::InvalidMethodId)
+      Info.MethodNames.insert(P.Methods[Site].Name);
+  return Info;
+}

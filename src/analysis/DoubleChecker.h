@@ -1,0 +1,211 @@
+//===- analysis/DoubleChecker.h - ICD(+PCD) checker runtime -----*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DoubleCheckerRuntime is the paper's analysis attached to one execution:
+///
+///  * It owns an OctetManager and implements OctetListener: every Octet
+///    transition becomes an imprecise-dependence-graph edge per Figure 4
+///    (conflicting -> edge from the responder's current transaction;
+///    upgrading to RdSh -> edges from the old owner's lastRdEx and from
+///    gLastRdSh; fence -> edge from gLastRdSh).
+///  * It demarcates regular transactions at txBegin/txEnd and merges
+///    non-transactional accesses into unary transactions until a
+///    cross-thread edge interrupts them.
+///  * When a transaction with cross-thread edges ends, it computes the
+///    maximal SCC containing it over *finished* transactions (§3.2.3);
+///    members' static sites feed multi-run mode's StaticTransactionInfo,
+///    and — when logging is on — the SCC goes to PCD for precise checking.
+///  * A mark-sweep collector reclaims transactions unreachable from the
+///    roots {per-thread current transaction, per-thread lastRdEx,
+///    gLastRdSh}, standing in for the JVM garbage collector the paper
+///    relies on (see DESIGN.md §2 for the liveness argument).
+///
+/// Configure with LogAccesses=false, RunPcd=false for the first run of
+/// multi-run mode ("ICD w/o logging"); defaults give single-run mode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_ANALYSIS_DOUBLECHECKER_H
+#define DC_ANALYSIS_DOUBLECHECKER_H
+
+#include <memory>
+#include <set>
+
+#include "analysis/OnlinePcd.h"
+#include "analysis/Pcd.h"
+#include "analysis/StaticInfo.h"
+#include "analysis/Transaction.h"
+#include "analysis/Violation.h"
+#include "octet/OctetManager.h"
+#include "rt/CheckerRuntime.h"
+#include "rt/Runtime.h"
+#include "support/SpinLock.h"
+#include "support/Statistic.h"
+
+namespace dc {
+namespace analysis {
+
+/// Knobs selecting between single-run mode and the runs of multi-run mode.
+struct DoubleCheckerOptions {
+  /// Record read/write logs (required for PCD). Single-run and the second
+  /// run of multi-run mode: true. First run: false.
+  bool LogAccesses = true;
+  /// Run PCD on each ICD SCC. First run: false.
+  bool RunPcd = true;
+  /// Future-work extension the paper suggests for the xalan6 bottleneck
+  /// ("ICD detects SCCs serially, and PCD detects cycles serially; making
+  /// them parallel could alleviate this bottleneck", §5.3): offload PCD to
+  /// a background worker thread. SCC members are finished (immutable logs)
+  /// and pinned against collection while queued, so the replay needs no
+  /// locks. Violations may be reported slightly later but identically.
+  bool ParallelPcd = false;
+  /// Disable ICD SCC detection entirely (§5.4 array-instrumentation
+  /// ablation, where conflated metadata makes cycles meaningless).
+  bool DetectIcdCycles = true;
+  /// §5.4 straw man: feed *every* transaction to a persistent precise
+  /// analysis instead of filtering through ICD SCCs. Implies LogAccesses;
+  /// the transaction collector is disabled (the persistent maps pin
+  /// transactions), reproducing the variant's memory blow-up.
+  bool PcdOnly = false;
+  /// Trigger the transaction collector every this many finished
+  /// transactions.
+  uint32_t CollectEveryTx = 8192;
+  /// Passed through to PCD.
+  uint32_t MaxSccTxsForPcd = 1u << 20;
+  /// Remote-cache-miss simulation for the log-elision metadata, mirroring
+  /// VelodromeOptions::RemoteMissPenalty (see DESIGN.md §2): appending a
+  /// log entry rewrites the field's per-thread timestamp cell, which on a
+  /// real multicore ping-pongs for fields logged by several threads. One
+  /// cell write is half of Velodrome's two-word locked update, hence the
+  /// smaller default. 0 disables.
+  uint32_t LogRemoteMissPenalty = 15;
+};
+
+/// The DoubleChecker analysis for one run. Implements the interpreter's
+/// checker hooks and Octet's transition listener.
+class DoubleCheckerRuntime : public rt::CheckerRuntime,
+                                   public octet::OctetListener {
+public:
+  /// \p P must be the compiled program the runtime executes (used to map
+  /// compiled methods back to original sites). \p Violations and \p Stats
+  /// must outlive the runtime.
+  DoubleCheckerRuntime(const ir::Program &P, DoubleCheckerOptions Opts,
+                       ViolationLog &Violations, StatisticRegistry &Stats);
+  ~DoubleCheckerRuntime() override;
+
+  // -- rt::CheckerRuntime --------------------------------------------------
+  void beginRun(rt::Runtime &RT) override;
+  void endRun(rt::Runtime &RT) override;
+  void threadStarted(rt::ThreadContext &TC) override;
+  void threadExiting(rt::ThreadContext &TC) override;
+  void txBegin(rt::ThreadContext &TC, const ir::Method &M) override;
+  void txEnd(rt::ThreadContext &TC, const ir::Method &M) override;
+  void instrumentedAccess(rt::ThreadContext &TC, const rt::AccessInfo &Info,
+                          function_ref<void()> Access) override;
+  void syncOp(rt::ThreadContext &TC, const rt::AccessInfo &Info,
+              rt::SyncKind Kind) override;
+  void safePoint(rt::ThreadContext &TC) override;
+  void aboutToBlock(rt::ThreadContext &TC) override;
+  void unblocked(rt::ThreadContext &TC) override;
+
+  // -- octet::OctetListener -------------------------------------------------
+  void onConflictingEdge(uint32_t RespTid, const octet::Transition &T)
+      override;
+  void onBecameRdEx(uint32_t Tid) override;
+  void onUpgradeToRdSh(uint32_t Tid, uint32_t OldOwner,
+                       uint64_t Counter) override;
+  void onFence(uint32_t Tid) override;
+
+  /// Static transaction information accumulated from ICD SCCs (multi-run
+  /// mode's first-run output). Valid after endRun.
+  StaticTransactionInfo staticInfo() const;
+
+  /// The underlying Octet manager; valid between beginRun and destruction.
+  octet::OctetManager *octetManager() { return Octet.get(); }
+
+private:
+  struct alignas(64) PerThread {
+    std::atomic<Transaction *> CurrTx{nullptr};
+    /// Log-elision timestamp (paper §4): bumped on transaction start and on
+    /// any edge touching the thread's current transaction.
+    std::atomic<uint64_t> CurTs{1};
+    Transaction *LastRdEx = nullptr; // IDG lock.
+    uint64_t NextSeq = 0;
+    // Per-thread statistics, flushed at endRun.
+    uint64_t RegularTxs = 0;
+    uint64_t UnaryTxs = 0;
+    uint64_t AccRegular = 0;
+    uint64_t AccUnary = 0;
+    uint64_t LogEntries = 0;
+    uint64_t LogElided = 0;
+    // Transactions allocated by this thread (swept by the collector).
+    std::vector<Transaction *> Owned;
+    SpinLock OwnedLock;
+  };
+
+  class AsyncPcdWorker;
+
+  Transaction *newTransactionLocked(uint32_t Tid, ir::MethodId Site,
+                                    bool Regular);
+  void endCurrentTxLocked(uint32_t Tid);
+  void addCrossEdgeLocked(Transaction *Src, Transaction *Dst);
+  void sccFromLocked(Transaction *V);
+  void collectLocked();
+  /// Returns the transaction the next access belongs to, replacing an
+  /// interrupted unary transaction if needed.
+  Transaction *currentForAccess(rt::ThreadContext &TC);
+  void logAccess(rt::ThreadContext &TC, Transaction *Cur,
+                 const rt::AccessInfo &Info);
+
+  const ir::Program &P;
+  DoubleCheckerOptions Opts;
+  ViolationLog &Violations;
+  StatisticRegistry &Stats;
+
+  std::unique_ptr<octet::OctetManager> Octet;
+  std::unique_ptr<PreciseCycleDetector> Pcd;
+  std::unique_ptr<AsyncPcdWorker> AsyncPcd;
+  std::unique_ptr<OnlinePcd> PcdOnlyAnalysis;
+  std::unique_ptr<PerThread[]> Threads;
+  uint32_t NumThreads = 0;
+
+  /// Packed (tid | wasWrite | ts) cells for log duplicate elision, indexed
+  /// by field address.
+  std::vector<std::atomic<uint64_t>> ElisionCells;
+  /// Sticky multi-thread-logged marker per field (remote-miss simulation;
+  /// benign races).
+  std::vector<uint8_t> CellContended;
+  /// Keeps the penalty spin from being optimized away.
+  std::atomic<uint64_t> PenaltySink{0};
+
+  /// Guards the IDG: edges, lastRdEx/gLastRdSh, transaction lifecycle, SCC
+  /// detection, PCD, and collection all serialize here (the paper's ICD
+  /// detects SCCs serially).
+  mutable SpinLock IdgLock;
+  Transaction *GLastRdSh = nullptr;
+  /// Global order clock: ticks at transaction ends and edge creations
+  /// (already serialized by IdgLock); stamps transaction EndTime and
+  /// EdgeIn markers for PCD's replay-ordering constraints.
+  uint64_t OrderClock = 0;
+  uint64_t NextTxId = 0;
+  uint64_t NextEdgeId = 0;
+  uint64_t CrossEdges = 0;
+  uint64_t FinishedTxs = 0;
+  uint64_t SccCount = 0;
+  uint64_t SccEpochCounter = 0;
+  uint64_t MarkEpochCounter = 0;
+  uint64_t CollectorRuns = 0;
+  uint64_t CollectorNs = 0;
+  uint64_t TxsSwept = 0;
+  std::set<ir::MethodId> SccSites;
+  bool SccAnyUnary = false;
+};
+
+} // namespace analysis
+} // namespace dc
+
+#endif // DC_ANALYSIS_DOUBLECHECKER_H

@@ -1,0 +1,127 @@
+//===- analysis/OnlinePcd.cpp ---------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/OnlinePcd.h"
+
+#include <algorithm>
+
+using namespace dc;
+using namespace dc::analysis;
+
+void OnlinePcd::processTransaction(Transaction *Tx) {
+  Stats.get("pcdonly.txs_processed").add(1);
+  // Intra-thread PDG edge from the thread's previously processed
+  // transaction.
+  auto It = LastOfThread.find(Tx->Tid);
+  if (It != LastOfThread.end())
+    addEdge(It->second, Tx);
+  LastOfThread[Tx->Tid] = Tx;
+
+  for (const LogEntry &E : Tx->Log) {
+    switch (E.K) {
+    case LogEntry::Kind::Read: {
+      auto WIt = LastWrite.find(E.Addr);
+      if (WIt != LastWrite.end() && WIt->second->Tid != Tx->Tid)
+        addEdge(WIt->second, Tx);
+      LastReads[E.Addr][Tx->Tid] = Tx;
+      break;
+    }
+    case LogEntry::Kind::Write: {
+      auto WIt = LastWrite.find(E.Addr);
+      if (WIt != LastWrite.end() && WIt->second->Tid != Tx->Tid)
+        addEdge(WIt->second, Tx);
+      auto RIt = LastReads.find(E.Addr);
+      if (RIt != LastReads.end()) {
+        for (const auto &Reader : RIt->second)
+          if (Reader.first != Tx->Tid)
+            addEdge(Reader.second, Tx);
+        RIt->second.clear();
+      }
+      LastWrite[E.Addr] = Tx;
+      break;
+    }
+    case LogEntry::Kind::EdgeIn:
+      break;
+    }
+    Stats.get("pcdonly.entries_replayed").add(1);
+  }
+}
+
+void OnlinePcd::addEdge(Transaction *From, Transaction *To) {
+  if (From == To)
+    return;
+  auto &FromEdges = EdgeCreation[From];
+  if (FromEdges.count(To))
+    return;
+  FromEdges.emplace(To, NextCreation);
+  Pdg[From].emplace_back(To, NextCreation);
+  ++NextCreation;
+  if (From->Tid != To->Tid)
+    checkCycle(From, To);
+}
+
+void OnlinePcd::checkCycle(Transaction *From, Transaction *To) {
+  const uint64_t Epoch = ++DfsEpoch;
+  std::unordered_map<Transaction *, Transaction *> Parent;
+  std::vector<Transaction *> Stack{To};
+  To->SccEpoch = Epoch; // SccEpoch reused as DFS mark; SCC is off here.
+  bool Found = false;
+  while (!Stack.empty() && !Found) {
+    Transaction *Cur = Stack.back();
+    Stack.pop_back();
+    auto It = Pdg.find(Cur);
+    if (It == Pdg.end())
+      continue;
+    for (const auto &E : It->second) {
+      if (E.first->SccEpoch == Epoch)
+        continue;
+      E.first->SccEpoch = Epoch;
+      Parent[E.first] = Cur;
+      if (E.first == From) {
+        Found = true;
+        break;
+      }
+      Stack.push_back(E.first);
+    }
+  }
+  if (!Found)
+    return;
+  Stats.get("pcdonly.cycles").add(1);
+
+  std::vector<Transaction *> Cycle;
+  for (Transaction *Cur = From;; Cur = Parent[Cur]) {
+    Cycle.push_back(Cur);
+    if (Cur == To)
+      break;
+  }
+  std::reverse(Cycle.begin(), Cycle.end());
+
+  auto CreationOf = [&](const Transaction *A, const Transaction *B) {
+    return EdgeCreation[A][B];
+  };
+  const size_t N = Cycle.size();
+  ir::MethodId Blamed = ir::InvalidMethodId;
+  for (size_t I = 0; I < N && Blamed == ir::InvalidMethodId; ++I) {
+    Transaction *Prev = Cycle[(I + N - 1) % N];
+    Transaction *Cur = Cycle[I];
+    Transaction *Next = Cycle[(I + 1) % N];
+    if (Cur->Regular && CreationOf(Cur, Next) < CreationOf(Prev, Cur))
+      Blamed = Cur->Site;
+  }
+  if (Blamed == ir::InvalidMethodId) {
+    for (Transaction *Tx : Cycle)
+      if (Tx->Regular) {
+        Blamed = Tx->Site;
+        break;
+      }
+  }
+
+  ViolationRecord R;
+  R.Blamed = Blamed;
+  for (Transaction *Tx : Cycle)
+    R.Cycle.push_back(CycleMember{Tx->Tid, Tx->Site, Tx->Id});
+  Sink.report(std::move(R));
+}

@@ -1,0 +1,363 @@
+//===- analysis/Pcd.cpp ---------------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Pcd.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+
+using namespace dc;
+using namespace dc::analysis;
+
+namespace {
+
+/// One PDG edge with its creation index (for blame assignment).
+struct PdgEdge {
+  uint32_t To = 0;
+  uint64_t Created = 0;
+};
+
+/// Replay and PDG state for one SCC.
+class SccReplay {
+public:
+  SccReplay(const std::vector<Transaction *> &Members, ViolationLog &Sink,
+            StatisticRegistry &Stats)
+      : Members(Members), Sink(Sink), Stats(Stats) {}
+
+  void run();
+
+private:
+  static uint64_t memberKey(uint32_t Tid, uint64_t Seq) {
+    return (static_cast<uint64_t>(Tid) << 48) ^ Seq;
+  }
+
+  bool entryEnabled(const LogEntry &E) const;
+  void processEntry(uint32_t Node, const LogEntry &E);
+  void replayRead(uint32_t Node, rt::FieldAddr Addr);
+  void replayWrite(uint32_t Node, rt::FieldAddr Addr);
+  void addPdgEdge(uint32_t From, uint32_t To);
+  void checkCycle(uint32_t From, uint32_t To);
+  void reportCycle(const std::vector<uint32_t> &CycleNodes);
+
+  const std::vector<Transaction *> &Members;
+  ViolationLog &Sink;
+  StatisticRegistry &Stats;
+
+  /// (tid, SeqInThread) -> member node, for EdgeIn source lookups.
+  std::unordered_map<uint64_t, uint32_t> MemberBySeq;
+  /// SeqInThread of each thread's first not-fully-replayed member
+  /// (~0ULL once the thread's queue drains).
+  std::unordered_map<uint32_t, uint64_t> FrontSeq;
+  std::vector<uint32_t> Cursor;      ///< Next log index per node.
+  std::vector<bool> Activated;       ///< Intra PDG edge added on activation.
+  std::vector<bool> Done;            ///< Fully replayed.
+  /// Members sorted by EndTime; DonePrefix advances over the done prefix.
+  /// An EdgeIn with stamp k is passable only once every member with
+  /// EndTime < k is done (see LogEntry::Time).
+  std::vector<uint32_t> ByEndTime;
+  mutable size_t DonePrefix = 0;
+  /// Most recently activated member per thread (intra PDG edge source).
+  std::unordered_map<uint32_t, uint32_t> LastOfThread;
+
+  // Figure 5 last-access state, per field.
+  std::unordered_map<rt::FieldAddr, uint32_t> LastWrite;
+  std::unordered_map<rt::FieldAddr, std::unordered_map<uint32_t, uint32_t>>
+      LastReads; ///< field -> (tid -> node).
+
+  std::vector<std::vector<PdgEdge>> PdgOut;
+  /// Dedupe (From,To) pairs; the first creation index is kept for blame.
+  std::unordered_map<uint64_t, uint64_t> PdgSeen;
+  uint64_t NextCreation = 0;
+  uint64_t Cycles = 0;
+};
+
+} // namespace
+
+void SccReplay::run() {
+  const uint32_t N = static_cast<uint32_t>(Members.size());
+  MemberBySeq.reserve(N);
+  for (uint32_t I = 0; I < N; ++I)
+    MemberBySeq.emplace(memberKey(Members[I]->Tid, Members[I]->SeqInThread),
+                        I);
+
+  // Same-thread members replay in sequence order: per-thread worklists.
+  std::unordered_map<uint32_t, std::vector<uint32_t>> ByThread;
+  for (uint32_t I = 0; I < N; ++I)
+    ByThread[Members[I]->Tid].push_back(I);
+  for (auto &Entry : ByThread) {
+    std::sort(Entry.second.begin(), Entry.second.end(),
+              [&](uint32_t A, uint32_t B) {
+                return Members[A]->SeqInThread < Members[B]->SeqInThread;
+              });
+    FrontSeq[Entry.first] = Members[Entry.second.front()]->SeqInThread;
+  }
+
+  Cursor.assign(N, 0);
+  Activated.assign(N, false);
+  Done.assign(N, false);
+  PdgOut.assign(N, {});
+  ByEndTime.resize(N);
+  for (uint32_t I = 0; I < N; ++I)
+    ByEndTime[I] = I;
+  std::sort(ByEndTime.begin(), ByEndTime.end(), [&](uint32_t A, uint32_t B) {
+    return Members[A]->EndTime < Members[B]->EndTime;
+  });
+
+  // Round-robin over threads, advancing each thread's first unfinished
+  // member while its next entry is enabled. A full pass with no progress
+  // on an unfinished replay would indicate inconsistent logs.
+  uint64_t Entries = 0;
+  bool Progress = true;
+  bool AllDone = false;
+  while (Progress && !AllDone) {
+    Progress = false;
+    AllDone = true;
+    for (auto &ThreadEntry : ByThread) {
+      std::vector<uint32_t> &Queue = ThreadEntry.second;
+      while (!Queue.empty()) {
+        uint32_t Node = Queue.front();
+        Transaction *Tx = Members[Node];
+        if (!Activated[Node]) {
+          Activated[Node] = true;
+          // Intra-thread PDG edge from the previous same-thread member.
+          // (Consecutive same-thread members of an SCC are contiguous.)
+          if (LastOfThread.count(Tx->Tid))
+            addPdgEdge(LastOfThread[Tx->Tid], Node);
+          LastOfThread[Tx->Tid] = Node;
+          Progress = true;
+        }
+        if (Cursor[Node] >= Tx->Log.size()) {
+          Done[Node] = true;
+          Queue.erase(Queue.begin());
+          FrontSeq[Tx->Tid] =
+              Queue.empty() ? ~0ULL
+                            : Members[Queue.front()]->SeqInThread;
+          Progress = true;
+          continue;
+        }
+        const LogEntry &E = Tx->Log[Cursor[Node]];
+        if (!entryEnabled(E))
+          break; // This thread is stalled on a cross-thread constraint.
+        ++Cursor[Node];
+        ++Entries;
+        processEntry(Node, E);
+        Progress = true;
+      }
+      if (!Queue.empty())
+        AllDone = false;
+    }
+  }
+  if (!AllDone)
+    Stats.get("pcd.replay_stuck").add(1);
+
+  if (Cycles > 0 && std::getenv("DC_PCD_DEBUG") != nullptr) {
+    std::fprintf(stderr, "=== SCC with %llu cycle(s), %u members ===\n",
+                 (unsigned long long)Cycles, N);
+    for (uint32_t I = 0; I < N; ++I) {
+      const Transaction *Tx = Members[I];
+      std::fprintf(stderr, "node %u: tx#%llu t%u seq%llu %s site%d\n", I,
+                   (unsigned long long)Tx->Id, Tx->Tid,
+                   (unsigned long long)Tx->SeqInThread,
+                   Tx->Regular ? "regular" : "unary", (int)Tx->Site);
+      for (size_t J = 0; J < Tx->Log.size(); ++J) {
+        const LogEntry &E = Tx->Log[J];
+        if (E.K == LogEntry::Kind::EdgeIn)
+          std::fprintf(stderr, "  [%zu] edgein srcT%u srcSeq%llu srcPos%u\n",
+                       J, E.Obj, (unsigned long long)E.SrcSeq, E.Addr);
+        else
+          std::fprintf(stderr, "  [%zu] %s obj%u addr%u\n", J,
+                       E.K == LogEntry::Kind::Write ? "wr" : "rd", E.Obj,
+                       E.Addr);
+      }
+    }
+  }
+
+  Stats.get("pcd.txs_replayed").add(N);
+  Stats.get("pcd.entries_replayed").add(Entries);
+  Stats.get("pcd.cycles").add(Cycles);
+}
+
+bool SccReplay::entryEnabled(const LogEntry &E) const {
+  if (E.K != LogEntry::Kind::EdgeIn)
+    return true;
+  // EdgeIn payload: Obj = source tid, Addr = source position, SrcSeq =
+  // source SeqInThread, Time = global order stamp. The sink may pass the
+  // marker only once
+  //  (a) every member that ENDED before the edge was created has fully
+  //      replayed — this carries orderings whose happens-before chain runs
+  //      through transactions outside the SCC (the real execution's global
+  //      order makes these constraints trivially satisfiable), and
+  //  (b) every member of the source's thread preceding the source is done,
+  //      and the source itself (if a member) has passed SrcPos.
+  while (DonePrefix < ByEndTime.size() && Done[ByEndTime[DonePrefix]])
+    ++DonePrefix;
+  if (DonePrefix < ByEndTime.size() &&
+      Members[ByEndTime[DonePrefix]]->EndTime < E.Time)
+    return false;
+  auto FIt = FrontSeq.find(static_cast<uint32_t>(E.Obj));
+  if (FIt != FrontSeq.end() && FIt->second < E.SrcSeq)
+    return false;
+  auto It = MemberBySeq.find(memberKey(E.Obj, E.SrcSeq));
+  if (It != MemberBySeq.end())
+    return Cursor[It->second] >= E.Addr;
+  return true;
+}
+
+void SccReplay::processEntry(uint32_t Node, const LogEntry &E) {
+  switch (E.K) {
+  case LogEntry::Kind::Read:
+    replayRead(Node, E.Addr);
+    break;
+  case LogEntry::Kind::Write:
+    replayWrite(Node, E.Addr);
+    break;
+  case LogEntry::Kind::EdgeIn:
+    break; // Ordering only.
+  }
+}
+
+void SccReplay::replayRead(uint32_t Node, rt::FieldAddr Addr) {
+  auto It = LastWrite.find(Addr);
+  if (It != LastWrite.end() &&
+      Members[It->second]->Tid != Members[Node]->Tid)
+    addPdgEdge(It->second, Node); // Write-read dependence.
+  LastReads[Addr][Members[Node]->Tid] = Node;
+}
+
+void SccReplay::replayWrite(uint32_t Node, rt::FieldAddr Addr) {
+  auto It = LastWrite.find(Addr);
+  if (It != LastWrite.end() &&
+      Members[It->second]->Tid != Members[Node]->Tid)
+    addPdgEdge(It->second, Node); // Write-write dependence.
+  auto RIt = LastReads.find(Addr);
+  if (RIt != LastReads.end()) {
+    for (const auto &Reader : RIt->second)
+      if (Reader.first != Members[Node]->Tid)
+        addPdgEdge(Reader.second, Node); // Read-write dependence.
+    RIt->second.clear(); // Figure 5: a write clears all last-readers.
+  }
+  LastWrite[Addr] = Node;
+}
+
+void SccReplay::addPdgEdge(uint32_t From, uint32_t To) {
+  if (From == To)
+    return; // Same transaction; not a cross-transaction dependence.
+  uint64_t Key = (static_cast<uint64_t>(From) << 32) | To;
+  if (PdgSeen.count(Key))
+    return;
+  PdgSeen.emplace(Key, NextCreation);
+  PdgOut[From].push_back(PdgEdge{To, NextCreation});
+  ++NextCreation;
+  Stats.get("pcd.pdg_edges").add(1);
+  if (Members[From]->Tid != Members[To]->Tid)
+    checkCycle(From, To);
+}
+
+void SccReplay::checkCycle(uint32_t From, uint32_t To) {
+  // Adding From->To creates a cycle iff To already reaches From. DFS with
+  // parent links to reconstruct the path.
+  std::vector<int64_t> Parent(Members.size(), -1);
+  std::vector<uint32_t> Stack{To};
+  Parent[To] = To;
+  bool Found = false;
+  while (!Stack.empty() && !Found) {
+    uint32_t Cur = Stack.back();
+    Stack.pop_back();
+    for (const PdgEdge &E : PdgOut[Cur]) {
+      if (Parent[E.To] != -1)
+        continue;
+      Parent[E.To] = Cur;
+      if (E.To == From) {
+        Found = true;
+        break;
+      }
+      Stack.push_back(E.To);
+    }
+  }
+  if (!Found)
+    return;
+
+  if (std::getenv("DC_PCD_DEBUG") != nullptr) {
+    std::fprintf(stderr,
+                 "cycle closed by PDG edge node%u(tx#%llu t%u seq%llu) -> "
+                 "node%u(tx#%llu t%u seq%llu)\n",
+                 From, (unsigned long long)Members[From]->Id,
+                 Members[From]->Tid,
+                 (unsigned long long)Members[From]->SeqInThread, To,
+                 (unsigned long long)Members[To]->Id,
+                 Members[To]->Tid,
+                 (unsigned long long)Members[To]->SeqInThread);
+  }
+
+  // Cycle node order: To -> ... -> From (-> To via the new edge).
+  std::vector<uint32_t> Cycle;
+  for (uint32_t Cur = From;; Cur = static_cast<uint32_t>(Parent[Cur])) {
+    Cycle.push_back(Cur);
+    if (Cur == To)
+      break;
+  }
+  std::reverse(Cycle.begin(), Cycle.end()); // Now To, ..., From.
+  ++Cycles;
+  reportCycle(Cycle);
+}
+
+void SccReplay::reportCycle(const std::vector<uint32_t> &CycleNodes) {
+  // Edge creation index between consecutive cycle nodes.
+  auto CreationOf = [&](uint32_t From, uint32_t To) {
+    auto It = PdgSeen.find((static_cast<uint64_t>(From) << 32) | To);
+    assert(It != PdgSeen.end() && "cycle uses a nonexistent edge");
+    return It->second;
+  };
+
+  // Blame: a transaction whose outgoing cycle edge was created earlier
+  // than its incoming one completed the cycle. Prefer regular
+  // transactions; fall back to any regular member.
+  const size_t N = CycleNodes.size();
+  ir::MethodId Blamed = ir::InvalidMethodId;
+  for (size_t I = 0; I < N; ++I) {
+    uint32_t Prev = CycleNodes[(I + N - 1) % N];
+    uint32_t Cur = CycleNodes[I];
+    uint32_t Next = CycleNodes[(I + 1) % N];
+    const Transaction *Tx = Members[Cur];
+    if (!Tx->Regular)
+      continue;
+    if (CreationOf(Cur, Next) < CreationOf(Prev, Cur)) {
+      Blamed = Tx->Site;
+      break;
+    }
+  }
+  if (Blamed == ir::InvalidMethodId) {
+    for (uint32_t Node : CycleNodes) {
+      if (Members[Node]->Regular) {
+        Blamed = Members[Node]->Site;
+        break;
+      }
+    }
+  }
+
+  ViolationRecord R;
+  R.Blamed = Blamed;
+  R.Cycle.reserve(N);
+  for (uint32_t Node : CycleNodes) {
+    const Transaction *Tx = Members[Node];
+    R.Cycle.push_back(CycleMember{Tx->Tid, Tx->Site, Tx->Id});
+  }
+  Sink.report(std::move(R));
+}
+
+void PreciseCycleDetector::processScc(
+    const std::vector<Transaction *> &Members) {
+  Stats.get("pcd.sccs_processed").add(1);
+  if (Members.size() > Opts.MaxSccTxs) {
+    Stats.get("pcd.sccs_skipped").add(1);
+    return;
+  }
+  SccReplay Replay(Members, Sink, Stats);
+  Replay.run();
+}

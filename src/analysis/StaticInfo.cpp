@@ -1,0 +1,37 @@
+//===- analysis/StaticInfo.cpp --------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/StaticInfo.h"
+
+#include <sstream>
+
+using namespace dc;
+using namespace dc::analysis;
+
+std::string StaticTransactionInfo::serialize() const {
+  std::ostringstream OS;
+  if (AnyUnary)
+    OS << "unary\n";
+  for (const std::string &Name : MethodNames)
+    OS << "method " << Name << "\n";
+  return OS.str();
+}
+
+StaticTransactionInfo StaticTransactionInfo::parse(const std::string &Text) {
+  StaticTransactionInfo Info;
+  std::istringstream IS(Text);
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    if (Line == "unary") {
+      Info.AnyUnary = true;
+      continue;
+    }
+    constexpr const char *Prefix = "method ";
+    if (Line.rfind(Prefix, 0) == 0)
+      Info.MethodNames.insert(Line.substr(7));
+  }
+  return Info;
+}

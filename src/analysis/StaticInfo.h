@@ -1,0 +1,50 @@
+//===- analysis/StaticInfo.h - Multi-run static transaction info -*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The first run of multi-run mode identifies regular transactions involved
+/// in imprecise cycles *statically* — by method signature — plus a single
+/// boolean saying whether any unary transaction appeared in a cycle (§3.1).
+/// The second run instruments only those methods, and instruments
+/// non-transactional accesses iff the boolean is set. Results from several
+/// first runs are merged by union, matching the paper's methodology.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_ANALYSIS_STATICINFO_H
+#define DC_ANALYSIS_STATICINFO_H
+
+#include <set>
+#include <string>
+
+namespace dc {
+namespace analysis {
+
+/// Static transaction information passed from the first run to the second.
+struct StaticTransactionInfo {
+  /// Names of (original) methods whose regular transactions appeared in an
+  /// ICD SCC.
+  std::set<std::string> MethodNames;
+  /// True if any unary transaction appeared in any ICD SCC.
+  bool AnyUnary = false;
+
+  /// Union with \p O (combining multiple first runs).
+  void merge(const StaticTransactionInfo &O) {
+    MethodNames.insert(O.MethodNames.begin(), O.MethodNames.end());
+    AnyUnary = AnyUnary || O.AnyUnary;
+  }
+
+  bool empty() const { return MethodNames.empty() && !AnyUnary; }
+
+  /// Line-oriented serialization (one method per line, "unary" sentinel).
+  std::string serialize() const;
+  static StaticTransactionInfo parse(const std::string &Text);
+};
+
+} // namespace analysis
+} // namespace dc
+
+#endif // DC_ANALYSIS_STATICINFO_H

@@ -1,0 +1,146 @@
+//===- analysis/Transaction.h - IDG nodes and read/write logs ---*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Transactions are the nodes of ICD's imprecise dependence graph (IDG):
+/// regular transactions correspond to atomic regions; unary transactions
+/// absorb non-transactional accesses (consecutive unary transactions merge
+/// until a cross-thread edge interrupts them, per §4 of the paper).
+///
+/// Each transaction carries its outgoing IDG edges and, in logging modes,
+/// a read/write log. Cross-thread ordering for PCD's replay is encoded as:
+///  * an EdgeIn marker in the *sink's* log (always appended by a thread
+///    that owns or holds the sink quiescent), and
+///  * a sampled source-log position (SrcPos) in the edge record itself.
+/// Sampling instead of appending a source marker avoids writing to a live
+/// transaction's log from another thread. The sampled position is exact for
+/// conflicting transitions (the source is at a safe point or blocked) and
+/// conservative for upgrading/fence edges — where any concurrently-logged
+/// source entries are reads that commute with the sink's accesses, so the
+/// replay order PCD reconstructs is still a valid linearization.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_ANALYSIS_TRANSACTION_H
+#define DC_ANALYSIS_TRANSACTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "ir/Ir.h"
+#include "rt/Heap.h"
+
+namespace dc {
+namespace analysis {
+
+class Transaction;
+
+/// One entry of a transaction's read/write log. EdgeIn markers record the
+/// edge's *source coordinates* — (source thread, source SeqInThread,
+/// sampled source log position) — so PCD can enforce the ordering even when
+/// the source transaction itself is outside the SCC being replayed: the
+/// constraint then falls back to "all same-thread transactions before the
+/// source must have replayed", which the source's thread order implies.
+struct LogEntry {
+  enum class Kind : uint8_t {
+    Read,
+    Write,
+    EdgeIn, ///< A cross-thread edge whose sink is at this position.
+  };
+  Kind K = Kind::Read;
+  rt::ObjectId Obj = 0;   ///< Access: object. EdgeIn: source thread id.
+  rt::FieldAddr Addr = 0; ///< Access: field. EdgeIn: source log position.
+  uint64_t SrcSeq = 0;    ///< EdgeIn: source transaction's SeqInThread.
+  /// EdgeIn: the edge's stamp on ICD's global order clock. Replay requires
+  /// every SCC member that *ended* before this stamp to have fully
+  /// replayed before the sink proceeds past the marker — recovering
+  /// orderings whose happens-before chain runs through transactions
+  /// outside the SCC (e.g. a lock handed off via a non-member).
+  uint64_t Time = 0;
+};
+
+/// An outgoing IDG edge. Intra-thread edges link consecutive transactions
+/// of one thread; cross-thread edges come from Octet transitions (Fig. 4).
+struct OutEdge {
+  Transaction *Dst = nullptr;
+  uint64_t Id = 0;
+  /// Sink log entries after the EdgeIn marker happen after source log
+  /// entries before SrcPos.
+  uint32_t SrcPos = 0;
+  bool Intra = false;
+};
+
+/// An IDG node. Allocated by DoubleCheckerRuntime's arena; reclaimed by its
+/// mark-sweep collector once unreachable from any root (see DESIGN.md §2).
+class Transaction {
+public:
+  Transaction(uint64_t Id, uint32_t Tid, uint64_t SeqInThread,
+              ir::MethodId Site, bool Regular)
+      : Id(Id), Tid(Tid), SeqInThread(SeqInThread), Site(Site),
+        Regular(Regular) {}
+
+  const uint64_t Id;
+  const uint32_t Tid;
+  /// Position in the owning thread's transaction sequence; same-thread IDG
+  /// order (and PCD replay order) follows this.
+  const uint64_t SeqInThread;
+  /// Original (pre-instrumentation) method id for regular transactions;
+  /// ir::InvalidMethodId for unary transactions.
+  const ir::MethodId Site;
+  const bool Regular;
+
+  /// Set once when the transaction ends; SCC detection only expands
+  /// finished transactions (§3.2.3).
+  std::atomic<bool> Finished{false};
+
+  /// Stamp on ICD's global order clock when the transaction ended
+  /// (~0 while running / for hand-built transactions with no stamp).
+  uint64_t EndTime = ~0ULL;
+
+  /// True once any cross-thread edge touches this transaction; ended
+  /// transactions without cross edges cannot be the last-finishing member
+  /// of a cycle, so SCC detection is skipped for them.
+  bool HasCrossEdge = false; // Guarded by the IDG lock.
+
+  /// For unary transactions: a cross-thread edge interrupted the merge;
+  /// the next non-transactional access starts a fresh unary transaction.
+  std::atomic<bool> Interrupted{false};
+
+  /// Outgoing edges (guarded by the IDG lock).
+  std::vector<OutEdge> Out;
+
+  /// Read/write log, appended by the owning thread (accesses) or by the
+  /// edge-adding thread while the owner is provably quiescent (EdgeIn).
+  std::vector<LogEntry> Log;
+  /// Published length of Log, sampled lock-free for edge SrcPos.
+  std::atomic<uint32_t> LogLen{0};
+
+  void appendLog(const LogEntry &E) {
+    Log.push_back(E);
+    LogLen.store(static_cast<uint32_t>(Log.size()),
+                 std::memory_order_release);
+  }
+
+  // --- Scratch state for Tarjan SCC, epoch-stamped to avoid clearing ---
+  uint64_t SccEpoch = 0;
+  uint32_t SccIndex = 0;
+  uint32_t SccLow = 0;
+  bool OnStack = false;
+
+  // --- Scratch state for the mark-sweep collector ---
+  uint64_t MarkEpoch = 0;
+
+  /// Pin count held by asynchronous PCD (parallel-PCD extension): the
+  /// collector never sweeps a pinned transaction, keeping queued SCC
+  /// members' logs alive until the worker replays them.
+  std::atomic<uint32_t> Pins{0};
+};
+
+} // namespace analysis
+} // namespace dc
+
+#endif // DC_ANALYSIS_TRANSACTION_H

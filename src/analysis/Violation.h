@@ -1,0 +1,79 @@
+//===- analysis/Violation.h - Atomicity-violation reports -------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A precise PDG cycle is an atomicity violation. Reports carry the whole
+/// cycle (thread + static site of each member) plus blame assignment: the
+/// transaction whose outgoing cycle edge was created before its incoming
+/// one completed the cycle and is blamed (§3.3), which iterative refinement
+/// uses to remove methods from the specification.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_ANALYSIS_VIOLATION_H
+#define DC_ANALYSIS_VIOLATION_H
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/Ir.h"
+#include "support/SpinLock.h"
+
+namespace dc {
+namespace analysis {
+
+/// One member of a reported cycle.
+struct CycleMember {
+  uint32_t Tid = 0;
+  ir::MethodId Site = ir::InvalidMethodId; ///< Original method; Invalid=unary.
+  uint64_t TxId = 0;
+};
+
+/// One detected atomicity violation (a precise PDG cycle).
+struct ViolationRecord {
+  /// Original method blamed for completing the cycle; InvalidMethodId when
+  /// the cycle contained no regular transaction (degenerate).
+  ir::MethodId Blamed = ir::InvalidMethodId;
+  std::vector<CycleMember> Cycle;
+};
+
+/// Thread-safe sink for violations. Distinct blamed methods form the
+/// "static violations" the paper counts in Table 2.
+class ViolationLog {
+public:
+  void report(ViolationRecord R) {
+    SpinLockGuard Guard(Lock);
+    if (R.Blamed != ir::InvalidMethodId)
+      Blamed.insert(R.Blamed);
+    Records.push_back(std::move(R));
+  }
+
+  std::vector<ViolationRecord> records() const {
+    SpinLockGuard Guard(Lock);
+    return Records;
+  }
+
+  std::set<ir::MethodId> blamedMethods() const {
+    SpinLockGuard Guard(Lock);
+    return Blamed;
+  }
+
+  size_t count() const {
+    SpinLockGuard Guard(Lock);
+    return Records.size();
+  }
+
+private:
+  mutable SpinLock Lock;
+  std::vector<ViolationRecord> Records;
+  std::set<ir::MethodId> Blamed;
+};
+
+} // namespace analysis
+} // namespace dc
+
+#endif // DC_ANALYSIS_VIOLATION_H

@@ -1,0 +1,46 @@
+//===- core/AtomicitySpec.cpp ---------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/AtomicitySpec.h"
+
+using namespace dc;
+using namespace dc::core;
+
+static bool containsInterruptingCall(const std::vector<ir::Instr> &Block) {
+  for (const ir::Instr &I : Block) {
+    if (I.Op == ir::Opcode::Wait || I.Op == ir::Opcode::Notify ||
+        I.Op == ir::Opcode::NotifyAll)
+      return true;
+    if (I.Op == ir::Opcode::Loop && containsInterruptingCall(I.Body))
+      return true;
+  }
+  return false;
+}
+
+AtomicitySpec AtomicitySpec::initial(const ir::Program &P) {
+  std::set<std::string> Excluded;
+  for (ir::MethodId Entry : P.ThreadEntries)
+    Excluded.insert(P.Methods[Entry].Name);
+  for (const ir::Method &M : P.Methods) {
+    if (containsInterruptingCall(M.Body))
+      Excluded.insert(M.Name);
+    // Fork/join only appear in driver methods, which never execute
+    // atomically (the DaCapo driver-thread exclusion of §5.1).
+    for (const ir::Instr &I : M.Body)
+      if (I.Op == ir::Opcode::Fork || I.Op == ir::Opcode::Join)
+        Excluded.insert(M.Name);
+  }
+  return AtomicitySpec(std::move(Excluded));
+}
+
+std::set<std::string> AtomicitySpec::atomicMethods(const ir::Program &P)
+    const {
+  std::set<std::string> Result;
+  for (const ir::Method &M : P.Methods)
+    if (isAtomic(M.Name))
+      Result.insert(M.Name);
+  return Result;
+}

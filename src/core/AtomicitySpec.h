@@ -1,0 +1,61 @@
+//===- core/AtomicitySpec.h - Atomicity specifications ----------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An atomicity specification is "a list of methods to be excluded from the
+/// specification; all other methods are part of the specification, i.e.,
+/// they are expected to execute atomically" (§4). The initial specification
+/// excludes top-level methods (thread entries) and methods containing
+/// interrupting calls (wait/notify), per §5.1; iterative refinement then
+/// removes blamed methods.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_CORE_ATOMICITYSPEC_H
+#define DC_CORE_ATOMICITYSPEC_H
+
+#include <set>
+#include <string>
+
+#include "ir/Ir.h"
+
+namespace dc {
+namespace core {
+
+/// A specification over method names: atomic unless excluded.
+class AtomicitySpec {
+public:
+  AtomicitySpec() = default;
+  explicit AtomicitySpec(std::set<std::string> Excluded)
+      : Excluded(std::move(Excluded)) {}
+
+  /// The paper's starting point (§5.1): all methods atomic except thread
+  /// entry methods and methods containing wait/notify.
+  static AtomicitySpec initial(const ir::Program &P);
+
+  bool isAtomic(const std::string &MethodName) const {
+    return Excluded.find(MethodName) == Excluded.end();
+  }
+
+  /// Removes \p MethodName from the specification (marks it non-atomic).
+  /// Returns false if it was already excluded.
+  bool exclude(const std::string &MethodName) {
+    return Excluded.insert(MethodName).second;
+  }
+
+  const std::set<std::string> &excluded() const { return Excluded; }
+
+  /// Methods of \p P currently in the specification.
+  std::set<std::string> atomicMethods(const ir::Program &P) const;
+
+private:
+  std::set<std::string> Excluded;
+};
+
+} // namespace core
+} // namespace dc
+
+#endif // DC_CORE_ATOMICITYSPEC_H

@@ -1,0 +1,145 @@
+//===- core/Checker.cpp ---------------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Checker.h"
+
+#include <cassert>
+#include <memory>
+
+#include "analysis/DoubleChecker.h"
+#include "instr/Instrument.h"
+#include "support/Statistic.h"
+#include "velodrome/Velodrome.h"
+
+using namespace dc;
+using namespace dc::core;
+
+std::string core::toString(Mode M) {
+  switch (M) {
+  case Mode::Unmodified:
+    return "unmodified";
+  case Mode::Velodrome:
+    return "velodrome";
+  case Mode::VelodromeUnsound:
+    return "velodrome-unsound";
+  case Mode::SingleRun:
+    return "single-run";
+  case Mode::FirstRun:
+    return "first-run";
+  case Mode::SecondRun:
+    return "second-run";
+  case Mode::SecondRunVelodrome:
+    return "second-run-velodrome";
+  case Mode::PcdOnly:
+    return "pcd-only";
+  }
+  return "?";
+}
+
+static instr::InstrumentationOptions
+instrOptionsFor(const RunConfig &Cfg) {
+  instr::InstrumentationOptions Opts;
+  Opts.InstrumentArrays = Cfg.InstrumentArrays;
+  Opts.ForceInstrumentUnary = Cfg.ForceInstrumentUnary;
+  switch (Cfg.M) {
+  case Mode::Unmodified:
+    Opts.Checker = instr::CheckerKind::None;
+    Opts.LogAccesses = false;
+    break;
+  case Mode::Velodrome:
+  case Mode::VelodromeUnsound:
+    Opts.Checker = instr::CheckerKind::Velodrome;
+    Opts.LogAccesses = false;
+    break;
+  case Mode::SingleRun:
+  case Mode::PcdOnly:
+    Opts.Checker = instr::CheckerKind::Octet;
+    Opts.LogAccesses = true;
+    break;
+  case Mode::FirstRun:
+    Opts.Checker = instr::CheckerKind::Octet;
+    Opts.LogAccesses = false;
+    break;
+  case Mode::SecondRun:
+    Opts.Checker = instr::CheckerKind::Octet;
+    Opts.LogAccesses = true;
+    Opts.Selective = Cfg.StaticInfo;
+    break;
+  case Mode::SecondRunVelodrome:
+    Opts.Checker = instr::CheckerKind::Velodrome;
+    Opts.LogAccesses = false;
+    Opts.Selective = Cfg.StaticInfo;
+    break;
+  }
+  return Opts;
+}
+
+RunOutcome core::runChecker(const ir::Program &Source,
+                            const AtomicitySpec &Spec, const RunConfig &Cfg) {
+  assert((Cfg.M != Mode::SecondRun && Cfg.M != Mode::SecondRunVelodrome) ||
+         Cfg.StaticInfo != nullptr &&
+             "second-run modes need first-run static info");
+
+  RunOutcome Outcome;
+  if (Cfg.M == Mode::Unmodified) {
+    rt::Runtime RT(Source, nullptr, Cfg.RunOpts);
+    Outcome.Result = RT.run();
+    return Outcome;
+  }
+
+  ir::Program Compiled =
+      instr::compile(Source, Spec.excluded(), instrOptionsFor(Cfg));
+
+  StatisticRegistry Stats;
+  analysis::ViolationLog Violations;
+  std::unique_ptr<rt::CheckerRuntime> Checker;
+  analysis::DoubleCheckerRuntime *DC = nullptr;
+
+  switch (Cfg.M) {
+  case Mode::Velodrome:
+  case Mode::VelodromeUnsound:
+  case Mode::SecondRunVelodrome: {
+    velodrome::VelodromeOptions VOpts;
+    VOpts.UnsoundMetadataFastPath = Cfg.M == Mode::VelodromeUnsound;
+    VOpts.DetectCycles = Cfg.DetectCycles;
+    Checker = std::make_unique<velodrome::VelodromeRuntime>(
+        Compiled, VOpts, Violations, Stats);
+    break;
+  }
+  case Mode::SingleRun:
+  case Mode::FirstRun:
+  case Mode::SecondRun:
+  case Mode::PcdOnly: {
+    analysis::DoubleCheckerOptions DOpts;
+    DOpts.LogAccesses = Cfg.M != Mode::FirstRun;
+    DOpts.RunPcd =
+        (Cfg.M == Mode::SingleRun || Cfg.M == Mode::SecondRun) &&
+        Cfg.DetectCycles;
+    DOpts.DetectIcdCycles = Cfg.DetectCycles;
+    DOpts.ParallelPcd = Cfg.ParallelPcd;
+    DOpts.PcdOnly = Cfg.M == Mode::PcdOnly;
+    auto Owned = std::make_unique<analysis::DoubleCheckerRuntime>(
+        Compiled, DOpts, Violations, Stats);
+    DC = Owned.get();
+    Checker = std::move(Owned);
+    break;
+  }
+  case Mode::Unmodified:
+    break; // Handled above.
+  }
+
+  rt::Runtime RT(Compiled, Checker.get(), Cfg.RunOpts);
+  Outcome.Result = RT.run();
+
+  Outcome.Violations = Violations.records();
+  for (ir::MethodId Site : Violations.blamedMethods())
+    Outcome.BlamedMethods.insert(Source.Methods[Site].Name);
+  if (DC != nullptr)
+    Outcome.StaticInfo = DC->staticInfo();
+  for (const Statistic *S : Stats.all())
+    Outcome.Stats[S->name()] = S->get();
+  return Outcome;
+}

@@ -1,0 +1,91 @@
+//===- core/Checker.h - One-call façade over all configurations -*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Public entry point: compile a program against an atomicity specification
+/// for a chosen checker configuration, execute it, and collect violations,
+/// static transaction information, and statistics. Every configuration in
+/// the paper's evaluation maps to one Mode here.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_CORE_CHECKER_H
+#define DC_CORE_CHECKER_H
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis/StaticInfo.h"
+#include "analysis/Violation.h"
+#include "core/AtomicitySpec.h"
+#include "ir/Ir.h"
+#include "rt/Runtime.h"
+
+namespace dc {
+namespace core {
+
+/// Checker configurations evaluated in the paper (§5).
+enum class Mode {
+  Unmodified,         ///< Baseline: no instrumentation at all.
+  Velodrome,          ///< Sound+precise Velodrome baseline.
+  VelodromeUnsound,   ///< §5.3: skip sync when metadata appears unchanged.
+  SingleRun,          ///< DoubleChecker single-run mode (ICD + PCD).
+  FirstRun,           ///< Multi-run first run (ICD w/o logging).
+  SecondRun,          ///< Multi-run second run (ICD + PCD, selective).
+  SecondRunVelodrome, ///< §5.3: Velodrome as the second run.
+  PcdOnly,            ///< §5.4 straw man: PCD on every transaction.
+};
+
+std::string toString(Mode M);
+
+/// Everything configurable about one run.
+struct RunConfig {
+  Mode M = Mode::SingleRun;
+  rt::RunOptions RunOpts;
+  /// §5.4: instrument array element accesses (conflated, array-granular
+  /// metadata — pair with DetectCycles=false as the paper does).
+  bool InstrumentArrays = false;
+  bool DetectCycles = true;
+  /// §5.3 ablation: second run instruments non-transactional accesses
+  /// regardless of the first run's unary boolean.
+  bool ForceInstrumentUnary = false;
+  /// Extension (§5.3 future work): run PCD on a background worker thread
+  /// instead of inline under the IDG lock.
+  bool ParallelPcd = false;
+  /// Required for SecondRun / SecondRunVelodrome.
+  const analysis::StaticTransactionInfo *StaticInfo = nullptr;
+};
+
+/// What one run produced.
+struct RunOutcome {
+  rt::RunResult Result;
+  std::vector<analysis::ViolationRecord> Violations;
+  /// Names of blamed (original) methods — the unit Table 2 counts.
+  std::set<std::string> BlamedMethods;
+  /// ICD SCC static sites (multi-run first-run output; filled for every
+  /// DoubleChecker mode).
+  analysis::StaticTransactionInfo StaticInfo;
+  /// Snapshot of all statistics counters ("icd.*", "octet.*", "pcd.*",
+  /// "velodrome.*").
+  std::map<std::string, uint64_t> Stats;
+
+  uint64_t stat(const std::string &Name) const {
+    auto It = Stats.find(Name);
+    return It == Stats.end() ? 0 : It->second;
+  }
+};
+
+/// Compiles \p Source against \p Spec per \p Cfg, runs it, and returns the
+/// outcome. Each call is an independent execution.
+RunOutcome runChecker(const ir::Program &Source, const AtomicitySpec &Spec,
+                      const RunConfig &Cfg);
+
+} // namespace core
+} // namespace dc
+
+#endif // DC_CORE_CHECKER_H

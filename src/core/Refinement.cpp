@@ -1,0 +1,82 @@
+//===- core/Refinement.cpp ------------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Refinement.h"
+
+using namespace dc;
+using namespace dc::core;
+
+static rt::RunOptions runOptionsFor(uint64_t Seed, bool Deterministic) {
+  rt::RunOptions Opts;
+  Opts.Deterministic = Deterministic;
+  Opts.ScheduleSeed = Seed;
+  return Opts;
+}
+
+RunOutcome core::runMultiRunTrial(const ir::Program &P,
+                                  const AtomicitySpec &Spec,
+                                  uint32_t FirstRuns, uint64_t Seed,
+                                  bool Deterministic) {
+  analysis::StaticTransactionInfo Union;
+  for (uint32_t R = 0; R < FirstRuns; ++R) {
+    RunConfig First;
+    First.M = Mode::FirstRun;
+    First.RunOpts = runOptionsFor(Seed * 1000003 + R, Deterministic);
+    Union.merge(runChecker(P, Spec, First).StaticInfo);
+  }
+  RunConfig Second;
+  Second.M = Mode::SecondRun;
+  Second.RunOpts = runOptionsFor(Seed * 1000003 + FirstRuns, Deterministic);
+  Second.StaticInfo = &Union;
+  RunOutcome Outcome = runChecker(P, Spec, Second);
+  Outcome.StaticInfo = Union; // Surface the input union to callers.
+  return Outcome;
+}
+
+RefinementResult core::iterativeRefinement(const ir::Program &P,
+                                           const RefinementOptions &Opts) {
+  RefinementResult Result;
+  Result.FinalSpec = AtomicitySpec::initial(P);
+
+  uint32_t Quiet = 0;
+  while (Quiet < Opts.QuietTrials && Result.Trials < Opts.MaxTrials) {
+    uint64_t TrialSeed = Opts.Seed + 7919 * Result.Trials;
+    ++Result.Trials;
+
+    RunOutcome Outcome;
+    switch (Opts.Checker) {
+    case RefinementChecker::Velodrome: {
+      RunConfig Cfg;
+      Cfg.M = Mode::Velodrome;
+      Cfg.RunOpts = runOptionsFor(TrialSeed, Opts.Deterministic);
+      Outcome = runChecker(P, Result.FinalSpec, Cfg);
+      break;
+    }
+    case RefinementChecker::SingleRun: {
+      RunConfig Cfg;
+      Cfg.M = Mode::SingleRun;
+      Cfg.RunOpts = runOptionsFor(TrialSeed, Opts.Deterministic);
+      Outcome = runChecker(P, Result.FinalSpec, Cfg);
+      break;
+    }
+    case RefinementChecker::MultiRun:
+      Outcome = runMultiRunTrial(P, Result.FinalSpec, Opts.FirstRunsPerTrial,
+                                 TrialSeed, Opts.Deterministic);
+      break;
+    }
+
+    bool AnyNew = false;
+    for (const std::string &Name : Outcome.BlamedMethods) {
+      if (Result.AllBlamed.insert(Name).second) {
+        Result.BlameOrder.push_back(Name);
+        Result.FinalSpec.exclude(Name);
+        AnyNew = true;
+      }
+    }
+    Quiet = AnyNew ? 0 : Quiet + 1;
+  }
+  return Result;
+}

@@ -1,0 +1,80 @@
+//===- core/Refinement.h - Iterative specification refinement --*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper derives atomicity specifications by iterative refinement
+/// (Figure 6): start from the initial specification, run the checker,
+/// remove every blamed method from the specification, and repeat until no
+/// new violations are reported for a number of consecutive trials. The
+/// total set of blamed methods is what Table 2 counts as "static atomicity
+/// violations"; the final specification is what the performance experiments
+/// use.
+///
+/// For multi-run mode, one "trial" is FirstRunsPerTrial first runs (whose
+/// static transaction information is unioned, per §5.1's methodology)
+/// followed by one second run that reports violations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_CORE_REFINEMENT_H
+#define DC_CORE_REFINEMENT_H
+
+#include <vector>
+
+#include "core/Checker.h"
+
+namespace dc {
+namespace core {
+
+/// Which checker drives refinement.
+enum class RefinementChecker {
+  Velodrome,
+  SingleRun,
+  MultiRun, ///< First run(s) + second run per trial.
+};
+
+struct RefinementOptions {
+  RefinementChecker Checker = RefinementChecker::SingleRun;
+  /// Consecutive no-new-violation trials before declaring convergence
+  /// (the paper used 10).
+  uint32_t QuietTrials = 3;
+  /// Hard cap on total trials (safety).
+  uint32_t MaxTrials = 200;
+  /// Base for per-trial schedule seeds.
+  uint64_t Seed = 0x5eed;
+  /// Use the deterministic scheduler (tests); performance-style refinement
+  /// uses free-running threads like the paper.
+  bool Deterministic = false;
+  /// Multi-run only: first runs whose static info is unioned per trial.
+  uint32_t FirstRunsPerTrial = 3;
+};
+
+struct RefinementResult {
+  AtomicitySpec FinalSpec;
+  /// Every method blamed at least once across all trials (Table 2's
+  /// per-checker count is this set's size).
+  std::set<std::string> AllBlamed;
+  /// Methods in the order they were first blamed.
+  std::vector<std::string> BlameOrder;
+  uint32_t Trials = 0;
+};
+
+/// Runs iterative refinement of \p P's specification to convergence.
+RefinementResult iterativeRefinement(const ir::Program &P,
+                                     const RefinementOptions &Opts);
+
+/// Runs one multi-run trial against \p Spec: \p FirstRuns first runs with
+/// distinct seeds, unioned into StaticTransactionInfo, then one second run.
+/// Returns the second run's outcome (whose StaticInfo field holds the
+/// *union* used as its input).
+RunOutcome runMultiRunTrial(const ir::Program &P, const AtomicitySpec &Spec,
+                            uint32_t FirstRuns, uint64_t Seed,
+                            bool Deterministic);
+
+} // namespace core
+} // namespace dc
+
+#endif // DC_CORE_REFINEMENT_H

@@ -1,0 +1,188 @@
+//===- instr/Instrument.cpp -----------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "instr/Instrument.h"
+
+#include <cassert>
+#include <map>
+
+#include "ir/Verifier.h"
+
+using namespace dc;
+using namespace dc::instr;
+using namespace dc::ir;
+
+namespace {
+
+/// Compilation context of a method body.
+enum class Ctx : uint8_t { NonTrans, Trans };
+
+class Compiler {
+public:
+  Compiler(const Program &Source, const std::set<std::string> &Excluded,
+           const InstrumentationOptions &Opts)
+      : Source(Source), Excluded(Excluded), Opts(Opts) {}
+
+  Program run() {
+    Out.Name = Source.Name;
+    Out.Seed = Source.Seed;
+    Out.Pools = Source.Pools;
+    // Non-transactional-context variants keep the source ids/names; bodies
+    // are filled in below (forward calls may reference not-yet-compiled
+    // methods, so allocate all headers first).
+    Out.Methods.resize(Source.Methods.size());
+    for (const Method &M : Source.Methods) {
+      Method &NewM = Out.Methods[M.Id];
+      NewM.Name = M.Name;
+      NewM.Id = M.Id;
+      NewM.Atomic = M.Atomic;
+    }
+    for (const Method &M : Source.Methods)
+      compileVariant(M.Id, Ctx::NonTrans);
+    Out.ThreadEntries = Source.ThreadEntries; // N variants share source ids.
+    Out.ThreadSyncFlags = accessFlags(Ctx::NonTrans);
+    assert(verify(Out).empty() && "instrumented program must verify");
+    return std::move(Out);
+  }
+
+private:
+  bool isAtomic(const Method &M) const {
+    return Excluded.find(M.Name) == Excluded.end();
+  }
+
+  /// True if an atomic method is monitored (starts an instrumented regular
+  /// transaction). With selective instrumentation only first-run-identified
+  /// methods are.
+  bool isMonitored(const Method &M) const {
+    if (!isAtomic(M))
+      return false;
+    if (Opts.Selective == nullptr)
+      return true;
+    return Opts.Selective->MethodNames.count(M.Name) != 0;
+  }
+
+  uint8_t barrierFlag() const {
+    switch (Opts.Checker) {
+    case CheckerKind::None:
+      return IF_None;
+    case CheckerKind::Octet:
+      return IF_OctetBarrier;
+    case CheckerKind::Velodrome:
+      return IF_VelodromeBarrier;
+    }
+    return IF_None;
+  }
+
+  /// Flags for an access or sync op compiled in \p C.
+  uint8_t accessFlags(Ctx C) const {
+    uint8_t Flags =
+        barrierFlag() | (Opts.LogAccesses ? IF_LogAccess : IF_None);
+    if (Flags == IF_LogAccess)
+      Flags = IF_None; // Logging without a checker is meaningless.
+    if (C == Ctx::Trans)
+      return Flags;
+    // Non-transactional context: with selective instrumentation, unary
+    // accesses are instrumented only if the first run saw a unary
+    // transaction in a cycle (or the ablation forces it).
+    if (Opts.Selective != nullptr && !Opts.Selective->AnyUnary &&
+        !Opts.ForceInstrumentUnary)
+      return IF_None;
+    return Flags;
+  }
+
+  /// Returns the compiled method id for (SourceId, C), creating it on
+  /// demand. NonTrans variants reuse the source id; Trans variants are
+  /// appended clones.
+  MethodId compileVariant(MethodId SourceId, Ctx C) {
+    auto Key = std::make_pair(SourceId, C);
+    auto It = Compiled.find(Key);
+    if (It != Compiled.end())
+      return It->second;
+
+    const Method &Src = Source.Methods[SourceId];
+    MethodId NewId;
+    if (C == Ctx::NonTrans) {
+      NewId = SourceId;
+    } else {
+      NewId = static_cast<MethodId>(Out.Methods.size());
+      Method Clone;
+      Clone.Name = Src.Name + "$t";
+      Clone.Id = NewId;
+      Clone.Atomic = Src.Atomic;
+      Clone.OriginalId = SourceId;
+      Out.Methods.push_back(std::move(Clone));
+    }
+    Compiled.emplace(Key, NewId);
+
+    // An atomic, monitored method entered from non-transactional context
+    // starts a regular transaction; its body compiles in Trans context.
+    bool StartsTx = C == Ctx::NonTrans && isMonitored(Src);
+    Ctx BodyCtx = (C == Ctx::Trans || StartsTx) ? Ctx::Trans : Ctx::NonTrans;
+
+    std::vector<Instr> Body = compileBlock(Src.Body, BodyCtx);
+    Method &NewM = Out.Methods[NewId];
+    NewM.StartsTransaction = StartsTx;
+    NewM.TransactionalContext = BodyCtx == Ctx::Trans;
+    NewM.Body = std::move(Body);
+    return NewId;
+  }
+
+  std::vector<Instr> compileBlock(const std::vector<Instr> &Block, Ctx C) {
+    std::vector<Instr> Result;
+    Result.reserve(Block.size());
+    for (const Instr &I : Block)
+      Result.push_back(compileInstr(I, C));
+    return Result;
+  }
+
+  Instr compileInstr(const Instr &I, Ctx C) {
+    Instr NewI = I;
+    NewI.Body.clear();
+    switch (I.Op) {
+    case Opcode::Read:
+    case Opcode::Write:
+      NewI.Flags = accessFlags(C);
+      break;
+    case Opcode::ReadElem:
+    case Opcode::WriteElem:
+      NewI.Flags =
+          Opts.InstrumentArrays ? accessFlags(C) : uint8_t(IF_None);
+      break;
+    case Opcode::Acquire:
+    case Opcode::Release:
+    case Opcode::Wait:
+    case Opcode::Notify:
+    case Opcode::NotifyAll:
+      NewI.Flags = accessFlags(C);
+      break;
+    case Opcode::Call:
+      NewI.Callee = compileVariant(I.Callee, C);
+      break;
+    case Opcode::Fork:
+    case Opcode::Join:
+    case Opcode::Work:
+      break;
+    case Opcode::Loop:
+      NewI.Body = compileBlock(I.Body, C);
+      break;
+    }
+    return NewI;
+  }
+
+  const Program &Source;
+  const std::set<std::string> &Excluded;
+  const InstrumentationOptions &Opts;
+  Program Out;
+  std::map<std::pair<MethodId, Ctx>, MethodId> Compiled;
+};
+
+} // namespace
+
+Program instr::compile(const Program &Source,
+                       const std::set<std::string> &ExcludedMethods,
+                       const InstrumentationOptions &Opts) {
+  return Compiler(Source, ExcludedMethods, Opts).run();
+}

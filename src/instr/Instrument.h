@@ -1,0 +1,79 @@
+//===- instr/Instrument.h - Compile-time instrumentation passes -*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stands in for the paper's JVM dynamic compilers: given a source program
+/// and an atomicity specification, produces an instrumented clone in which
+///
+///  * every method is compiled for its calling context — methods reachable
+///    from both transactional and non-transactional contexts get two
+///    variants ("the compilers compile two versions of non-atomic methods
+///    called from both contexts", §4);
+///  * atomic methods called from non-transactional context start a regular
+///    transaction (Method::StartsTransaction);
+///  * accesses and synchronization operations carry barrier/log flags for
+///    the selected checker (Octet barriers for DoubleChecker, Velodrome
+///    barriers for the baseline);
+///  * array element accesses are instrumented only on request (the default
+///    configuration omits them, like the paper's);
+///  * in multi-run mode's second run, only methods named by the first run's
+///    StaticTransactionInfo start (instrumented) transactions, and
+///    non-transactional accesses are instrumented iff the first run saw a
+///    unary transaction in a cycle.
+///
+/// Compiled method ids 0..N-1 coincide with the source program's methods
+/// (these are the non-transactional-context variants); transactional-
+/// context clones are appended with OriginalId pointing back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_INSTR_INSTRUMENT_H
+#define DC_INSTR_INSTRUMENT_H
+
+#include <set>
+#include <string>
+
+#include "analysis/StaticInfo.h"
+#include "ir/Ir.h"
+
+namespace dc {
+namespace instr {
+
+/// Which analysis the inserted barriers feed.
+enum class CheckerKind : uint8_t {
+  None,      ///< Transaction demarcation only (no barriers, no logs).
+  Octet,     ///< DoubleChecker: Octet barriers (+ optional logging).
+  Velodrome, ///< Velodrome metadata barriers.
+};
+
+struct InstrumentationOptions {
+  CheckerKind Checker = CheckerKind::Octet;
+  /// Add IF_LogAccess so ICD records read/write logs (single-run mode and
+  /// the second run of multi-run mode).
+  bool LogAccesses = true;
+  /// Instrument array element accesses (§5.4 ablation; default off, as in
+  /// the paper's main experiments).
+  bool InstrumentArrays = false;
+  /// Second run of multi-run mode: restrict monitored transactions to the
+  /// methods named here; instrument non-transactional accesses iff
+  /// AnyUnary. Null = instrument everything (single-run / first-run).
+  const analysis::StaticTransactionInfo *Selective = nullptr;
+  /// Ablation (§5.3): always instrument non-transactional accesses in the
+  /// second run, ignoring Selective->AnyUnary.
+  bool ForceInstrumentUnary = false;
+};
+
+/// Compiles \p Source against \p Spec (the set of methods expected to be
+/// atomic, given as a predicate over method names via the excluded set:
+/// a method is atomic iff its name is NOT in \p ExcludedMethods).
+ir::Program compile(const ir::Program &Source,
+                    const std::set<std::string> &ExcludedMethods,
+                    const InstrumentationOptions &Opts);
+
+} // namespace instr
+} // namespace dc
+
+#endif // DC_INSTR_INSTRUMENT_H

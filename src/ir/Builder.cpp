@@ -1,0 +1,186 @@
+//===- ir/Builder.cpp -----------------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Builder.h"
+
+#include "ir/Verifier.h"
+
+using namespace dc;
+using namespace dc::ir;
+
+ProgramBuilder::ProgramBuilder(std::string Name, uint64_t Seed) {
+  P.Name = std::move(Name);
+  P.Seed = Seed;
+}
+
+PoolId ProgramBuilder::addPool(const std::string &Name, uint32_t Count,
+                               uint32_t NumFields) {
+  assert(Count > 0 && "pool must contain at least one object");
+  ObjectPool Pool;
+  Pool.Name = Name;
+  Pool.Count = Count;
+  Pool.NumFields = NumFields;
+  P.Pools.push_back(Pool);
+  return static_cast<PoolId>(P.Pools.size() - 1);
+}
+
+PoolId ProgramBuilder::addArrayPool(const std::string &Name, uint32_t Count,
+                                    uint32_t NumElems) {
+  PoolId Id = addPool(Name, Count, NumElems);
+  P.Pools[Id].IsArray = true;
+  return Id;
+}
+
+MethodId ProgramBuilder::declareMethod(const std::string &Name, bool Atomic) {
+  assert(P.findMethod(Name) == InvalidMethodId && "duplicate method name");
+  Method M;
+  M.Name = Name;
+  M.Id = static_cast<MethodId>(P.Methods.size());
+  M.Atomic = Atomic;
+  P.Methods.push_back(std::move(M));
+  return P.Methods.back().Id;
+}
+
+BlockBuilder &ProgramBuilder::beginDeclaredMethod(MethodId Id) {
+  assert(OpenMethod == InvalidMethodId && "a method is already open");
+  assert(Id < P.Methods.size() && "unknown method id");
+  OpenMethod = Id;
+  BlockStack.clear();
+  BlockStack.push_back(&P.Methods[Id].Body);
+  return Block;
+}
+
+BlockBuilder &ProgramBuilder::beginMethod(const std::string &Name,
+                                          bool Atomic) {
+  return beginDeclaredMethod(declareMethod(Name, Atomic));
+}
+
+uint32_t ProgramBuilder::addThread(MethodId Entry) {
+  assert(Entry < P.Methods.size() && "unknown entry method");
+  P.ThreadEntries.push_back(Entry);
+  return static_cast<uint32_t>(P.ThreadEntries.size() - 1);
+}
+
+Program ProgramBuilder::build() {
+  assert(OpenMethod == InvalidMethodId && "a method is still open");
+  assert(!P.ThreadEntries.empty() && "program needs at least a main thread");
+  std::string Err = verify(P);
+  assert(Err.empty() && "program failed verification");
+  (void)Err;
+  return std::move(P);
+}
+
+std::vector<Instr> &BlockBuilder::block() {
+  assert(!PB.BlockStack.empty() && "no open method");
+  return *PB.BlockStack.back();
+}
+
+BlockBuilder &BlockBuilder::append(Instr I) {
+  block().push_back(std::move(I));
+  return *this;
+}
+
+static Instr makeAccess(Opcode Op, PoolId Pool, IndexExpr Obj,
+                        IndexExpr Field) {
+  Instr I;
+  I.Op = Op;
+  I.Obj.Pool = Pool;
+  I.Obj.Index = Obj;
+  I.A = Field;
+  return I;
+}
+
+BlockBuilder &BlockBuilder::read(PoolId Pool, IndexExpr Obj, IndexExpr Field) {
+  return append(makeAccess(Opcode::Read, Pool, Obj, Field));
+}
+
+BlockBuilder &BlockBuilder::write(PoolId Pool, IndexExpr Obj,
+                                  IndexExpr Field) {
+  return append(makeAccess(Opcode::Write, Pool, Obj, Field));
+}
+
+BlockBuilder &BlockBuilder::readElem(PoolId Pool, IndexExpr Obj,
+                                     IndexExpr Elem) {
+  return append(makeAccess(Opcode::ReadElem, Pool, Obj, Elem));
+}
+
+BlockBuilder &BlockBuilder::writeElem(PoolId Pool, IndexExpr Obj,
+                                      IndexExpr Elem) {
+  return append(makeAccess(Opcode::WriteElem, Pool, Obj, Elem));
+}
+
+BlockBuilder &BlockBuilder::acquire(PoolId Pool, IndexExpr Obj) {
+  return append(makeAccess(Opcode::Acquire, Pool, Obj, idxConst(0)));
+}
+
+BlockBuilder &BlockBuilder::release(PoolId Pool, IndexExpr Obj) {
+  return append(makeAccess(Opcode::Release, Pool, Obj, idxConst(0)));
+}
+
+BlockBuilder &BlockBuilder::wait(PoolId Pool, IndexExpr Obj) {
+  return append(makeAccess(Opcode::Wait, Pool, Obj, idxConst(0)));
+}
+
+BlockBuilder &BlockBuilder::notifyOne(PoolId Pool, IndexExpr Obj) {
+  return append(makeAccess(Opcode::Notify, Pool, Obj, idxConst(0)));
+}
+
+BlockBuilder &BlockBuilder::notifyAll(PoolId Pool, IndexExpr Obj) {
+  return append(makeAccess(Opcode::NotifyAll, Pool, Obj, idxConst(0)));
+}
+
+BlockBuilder &BlockBuilder::call(MethodId Callee, IndexExpr Arg) {
+  Instr I;
+  I.Op = Opcode::Call;
+  I.Callee = Callee;
+  I.A = Arg;
+  return append(std::move(I));
+}
+
+BlockBuilder &BlockBuilder::forkThread(IndexExpr Thread) {
+  Instr I;
+  I.Op = Opcode::Fork;
+  I.A = Thread;
+  return append(std::move(I));
+}
+
+BlockBuilder &BlockBuilder::joinThread(IndexExpr Thread) {
+  Instr I;
+  I.Op = Opcode::Join;
+  I.A = Thread;
+  return append(std::move(I));
+}
+
+BlockBuilder &BlockBuilder::work(uint64_t Units) {
+  Instr I;
+  I.Op = Opcode::Work;
+  I.A = idxConst(static_cast<int64_t>(Units));
+  return append(std::move(I));
+}
+
+BlockBuilder &BlockBuilder::beginLoop(IndexExpr Trips) {
+  Instr I;
+  I.Op = Opcode::Loop;
+  I.A = Trips;
+  block().push_back(std::move(I));
+  PB.BlockStack.push_back(&block().back().Body);
+  return *this;
+}
+
+BlockBuilder &BlockBuilder::endLoop() {
+  assert(PB.BlockStack.size() > 1 && "no open loop");
+  PB.BlockStack.pop_back();
+  return *this;
+}
+
+MethodId BlockBuilder::endMethod() {
+  assert(PB.OpenMethod != InvalidMethodId && "no open method");
+  assert(PB.BlockStack.size() == 1 && "unclosed loop at endMethod");
+  MethodId Id = PB.OpenMethod;
+  PB.OpenMethod = InvalidMethodId;
+  PB.BlockStack.clear();
+  return Id;
+}

@@ -1,0 +1,119 @@
+//===- ir/Builder.h - Fluent construction of IR programs --------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ProgramBuilder / BlockBuilder give workloads and tests a compact way to
+/// assemble programs:
+///
+/// \code
+///   ProgramBuilder B("bank");
+///   PoolId Accounts = B.addPool("accounts", 64, 2);
+///   MethodId Deposit = B.beginMethod("deposit", /*Atomic=*/true)
+///       .read(Accounts, idxParam(), 0)
+///       .work(5)
+///       .write(Accounts, idxParam(), 0)
+///       .endMethod();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_IR_BUILDER_H
+#define DC_IR_BUILDER_H
+
+#include <cassert>
+
+#include "ir/Ir.h"
+
+namespace dc {
+namespace ir {
+
+class ProgramBuilder;
+
+/// Builds a straight-line block of instructions; loops open nested blocks.
+class BlockBuilder {
+public:
+  BlockBuilder &read(PoolId Pool, IndexExpr Obj, IndexExpr Field);
+  BlockBuilder &write(PoolId Pool, IndexExpr Obj, IndexExpr Field);
+  BlockBuilder &readElem(PoolId Pool, IndexExpr Obj, IndexExpr Elem);
+  BlockBuilder &writeElem(PoolId Pool, IndexExpr Obj, IndexExpr Elem);
+  BlockBuilder &acquire(PoolId Pool, IndexExpr Obj);
+  BlockBuilder &release(PoolId Pool, IndexExpr Obj);
+  BlockBuilder &wait(PoolId Pool, IndexExpr Obj);
+  BlockBuilder &notifyOne(PoolId Pool, IndexExpr Obj);
+  BlockBuilder &notifyAll(PoolId Pool, IndexExpr Obj);
+  BlockBuilder &call(MethodId Callee, IndexExpr Arg = idxConst(0));
+  BlockBuilder &forkThread(IndexExpr Thread);
+  BlockBuilder &joinThread(IndexExpr Thread);
+  BlockBuilder &work(uint64_t Units);
+
+  /// Opens a loop with \p Trips iterations; returns the body's builder.
+  /// Call endLoop() on the returned builder to close it.
+  BlockBuilder &beginLoop(IndexExpr Trips);
+  /// Closes the innermost open loop; returns the parent block's builder.
+  BlockBuilder &endLoop();
+
+  /// Convenience for field read/write on a field selected by expression.
+  BlockBuilder &read(PoolId Pool, IndexExpr Obj, uint32_t Field) {
+    return read(Pool, Obj, idxConst(Field));
+  }
+  BlockBuilder &write(PoolId Pool, IndexExpr Obj, uint32_t Field) {
+    return write(Pool, Obj, idxConst(Field));
+  }
+
+  /// Closes the method under construction and returns its id.
+  MethodId endMethod();
+
+private:
+  friend class ProgramBuilder;
+  BlockBuilder(ProgramBuilder &PB) : PB(PB) {}
+
+  std::vector<Instr> &block();
+  BlockBuilder &append(Instr I);
+
+  ProgramBuilder &PB;
+};
+
+/// Top-level program construction.
+class ProgramBuilder {
+public:
+  explicit ProgramBuilder(std::string Name, uint64_t Seed = 1);
+
+  /// Declares a pool of \p Count objects with \p NumFields fields each.
+  PoolId addPool(const std::string &Name, uint32_t Count, uint32_t NumFields);
+  /// Declares a pool of \p Count arrays with \p NumElems elements each.
+  PoolId addArrayPool(const std::string &Name, uint32_t Count,
+                      uint32_t NumElems);
+
+  /// Starts a method; instructions are appended via the returned builder.
+  /// Only one method may be open at a time.
+  BlockBuilder &beginMethod(const std::string &Name, bool Atomic);
+
+  /// Reserves a method id before its body exists, enabling forward calls.
+  MethodId declareMethod(const std::string &Name, bool Atomic);
+  /// Starts the body of a previously declared method.
+  BlockBuilder &beginDeclaredMethod(MethodId Id);
+
+  /// Registers \p Entry as the entry method of the next program thread;
+  /// returns that thread's index. Thread 0 must be added first (main).
+  uint32_t addThread(MethodId Entry);
+
+  /// Finishes construction; asserts the program verifies.
+  Program build();
+
+private:
+  friend class BlockBuilder;
+
+  Program P;
+  BlockBuilder Block{*this};
+  MethodId OpenMethod = InvalidMethodId;
+  /// Stack of pointers into nested loop bodies of the open method.
+  std::vector<std::vector<Instr> *> BlockStack;
+};
+
+} // namespace ir
+} // namespace dc
+
+#endif // DC_IR_BUILDER_H

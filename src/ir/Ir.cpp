@@ -1,0 +1,66 @@
+//===- ir/Ir.cpp ----------------------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ir.h"
+
+using namespace dc;
+using namespace dc::ir;
+
+IndexExpr ir::idxConst(int64_t V) {
+  IndexExpr E;
+  E.K = IndexExpr::Kind::Const;
+  E.Offset = V;
+  return E;
+}
+
+IndexExpr ir::idxLoop(uint8_t Depth, int64_t Scale, int64_t Offset,
+                      uint64_t Mod) {
+  IndexExpr E;
+  E.K = IndexExpr::Kind::LoopVar;
+  E.LoopDepth = Depth;
+  E.Scale = Scale;
+  E.Offset = Offset;
+  E.Mod = Mod;
+  return E;
+}
+
+IndexExpr ir::idxThread(int64_t Scale, int64_t Offset, uint64_t Mod) {
+  IndexExpr E;
+  E.K = IndexExpr::Kind::ThreadId;
+  E.Scale = Scale;
+  E.Offset = Offset;
+  E.Mod = Mod;
+  return E;
+}
+
+IndexExpr ir::idxParam(int64_t Scale, int64_t Offset, uint64_t Mod) {
+  IndexExpr E;
+  E.K = IndexExpr::Kind::Param;
+  E.Scale = Scale;
+  E.Offset = Offset;
+  E.Mod = Mod;
+  return E;
+}
+
+IndexExpr ir::idxRandom(uint64_t Mod, int64_t Offset) {
+  IndexExpr E;
+  E.K = IndexExpr::Kind::Random;
+  E.Mod = Mod;
+  E.Offset = Offset;
+  return E;
+}
+
+MethodId Program::findMethod(const std::string &Name) const {
+  for (const Method &M : Methods)
+    if (M.Name == Name)
+      return M.Id;
+  return InvalidMethodId;
+}
+
+MethodId Program::originalOf(MethodId Id) const {
+  const Method &M = Methods[Id];
+  return M.OriginalId == InvalidMethodId ? Id : M.OriginalId;
+}

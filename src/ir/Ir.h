@@ -1,0 +1,166 @@
+//===- ir/Ir.h - Mini program IR for synthetic workloads --------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper instruments Java bytecode inside a JVM's dynamic compilers. Our
+/// substrate replaces that with a small structured bytecode: programs declare
+/// object pools and methods; threads interpret method bodies over a shared
+/// heap. The instrumentation passes in dc::instr rewrite this IR (cloning
+/// methods per calling context, setting barrier/log flags on accesses) before
+/// the runtime executes it, mirroring the compile-time barrier insertion the
+/// paper performs at JIT time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_IR_IR_H
+#define DC_IR_IR_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace dc {
+namespace ir {
+
+using MethodId = uint32_t;
+using PoolId = uint16_t;
+constexpr MethodId InvalidMethodId = std::numeric_limits<MethodId>::max();
+
+/// A pool of identically-shaped heap objects. Workloads index into pools
+/// with IndexExpr operands. IsArray distinguishes element accesses (which
+/// the default configuration leaves uninstrumented, like the paper) from
+/// field accesses.
+struct ObjectPool {
+  std::string Name;
+  uint32_t Count = 1;     ///< Number of objects in the pool.
+  uint32_t NumFields = 1; ///< Fields per object (or elements if IsArray).
+  bool IsArray = false;
+};
+
+/// A tiny run-time-evaluated expression producing an unsigned index:
+///   value = (Scale * base(Kind) + Offset) mod Mod    (Mod == 0 => no mod)
+/// Base values come from the executing thread's context.
+struct IndexExpr {
+  enum class Kind : uint8_t {
+    Const,   ///< base = 0 (result is Offset mod Mod).
+    LoopVar, ///< base = induction variable of the LoopDepth-innermost loop.
+    ThreadId,///< base = the executing thread's index.
+    Param,   ///< base = the current frame's parameter value.
+    Random,  ///< base = next value of the thread's deterministic RNG.
+  };
+
+  Kind K = Kind::Const;
+  int64_t Scale = 1;
+  int64_t Offset = 0;
+  uint64_t Mod = 0;
+  uint8_t LoopDepth = 0; ///< 0 = innermost enclosing loop (LoopVar only).
+};
+
+/// Convenience constructors for IndexExpr.
+IndexExpr idxConst(int64_t V);
+IndexExpr idxLoop(uint8_t Depth = 0, int64_t Scale = 1, int64_t Offset = 0,
+                  uint64_t Mod = 0);
+IndexExpr idxThread(int64_t Scale = 1, int64_t Offset = 0, uint64_t Mod = 0);
+IndexExpr idxParam(int64_t Scale = 1, int64_t Offset = 0, uint64_t Mod = 0);
+IndexExpr idxRandom(uint64_t Mod, int64_t Offset = 0);
+
+/// Reference to one object of a pool, selected at run time.
+struct ObjRef {
+  PoolId Pool = 0;
+  IndexExpr Index;
+};
+
+/// Instruction opcodes. Access and sync opcodes may carry instrumentation
+/// flags after the dc::instr passes run.
+enum class Opcode : uint8_t {
+  Read,      ///< Load Obj.field[A]; value folded into the thread accumulator.
+  Write,     ///< Store accumulator-derived value to Obj.field[A].
+  ReadElem,  ///< Array element load (Obj must name an array pool).
+  WriteElem, ///< Array element store.
+  Acquire,   ///< Monitor-enter Obj (reentrant).
+  Release,   ///< Monitor-exit Obj.
+  Wait,      ///< Java-style wait on Obj (must hold its monitor).
+  Notify,    ///< Wake one waiter of Obj (must hold its monitor).
+  NotifyAll, ///< Wake all waiters of Obj.
+  Call,      ///< Invoke Callee, passing A as the parameter.
+  Fork,      ///< Start program thread number A (evaluated).
+  Join,      ///< Wait for program thread number A to finish.
+  Loop,      ///< Execute Body A times with an induction variable.
+  Work,      ///< Spin A units of thread-local ALU work (no shared memory).
+};
+
+/// Instrumentation flags set by the dc::instr passes. The uninstrumented
+/// program has all flags clear; the interpreter's hot path checks one byte.
+enum InstrFlags : uint8_t {
+  IF_None = 0,
+  IF_OctetBarrier = 1 << 0,   ///< Run the Octet read/write barrier.
+  IF_VelodromeBarrier = 1 << 1, ///< Run the Velodrome metadata update.
+  IF_LogAccess = 1 << 2,      ///< Append to the ICD read/write log.
+  IF_Hooked = IF_OctetBarrier | IF_VelodromeBarrier | IF_LogAccess,
+};
+
+/// One structured instruction. Loop bodies nest.
+struct Instr {
+  Opcode Op = Opcode::Work;
+  uint8_t Flags = IF_None;
+  ObjRef Obj;                     ///< Accesses and sync ops.
+  IndexExpr A;                    ///< Field/elem index, trip count, work
+                                  ///< units, call argument, thread number.
+  MethodId Callee = InvalidMethodId; ///< Call only.
+  std::vector<Instr> Body;        ///< Loop only.
+};
+
+/// A named method. `Atomic` records the *default* atomicity intent used by
+/// workload authors; the effective specification is an input to the
+/// instrumentation passes (dc::core::AtomicitySpec) and may differ (e.g.
+/// after iterative refinement removes a method).
+struct Method {
+  std::string Name;
+  MethodId Id = InvalidMethodId;
+  bool Atomic = false;
+  std::vector<Instr> Body;
+
+  // --- Fields below are produced by the instrumentation passes. ---
+
+  /// True if entering this compiled method begins a regular transaction.
+  bool StartsTransaction = false;
+  /// True if this compiled method's body executes in transactional context.
+  bool TransactionalContext = false;
+  /// For compiled clones: the original (pre-compilation) method id, used to
+  /// report violations against source methods. InvalidMethodId when the
+  /// method is itself an original.
+  MethodId OriginalId = InvalidMethodId;
+};
+
+/// A whole program: pools, methods, and one entry method per thread.
+/// Thread 0 is the main thread and starts automatically; other threads
+/// start when a Fork instruction names them.
+struct Program {
+  std::string Name;
+  std::vector<ObjectPool> Pools;
+  std::vector<Method> Methods;
+  std::vector<MethodId> ThreadEntries;
+  uint64_t Seed = 1; ///< Seeds per-thread RNGs for Random index operands.
+
+  /// Instrumentation flags applied to implicit thread-lifecycle sync events
+  /// (fork, join, thread begin/end). Set by the instrumentation passes.
+  uint8_t ThreadSyncFlags = IF_None;
+
+  const Method &method(MethodId Id) const { return Methods[Id]; }
+  Method &method(MethodId Id) { return Methods[Id]; }
+
+  /// Finds a method by name; returns InvalidMethodId if absent.
+  MethodId findMethod(const std::string &Name) const;
+
+  /// Maps a compiled method id back to its original method id.
+  MethodId originalOf(MethodId Id) const;
+};
+
+} // namespace ir
+} // namespace dc
+
+#endif // DC_IR_IR_H

@@ -1,0 +1,427 @@
+//===- ir/Parser.cpp ------------------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "ir/Verifier.h"
+
+using namespace dc;
+using namespace dc::ir;
+
+namespace {
+
+/// Cursor over one line's characters.
+class LineCursor {
+public:
+  explicit LineCursor(const std::string &Line) : Line(Line) {}
+
+  void skipSpaces() {
+    while (Pos < Line.size() && Line[Pos] == ' ')
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpaces();
+    return Pos >= Line.size();
+  }
+
+  bool consume(const std::string &Token) {
+    skipSpaces();
+    if (Line.compare(Pos, Token.size(), Token) != 0)
+      return false;
+    Pos += Token.size();
+    return true;
+  }
+
+  /// Reads an identifier (letters, digits, '_', '$', '-').
+  std::string ident() {
+    skipSpaces();
+    size_t Start = Pos;
+    while (Pos < Line.size() &&
+           (std::isalnum(static_cast<unsigned char>(Line[Pos])) ||
+            Line[Pos] == '_' || Line[Pos] == '$' || Line[Pos] == '-'))
+      ++Pos;
+    return Line.substr(Start, Pos - Start);
+  }
+
+  bool number(int64_t &Out) {
+    skipSpaces();
+    size_t Start = Pos;
+    if (Pos < Line.size() && (Line[Pos] == '-' || Line[Pos] == '+'))
+      ++Pos;
+    size_t Digits = Pos;
+    while (Pos < Line.size() &&
+           std::isdigit(static_cast<unsigned char>(Line[Pos])))
+      ++Pos;
+    if (Pos == Digits) {
+      Pos = Start;
+      return false;
+    }
+    Out = std::stoll(Line.substr(Start, Pos - Start));
+    return true;
+  }
+
+  char peek() {
+    skipSpaces();
+    return Pos < Line.size() ? Line[Pos] : '\0';
+  }
+
+private:
+  const std::string &Line;
+  size_t Pos = 0;
+};
+
+class ParserImpl {
+public:
+  explicit ParserImpl(const std::string &Text) : Text(Text) {}
+
+  ParseResult run() {
+    ParseResult R;
+    splitLines();
+    if (!parseHeader(R) || !collectMethodNames(R) || !parseBodies(R) ||
+        !resolveThreads(R))
+      return R;
+    if (std::string Err = verify(Out); !Err.empty()) {
+      R.Error = "verifier: " + Err;
+      return R;
+    }
+    R.P = std::move(Out);
+    R.Ok = true;
+    return R;
+  }
+
+private:
+  struct RawLine {
+    unsigned Number = 0;
+    unsigned Indent = 0;
+    std::string Body;
+  };
+
+  void splitLines() {
+    std::istringstream IS(Text);
+    std::string Line;
+    unsigned Number = 0;
+    while (std::getline(IS, Line)) {
+      ++Number;
+      // Strip trailing whitespace/CR.
+      while (!Line.empty() &&
+             (Line.back() == ' ' || Line.back() == '\r' ||
+              Line.back() == '\t'))
+        Line.pop_back();
+      if (Line.empty())
+        continue;
+      unsigned Indent = 0;
+      while (Indent < Line.size() && Line[Indent] == ' ')
+        ++Indent;
+      Lines.push_back(RawLine{Number, Indent, Line.substr(Indent)});
+    }
+  }
+
+  bool fail(ParseResult &R, unsigned LineNo, const std::string &Msg) {
+    R.Error = Msg;
+    R.ErrorLine = LineNo;
+    return false;
+  }
+
+  /// "program NAME (seed N)", pools, threads, syncflags.
+  bool parseHeader(ParseResult &R) {
+    if (Lines.empty() || Lines[0].Body.rfind("program ", 0) != 0)
+      return fail(R, Lines.empty() ? 0 : Lines[0].Number,
+                  "expected 'program <name> (seed <n>)'");
+    {
+      LineCursor C(Lines[0].Body);
+      C.consume("program");
+      Out.Name = C.ident();
+      int64_t Seed = 1;
+      if (C.consume("(seed"))
+        C.number(Seed);
+      Out.Seed = static_cast<uint64_t>(Seed);
+    }
+    Next = 1;
+    while (Next < Lines.size()) {
+      LineCursor C(Lines[Next].Body);
+      if (C.consume("pool")) {
+        ObjectPool Pool;
+        Pool.Name = C.ident();
+        int64_t Count = 0, Fields = 0;
+        if (!C.consume("x") || !C.number(Count))
+          return fail(R, Lines[Next].Number, "expected 'x<count>'");
+        if (C.consume("fields=")) {
+          Pool.IsArray = false;
+        } else if (C.consume("elems=")) {
+          Pool.IsArray = true;
+        } else {
+          return fail(R, Lines[Next].Number,
+                      "expected 'fields=' or 'elems='");
+        }
+        if (!C.number(Fields))
+          return fail(R, Lines[Next].Number, "expected field count");
+        Pool.Count = static_cast<uint32_t>(Count);
+        Pool.NumFields = static_cast<uint32_t>(Fields);
+        Out.Pools.push_back(Pool);
+        PoolIds[Pool.Name] = static_cast<PoolId>(Out.Pools.size() - 1);
+        ++Next;
+      } else if (C.consume("thread")) {
+        int64_t Tid = 0;
+        C.number(Tid);
+        if (!C.consume("->") || !C.consume("@"))
+          return fail(R, Lines[Next].Number, "expected '-> @<method>'");
+        ThreadEntryNames.push_back(C.ident());
+        ++Next;
+      } else if (C.consume("syncflags")) {
+        uint8_t Flags = IF_None;
+        if (!parseFlags(C, Flags))
+          return fail(R, Lines[Next].Number, "bad syncflags");
+        Out.ThreadSyncFlags = Flags;
+        ++Next;
+      } else {
+        break; // Methods begin.
+      }
+    }
+    return true;
+  }
+
+  /// First pass over method headers so forward calls resolve.
+  bool collectMethodNames(ParseResult &R) {
+    for (size_t I = Next; I < Lines.size(); ++I) {
+      if (Lines[I].Indent != 0)
+        continue;
+      LineCursor C(Lines[I].Body);
+      if (!C.consume("method") || !C.consume("@"))
+        return fail(R, Lines[I].Number, "expected 'method @<name>'");
+      Method M;
+      M.Name = C.ident();
+      if (M.Name.empty())
+        return fail(R, Lines[I].Number, "empty method name");
+      M.Id = static_cast<MethodId>(Out.Methods.size());
+      M.Atomic = C.consume("atomic");
+      M.StartsTransaction = C.consume("starts-tx");
+      M.TransactionalContext = C.consume("tx-ctx");
+      if (MethodIds.count(M.Name))
+        return fail(R, Lines[I].Number, "duplicate method " + M.Name);
+      MethodIds[M.Name] = M.Id;
+      Out.Methods.push_back(std::move(M));
+    }
+    return true;
+  }
+
+  bool parseBodies(ParseResult &R) {
+    size_t MethodIdx = 0;
+    size_t I = Next;
+    while (I < Lines.size()) {
+      if (Lines[I].Indent != 0)
+        return fail(R, Lines[I].Number, "instruction outside a method");
+      Method &M = Out.Methods[MethodIdx++];
+      ++I;
+      // Block stack: (indent, block). Method body starts at indent 2.
+      std::vector<std::pair<unsigned, std::vector<Instr> *>> Stack;
+      Stack.emplace_back(2, &M.Body);
+      while (I < Lines.size() && Lines[I].Indent > 0) {
+        unsigned Indent = Lines[I].Indent;
+        while (Stack.size() > 1 && Indent < Stack.back().first)
+          Stack.pop_back();
+        if (Indent != Stack.back().first)
+          return fail(R, Lines[I].Number, "bad indentation");
+        Instr Ins;
+        if (!parseInstr(R, Lines[I], Ins))
+          return false;
+        Stack.back().second->push_back(std::move(Ins));
+        if (Stack.back().second->back().Op == Opcode::Loop)
+          Stack.emplace_back(Indent + 2, &Stack.back().second->back().Body);
+        ++I;
+      }
+    }
+    return true;
+  }
+
+  bool parseFlags(LineCursor &C, uint8_t &Flags) {
+    if (!C.consume("["))
+      return false;
+    for (;;) {
+      if (C.consume("octet"))
+        Flags |= IF_OctetBarrier;
+      else if (C.consume("velo"))
+        Flags |= IF_VelodromeBarrier;
+      else if (C.consume("log"))
+        Flags |= IF_LogAccess;
+      else
+        return false;
+      if (C.consume("]"))
+        return true;
+      if (!C.consume(","))
+        return false;
+    }
+  }
+
+  bool parseExpr(LineCursor &C, IndexExpr &E) {
+    E = IndexExpr();
+    int64_t First = 0;
+    bool HaveNumber = C.number(First);
+    if (HaveNumber && C.consume("*")) {
+      E.Scale = First;
+      HaveNumber = false;
+      First = 0;
+    } else if (HaveNumber) {
+      // Pure constant (possibly with a modulus below).
+      E.K = IndexExpr::Kind::Const;
+      E.Offset = First;
+      if (C.consume("%")) {
+        int64_t Mod = 0;
+        if (!C.number(Mod))
+          return false;
+        E.Mod = static_cast<uint64_t>(Mod);
+      }
+      return true;
+    }
+    // Base token.
+    if (C.consume("tid")) {
+      E.K = IndexExpr::Kind::ThreadId;
+    } else if (C.consume("param")) {
+      E.K = IndexExpr::Kind::Param;
+    } else if (C.consume("rnd")) {
+      E.K = IndexExpr::Kind::Random;
+    } else if (C.consume("loop")) {
+      E.K = IndexExpr::Kind::LoopVar;
+      int64_t Depth = 0;
+      if (!C.number(Depth))
+        return false;
+      E.LoopDepth = static_cast<uint8_t>(Depth);
+    } else {
+      return false;
+    }
+    int64_t Offset = 0;
+    if (C.peek() == '+' || C.peek() == '-')
+      if (C.number(Offset))
+        E.Offset = Offset;
+    if (C.consume("%")) {
+      int64_t Mod = 0;
+      if (!C.number(Mod))
+        return false;
+      E.Mod = static_cast<uint64_t>(Mod);
+    }
+    return true;
+  }
+
+  bool parseObjRef(LineCursor &C, ObjRef &Ref, ParseResult &R,
+                   unsigned LineNo) {
+    std::string Pool = C.ident();
+    auto It = PoolIds.find(Pool);
+    if (It == PoolIds.end())
+      return fail(R, LineNo, "unknown pool '" + Pool + "'");
+    Ref.Pool = It->second;
+    if (!C.consume("[") || !parseExpr(C, Ref.Index) || !C.consume("]"))
+      return fail(R, LineNo, "bad object index expression");
+    return true;
+  }
+
+  bool parseInstr(ParseResult &R, const RawLine &L, Instr &Ins) {
+    LineCursor C(L.Body);
+    uint8_t Flags = IF_None;
+    if (C.peek() == '[' && !parseFlags(C, Flags))
+      return fail(R, L.Number, "bad instrumentation flags");
+    Ins.Flags = Flags;
+
+    auto Access = [&](Opcode Op, bool Elem) {
+      Ins.Op = Op;
+      if (!parseObjRef(C, Ins.Obj, R, L.Number))
+        return false;
+      if (Elem) {
+        if (!C.consume("[") || !parseExpr(C, Ins.A) || !C.consume("]"))
+          return fail(R, L.Number, "bad element expression");
+      } else {
+        if (!C.consume(".") || !parseExpr(C, Ins.A))
+          return fail(R, L.Number, "bad field expression");
+      }
+      return true;
+    };
+    auto SyncOp = [&](Opcode Op) {
+      Ins.Op = Op;
+      return parseObjRef(C, Ins.Obj, R, L.Number);
+    };
+
+    if (C.consume("readelem"))
+      return Access(Opcode::ReadElem, true);
+    if (C.consume("writeelem"))
+      return Access(Opcode::WriteElem, true);
+    if (C.consume("read"))
+      return Access(Opcode::Read, false);
+    if (C.consume("write"))
+      return Access(Opcode::Write, false);
+    if (C.consume("acquire"))
+      return SyncOp(Opcode::Acquire);
+    if (C.consume("release"))
+      return SyncOp(Opcode::Release);
+    if (C.consume("wait"))
+      return SyncOp(Opcode::Wait);
+    if (C.consume("notifyall"))
+      return SyncOp(Opcode::NotifyAll);
+    if (C.consume("notify"))
+      return SyncOp(Opcode::Notify);
+    if (C.consume("call")) {
+      Ins.Op = Opcode::Call;
+      if (!C.consume("@"))
+        return fail(R, L.Number, "expected '@<method>'");
+      std::string Callee = C.ident();
+      auto It = MethodIds.find(Callee);
+      if (It == MethodIds.end())
+        return fail(R, L.Number, "unknown method '" + Callee + "'");
+      Ins.Callee = It->second;
+      if (!C.consume("(") || !parseExpr(C, Ins.A) || !C.consume(")"))
+        return fail(R, L.Number, "bad call argument");
+      return true;
+    }
+    if (C.consume("fork")) {
+      Ins.Op = Opcode::Fork;
+      return C.consume("thread") && parseExpr(C, Ins.A)
+                 ? true
+                 : fail(R, L.Number, "bad fork");
+    }
+    if (C.consume("join")) {
+      Ins.Op = Opcode::Join;
+      return C.consume("thread") && parseExpr(C, Ins.A)
+                 ? true
+                 : fail(R, L.Number, "bad join");
+    }
+    if (C.consume("loop")) {
+      Ins.Op = Opcode::Loop;
+      return parseExpr(C, Ins.A) ? true : fail(R, L.Number, "bad loop");
+    }
+    if (C.consume("work")) {
+      Ins.Op = Opcode::Work;
+      return parseExpr(C, Ins.A) ? true : fail(R, L.Number, "bad work");
+    }
+    return fail(R, L.Number, "unknown instruction '" + L.Body + "'");
+  }
+
+  bool resolveThreads(ParseResult &R) {
+    for (const std::string &Name : ThreadEntryNames) {
+      auto It = MethodIds.find(Name);
+      if (It == MethodIds.end())
+        return fail(R, 0, "thread entry '" + Name + "' not defined");
+      Out.ThreadEntries.push_back(It->second);
+    }
+    return true;
+  }
+
+  const std::string &Text;
+  std::vector<RawLine> Lines;
+  size_t Next = 0;
+  Program Out;
+  std::map<std::string, PoolId> PoolIds;
+  std::map<std::string, MethodId> MethodIds;
+  std::vector<std::string> ThreadEntryNames;
+};
+
+} // namespace
+
+ParseResult ir::parseProgram(const std::string &Text) {
+  return ParserImpl(Text).run();
+}

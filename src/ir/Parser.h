@@ -1,0 +1,42 @@
+//===- ir/Parser.h - Text-format parser for IR programs ---------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual program format emitted by ir::toString(Program), so
+/// programs can be stored in files, inspected, edited, and fed back to the
+/// checker (see tools/dcheck --file). Round trip:
+///
+///   parse(toString(P)) == P   (up to compiled-clone OriginalId mapping,
+///                              which the text format does not carry)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_IR_PARSER_H
+#define DC_IR_PARSER_H
+
+#include <string>
+
+#include "ir/Ir.h"
+
+namespace dc {
+namespace ir {
+
+/// Result of a parse: either a program or the first error with its line.
+struct ParseResult {
+  Program P;
+  bool Ok = false;
+  std::string Error;
+  unsigned ErrorLine = 0;
+};
+
+/// Parses the printer's textual format. On success the program has been
+/// verified (ir::verify).
+ParseResult parseProgram(const std::string &Text);
+
+} // namespace ir
+} // namespace dc
+
+#endif // DC_IR_PARSER_H

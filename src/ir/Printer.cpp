@@ -1,0 +1,147 @@
+//===- ir/Printer.cpp -----------------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include <sstream>
+
+using namespace dc;
+using namespace dc::ir;
+
+std::string ir::toString(const IndexExpr &E) {
+  std::ostringstream OS;
+  auto Base = [&]() -> std::string {
+    switch (E.K) {
+    case IndexExpr::Kind::Const:
+      return "";
+    case IndexExpr::Kind::LoopVar:
+      return "loop" + std::to_string(E.LoopDepth);
+    case IndexExpr::Kind::ThreadId:
+      return "tid";
+    case IndexExpr::Kind::Param:
+      return "param";
+    case IndexExpr::Kind::Random:
+      return "rnd";
+    }
+    return "?";
+  }();
+  if (Base.empty()) {
+    OS << E.Offset;
+  } else {
+    if (E.Scale != 1)
+      OS << E.Scale << "*";
+    OS << Base;
+    if (E.Offset != 0)
+      OS << (E.Offset > 0 ? "+" : "") << E.Offset;
+  }
+  if (E.Mod != 0)
+    OS << " % " << E.Mod;
+  return OS.str();
+}
+
+static std::string flagString(uint8_t Flags) {
+  if (Flags == IF_None)
+    return "";
+  std::string S = "[";
+  bool First = true;
+  auto Add = [&](const char *Name) {
+    if (!First)
+      S += ",";
+    S += Name;
+    First = false;
+  };
+  if (Flags & IF_OctetBarrier)
+    Add("octet");
+  if (Flags & IF_VelodromeBarrier)
+    Add("velo");
+  if (Flags & IF_LogAccess)
+    Add("log");
+  S += "] ";
+  return S;
+}
+
+std::string ir::toString(const Program &P, const Instr &I) {
+  std::ostringstream OS;
+  OS << flagString(I.Flags);
+  auto Obj = [&] {
+    return P.Pools[I.Obj.Pool].Name + "[" + toString(I.Obj.Index) + "]";
+  };
+  switch (I.Op) {
+  case Opcode::Read:
+    OS << "read " << Obj() << " ." << toString(I.A);
+    break;
+  case Opcode::Write:
+    OS << "write " << Obj() << " ." << toString(I.A);
+    break;
+  case Opcode::ReadElem:
+    OS << "readelem " << Obj() << " [" << toString(I.A) << "]";
+    break;
+  case Opcode::WriteElem:
+    OS << "writeelem " << Obj() << " [" << toString(I.A) << "]";
+    break;
+  case Opcode::Acquire:
+    OS << "acquire " << Obj();
+    break;
+  case Opcode::Release:
+    OS << "release " << Obj();
+    break;
+  case Opcode::Wait:
+    OS << "wait " << Obj();
+    break;
+  case Opcode::Notify:
+    OS << "notify " << Obj();
+    break;
+  case Opcode::NotifyAll:
+    OS << "notifyall " << Obj();
+    break;
+  case Opcode::Call:
+    OS << "call @" << P.Methods[I.Callee].Name << "(" << toString(I.A) << ")";
+    break;
+  case Opcode::Fork:
+    OS << "fork thread " << toString(I.A);
+    break;
+  case Opcode::Join:
+    OS << "join thread " << toString(I.A);
+    break;
+  case Opcode::Loop:
+    OS << "loop " << toString(I.A);
+    break;
+  case Opcode::Work:
+    OS << "work " << toString(I.A);
+    break;
+  }
+  return OS.str();
+}
+
+static void printBlock(std::ostringstream &OS, const Program &P,
+                       const std::vector<Instr> &Block, unsigned Indent) {
+  std::string Pad(Indent, ' ');
+  for (const Instr &I : Block) {
+    OS << Pad << toString(P, I) << "\n";
+    if (I.Op == Opcode::Loop)
+      printBlock(OS, P, I.Body, Indent + 2);
+  }
+}
+
+std::string ir::toString(const Program &P) {
+  std::ostringstream OS;
+  OS << "program " << P.Name << " (seed " << P.Seed << ")\n";
+  for (const ObjectPool &Pool : P.Pools)
+    OS << "  pool " << Pool.Name << " x" << Pool.Count << " "
+       << (Pool.IsArray ? "elems=" : "fields=") << Pool.NumFields << "\n";
+  for (size_t T = 0; T < P.ThreadEntries.size(); ++T)
+    OS << "  thread " << T << " -> @" << P.Methods[P.ThreadEntries[T]].Name
+       << "\n";
+  if (P.ThreadSyncFlags != IF_None)
+    OS << "  syncflags " << flagString(P.ThreadSyncFlags) << "\n";
+  for (const Method &M : P.Methods) {
+    OS << "method @" << M.Name << (M.Atomic ? " atomic" : "")
+       << (M.StartsTransaction ? " starts-tx" : "")
+       << (M.TransactionalContext ? " tx-ctx" : "") << "\n";
+    printBlock(OS, P, M.Body, 2);
+  }
+  return OS.str();
+}

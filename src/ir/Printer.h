@@ -1,0 +1,30 @@
+//===- ir/Printer.h - Textual dump of IR programs ---------------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_IR_PRINTER_H
+#define DC_IR_PRINTER_H
+
+#include <string>
+
+#include "ir/Ir.h"
+
+namespace dc {
+namespace ir {
+
+/// Renders \p E as e.g. "3*loop0+1 % 64" or "7".
+std::string toString(const IndexExpr &E);
+
+/// Renders one instruction (without its nested body).
+std::string toString(const Program &P, const Instr &I);
+
+/// Renders a whole program, including instrumentation flags on compiled
+/// programs, e.g. "[octet,log] write accounts[param] .0".
+std::string toString(const Program &P);
+
+} // namespace ir
+} // namespace dc
+
+#endif // DC_IR_PRINTER_H

@@ -1,0 +1,134 @@
+//===- ir/Verifier.cpp ----------------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+using namespace dc;
+using namespace dc::ir;
+
+namespace {
+
+/// Walks a program accumulating the first error.
+class VerifierImpl {
+public:
+  explicit VerifierImpl(const Program &P) : P(P) {}
+
+  std::string run() {
+    if (P.ThreadEntries.empty())
+      return "program has no threads";
+    for (size_t T = 0; T < P.ThreadEntries.size(); ++T)
+      if (P.ThreadEntries[T] >= P.Methods.size())
+        return "thread " + std::to_string(T) + " has an invalid entry method";
+    for (const Method &M : P.Methods) {
+      if (M.Id >= P.Methods.size() || &P.Methods[M.Id] != &M)
+        return "method '" + M.Name + "' has an inconsistent id";
+      if (std::string Err = checkBlock(M.Body, /*LoopDepth=*/0); !Err.empty())
+        return "in method '" + M.Name + "': " + Err;
+    }
+    return checkNoRecursion();
+  }
+
+private:
+  enum class Mark : uint8_t { White, Grey, Black };
+
+  std::string checkExpr(const IndexExpr &E, unsigned LoopDepth) {
+    if (E.K == IndexExpr::Kind::LoopVar && E.LoopDepth >= LoopDepth)
+      return "loop-variable operand deeper than loop nesting";
+    return "";
+  }
+
+  std::string checkObjRef(const ObjRef &R, unsigned LoopDepth) {
+    if (R.Pool >= P.Pools.size())
+      return "reference to unknown pool " + std::to_string(R.Pool);
+    return checkExpr(R.Index, LoopDepth);
+  }
+
+  std::string checkBlock(const std::vector<Instr> &Block, unsigned LoopDepth) {
+    for (const Instr &I : Block)
+      if (std::string Err = checkInstr(I, LoopDepth); !Err.empty())
+        return Err;
+    return "";
+  }
+
+  std::string checkInstr(const Instr &I, unsigned LoopDepth) {
+    switch (I.Op) {
+    case Opcode::Read:
+    case Opcode::Write:
+    case Opcode::ReadElem:
+    case Opcode::WriteElem: {
+      if (std::string Err = checkObjRef(I.Obj, LoopDepth); !Err.empty())
+        return Err;
+      bool IsElem = I.Op == Opcode::ReadElem || I.Op == Opcode::WriteElem;
+      if (IsElem != P.Pools[I.Obj.Pool].IsArray)
+        return IsElem ? "element access on a non-array pool"
+                      : "field access on an array pool";
+      return checkExpr(I.A, LoopDepth);
+    }
+    case Opcode::Acquire:
+    case Opcode::Release:
+    case Opcode::Wait:
+    case Opcode::Notify:
+    case Opcode::NotifyAll:
+      return checkObjRef(I.Obj, LoopDepth);
+    case Opcode::Call:
+      if (I.Callee >= P.Methods.size())
+        return "call to unknown method";
+      return checkExpr(I.A, LoopDepth);
+    case Opcode::Fork:
+    case Opcode::Join:
+      return checkExpr(I.A, LoopDepth);
+    case Opcode::Loop:
+      if (std::string Err = checkExpr(I.A, LoopDepth); !Err.empty())
+        return Err;
+      return checkBlock(I.Body, LoopDepth + 1);
+    case Opcode::Work:
+      return checkExpr(I.A, LoopDepth);
+    }
+    return "unknown opcode";
+  }
+
+  void collectCallees(const std::vector<Instr> &Block,
+                      std::vector<MethodId> &Out) {
+    for (const Instr &I : Block) {
+      if (I.Op == Opcode::Call)
+        Out.push_back(I.Callee);
+      if (I.Op == Opcode::Loop)
+        collectCallees(I.Body, Out);
+    }
+  }
+
+  /// DFS over the static call graph; rejects cycles so the interpreter's
+  /// call stack is statically bounded.
+  std::string checkNoRecursion() {
+    std::vector<Mark> Marks(P.Methods.size(), Mark::White);
+    for (const Method &M : P.Methods)
+      if (Marks[M.Id] == Mark::White)
+        if (std::string Err = dfs(M.Id, Marks); !Err.empty())
+          return Err;
+    return "";
+  }
+
+  std::string dfs(MethodId Id, std::vector<Mark> &Marks) {
+    Marks[Id] = Mark::Grey;
+    std::vector<MethodId> Callees;
+    collectCallees(P.Methods[Id].Body, Callees);
+    for (MethodId Callee : Callees) {
+      if (Marks[Callee] == Mark::Grey)
+        return "recursive call involving method '" + P.Methods[Id].Name + "'";
+      if (Marks[Callee] == Mark::White)
+        if (std::string Err = dfs(Callee, Marks); !Err.empty())
+          return Err;
+    }
+    Marks[Id] = Mark::Black;
+    return "";
+  }
+
+  const Program &P;
+};
+
+} // namespace
+
+std::string ir::verify(const Program &P) { return VerifierImpl(P).run(); }

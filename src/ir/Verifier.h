@@ -1,0 +1,28 @@
+//===- ir/Verifier.h - Structural checks for IR programs --------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_IR_VERIFIER_H
+#define DC_IR_VERIFIER_H
+
+#include <string>
+
+#include "ir/Ir.h"
+
+namespace dc {
+namespace ir {
+
+/// Verifies structural well-formedness of \p P: pool/method/thread indices
+/// in range, element ops only on array pools, loop-variable depths bounded
+/// by nesting, no recursive calls (the interpreter's call stack is bounded),
+/// and thread 0 present.
+///
+/// \returns an empty string on success, otherwise the first error found.
+std::string verify(const Program &P);
+
+} // namespace ir
+} // namespace dc
+
+#endif // DC_IR_VERIFIER_H

@@ -1,0 +1,361 @@
+//===- octet/OctetManager.cpp ---------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "octet/OctetManager.h"
+
+#include <cassert>
+
+#include "support/SpinLock.h"
+
+using namespace dc;
+using namespace dc::octet;
+
+namespace {
+constexpr uint64_t StatusExecuting = 0;
+constexpr uint64_t StatusBlockedBit = 1;
+constexpr uint64_t HoldInc = 2;
+
+bool isBlocked(uint64_t Status) { return (Status & StatusBlockedBit) != 0; }
+uint64_t holdCount(uint64_t Status) { return Status >> 1; }
+} // namespace
+
+std::string octet::toString(const OctetState &S) {
+  switch (S.Kind) {
+  case StateKind::Untouched:
+    return "Untouched";
+  case StateKind::WrEx:
+    return "WrEx(" + std::to_string(S.Owner) + ")";
+  case StateKind::RdEx:
+    return "RdEx(" + std::to_string(S.Owner) + ")";
+  case StateKind::RdSh:
+    return "RdSh(" + std::to_string(S.Counter) + ")";
+  case StateKind::IntWrEx:
+    return "IntWrEx(" + std::to_string(S.Owner) + ")";
+  case StateKind::IntRdEx:
+    return "IntRdEx(" + std::to_string(S.Owner) + ")";
+  }
+  return "?";
+}
+
+OctetListener::~OctetListener() = default;
+
+/// An explicit-protocol request, stack-allocated by the requester, which
+/// does not return until the request reaches Done — so responder-side
+/// pointers never dangle.
+struct OctetManager::Request {
+  enum class State : uint8_t { Pending, Taken, Done };
+  std::atomic<State> St{State::Pending};
+  std::atomic<Request *> Next{nullptr};
+  Transition T;
+};
+
+OctetManager::OctetManager(rt::Heap &Heap, uint32_t NumThreads,
+                           OctetListener *Listener, StatisticRegistry &Stats,
+                           const std::atomic<bool> *Abort)
+    : Heap(Heap), NumThreads(NumThreads), Listener(Listener), Stats(Stats),
+      Abort(Abort), Threads(NumThreads) {}
+
+OctetManager::~OctetManager() = default;
+
+void OctetManager::threadStarted(uint32_t Tid) {
+  // Threads begin "blocked"; starting is an unblock (there may already be
+  // holds from requesters that coordinated with the not-yet-started thread).
+  unblocked(Tid);
+}
+
+void OctetManager::threadExited(uint32_t Tid) {
+  // Exited threads stay blocked forever; requesters use the implicit
+  // protocol against them.
+  aboutToBlock(Tid);
+}
+
+void OctetManager::aboutToBlock(uint32_t Tid) {
+  // A blocking point is a safe point: answer outstanding requests first so
+  // none are stranded, then advertise the blocked state.
+  drainMailbox(Tid);
+  PerThread &T = Threads[Tid];
+  assert(!isBlocked(T.Status.load(std::memory_order_relaxed)) &&
+         "aboutToBlock on an already-blocked thread");
+  T.Status.store(StatusBlockedBit, std::memory_order_release);
+}
+
+void OctetManager::unblocked(uint32_t Tid) {
+  PerThread &T = Threads[Tid];
+  YieldBackoff BO;
+  for (;;) {
+    uint64_t St = T.Status.load(std::memory_order_acquire);
+    assert(isBlocked(St) && "unblocked() on an executing thread");
+    if (holdCount(St) == 0 &&
+        T.Status.compare_exchange_weak(St, StatusExecuting,
+                                       std::memory_order_acq_rel))
+      return;
+    if (aborted()) {
+      T.Status.store(StatusExecuting, std::memory_order_release);
+      return;
+    }
+    BO.pause();
+  }
+}
+
+void OctetManager::slowRead(rt::ThreadContext &TC, rt::ObjectId Obj) {
+  std::atomic<uint64_t> &Word = Heap.object(Obj).MetaWord;
+  YieldBackoff BO;
+  for (;;) {
+    if (aborted())
+      return;
+    uint64_t W = Word.load(std::memory_order_acquire);
+    StateKind K = kindOf(W);
+    uint64_t Pay = payloadOf(W);
+    switch (K) {
+    case StateKind::Untouched:
+      // First accessor claims the object; no dependence possible.
+      if (Word.compare_exchange_weak(W, encodeOwned(StateKind::RdEx, TC.Tid),
+                                     std::memory_order_acq_rel)) {
+        ++counters(TC.Tid).Claims;
+        if (Listener)
+          Listener->onBecameRdEx(TC.Tid);
+        return;
+      }
+      break;
+    case StateKind::WrEx:
+      if (Pay == TC.Tid)
+        return;
+      // Conflicting transition WrEx_T1 -> RdEx_T2.
+      if (Word.compare_exchange_weak(W, encodeOwned(StateKind::IntRdEx,
+                                                    TC.Tid),
+                                     std::memory_order_acq_rel)) {
+        coordinate(TC, Obj, W, encodeOwned(StateKind::RdEx, TC.Tid));
+        return;
+      }
+      break;
+    case StateKind::RdEx: {
+      if (Pay == TC.Tid)
+        return;
+      // Upgrading transition RdEx_T1 -> RdSh_c: a CAS stamping a fresh
+      // global counter value; no coordination (T1 may keep reading).
+      uint64_t C = GRdShCnt.fetch_add(1, std::memory_order_acq_rel) + 1;
+      if (Word.compare_exchange_weak(W, encodeRdSh(C),
+                                     std::memory_order_acq_rel)) {
+        rdShCnt(TC.Tid) = C;
+        ++counters(TC.Tid).UpgradeRdSh;
+        if (Listener)
+          Listener->onUpgradeToRdSh(TC.Tid, static_cast<uint32_t>(Pay), C);
+        return;
+      }
+      break; // Lost the race; the burned counter value is harmless.
+    }
+    case StateKind::RdSh:
+      if (rdShCnt(TC.Tid) < Pay) {
+        // Fence transition: catch this thread up to the RdSh counter,
+        // establishing happens-before from the transition to RdSh.
+        std::atomic_thread_fence(std::memory_order_acquire);
+        rdShCnt(TC.Tid) = Pay;
+        ++counters(TC.Tid).Fence;
+        if (Listener)
+          Listener->onFence(TC.Tid);
+      }
+      return;
+    case StateKind::IntWrEx:
+    case StateKind::IntRdEx:
+      // Another thread's coordination is in flight. Spinning here is a
+      // safe point — keep answering requests so two coordinating threads
+      // cannot deadlock on each other.
+      pollSafePoint(TC.Tid);
+      BO.pause();
+      break;
+    }
+  }
+}
+
+void OctetManager::slowWrite(rt::ThreadContext &TC, rt::ObjectId Obj) {
+  std::atomic<uint64_t> &Word = Heap.object(Obj).MetaWord;
+  YieldBackoff BO;
+  for (;;) {
+    if (aborted())
+      return;
+    uint64_t W = Word.load(std::memory_order_acquire);
+    StateKind K = kindOf(W);
+    uint64_t Pay = payloadOf(W);
+    switch (K) {
+    case StateKind::Untouched:
+      if (Word.compare_exchange_weak(W, encodeOwned(StateKind::WrEx, TC.Tid),
+                                     std::memory_order_acq_rel)) {
+        ++counters(TC.Tid).Claims;
+        return;
+      }
+      break;
+    case StateKind::WrEx:
+      if (Pay == TC.Tid)
+        return;
+      if (Word.compare_exchange_weak(W, encodeOwned(StateKind::IntWrEx,
+                                                    TC.Tid),
+                                     std::memory_order_acq_rel)) {
+        coordinate(TC, Obj, W, encodeOwned(StateKind::WrEx, TC.Tid));
+        return;
+      }
+      break;
+    case StateKind::RdEx:
+      if (Pay == TC.Tid) {
+        // Upgrading transition RdEx_T -> WrEx_T; ICD safely ignores it
+        // (any new dependence is already implied transitively).
+        if (Word.compare_exchange_weak(W, encodeOwned(StateKind::WrEx,
+                                                      TC.Tid),
+                                       std::memory_order_acq_rel)) {
+          ++counters(TC.Tid).UpgradeWrEx;
+          return;
+        }
+        break;
+      }
+      if (Word.compare_exchange_weak(W, encodeOwned(StateKind::IntWrEx,
+                                                    TC.Tid),
+                                     std::memory_order_acq_rel)) {
+        coordinate(TC, Obj, W, encodeOwned(StateKind::WrEx, TC.Tid));
+        return;
+      }
+      break;
+    case StateKind::RdSh:
+      // Conflicting transition RdSh -> WrEx_T: coordinate with all other
+      // threads (any of them may have been reading).
+      if (Word.compare_exchange_weak(W, encodeOwned(StateKind::IntWrEx,
+                                                    TC.Tid),
+                                     std::memory_order_acq_rel)) {
+        coordinate(TC, Obj, W, encodeOwned(StateKind::WrEx, TC.Tid));
+        return;
+      }
+      break;
+    case StateKind::IntWrEx:
+    case StateKind::IntRdEx:
+      pollSafePoint(TC.Tid);
+      BO.pause();
+      break;
+    }
+  }
+}
+
+void OctetManager::coordinate(rt::ThreadContext &TC, rt::ObjectId Obj,
+                              uint64_t OldWord, uint64_t NewWord) {
+  Transition T;
+  T.Requester = TC.Tid;
+  T.Obj = Obj;
+  T.Old = decodeState(OldWord);
+  T.New = decodeState(NewWord);
+  ++counters(TC.Tid).Conflicting;
+
+  if (T.Old.Kind == StateKind::RdSh) {
+    for (uint32_t Resp = 0; Resp < NumThreads; ++Resp)
+      if (Resp != TC.Tid)
+        roundtrip(TC, Resp, T);
+  } else {
+    assert(T.Old.Owner != TC.Tid && "conflict with self");
+    roundtrip(TC, T.Old.Owner, T);
+  }
+
+  Heap.object(Obj).MetaWord.store(NewWord, std::memory_order_release);
+  if (T.New.Kind == StateKind::RdEx && Listener)
+    Listener->onBecameRdEx(TC.Tid);
+}
+
+void OctetManager::roundtrip(rt::ThreadContext &TC, uint32_t RespTid,
+                             const Transition &T) {
+  PerThread &Resp = Threads[RespTid];
+  Request Req;
+  Req.T = T;
+  bool Pushed = false;
+  YieldBackoff BO;
+  for (;;) {
+    if (aborted())
+      return;
+    uint64_t St = Resp.Status.load(std::memory_order_acquire);
+    if (isBlocked(St)) {
+      if (!Resp.Status.compare_exchange_weak(St, St + HoldInc,
+                                             std::memory_order_acq_rel))
+        continue;
+      // Implicit protocol: the responder is blocked and held; act on its
+      // behalf. Draining its mailbox also answers requests from other
+      // requesters (and our own, if we already posted it).
+      drainMailbox(RespTid);
+      if (!Pushed) {
+        notifyConflicting(RespTid, T);
+      } else {
+        // Our posted request was either drained above or is being handled
+        // by a concurrent holder; wait for it to reach Done.
+        while (Req.St.load(std::memory_order_acquire) !=
+                   Request::State::Done &&
+               !aborted())
+          BO.pause();
+      }
+      Resp.Status.fetch_sub(HoldInc, std::memory_order_acq_rel);
+      ++counters(TC.Tid).ImplicitRoundtrips;
+      return;
+    }
+    // Responder is executing: explicit protocol. Post a request and wait
+    // for the responder's next safe point.
+    if (!Pushed) {
+      Request *Head = Resp.MailboxHead.load(std::memory_order_relaxed);
+      do {
+        Req.Next.store(Head, std::memory_order_relaxed);
+      } while (!Resp.MailboxHead.compare_exchange_weak(
+          Head, &Req, std::memory_order_release,
+          std::memory_order_relaxed));
+      Pushed = true;
+    }
+    if (Req.St.load(std::memory_order_acquire) == Request::State::Done) {
+      ++counters(TC.Tid).ExplicitRoundtrips;
+      return;
+    }
+    // While waiting we are at a safe point ourselves; answer requests so
+    // two simultaneous coordinations cannot deadlock.
+    pollSafePoint(TC.Tid);
+    BO.pause();
+  }
+}
+
+void OctetManager::drainMailbox(uint32_t Tid) {
+  Request *Head = mailboxHead(Tid).exchange(nullptr,
+                                            std::memory_order_acq_rel);
+  while (Head != nullptr) {
+    // Read Next before publishing Done: once Done, the requester may
+    // deallocate the request.
+    Request *Next = Head->Next.load(std::memory_order_relaxed);
+    Request::State Expected = Request::State::Pending;
+    if (Head->St.compare_exchange_strong(Expected, Request::State::Taken,
+                                         std::memory_order_acq_rel)) {
+      notifyConflicting(Tid, Head->T);
+      Head->St.store(Request::State::Done, std::memory_order_release);
+    }
+    Head = Next;
+  }
+}
+
+void OctetManager::notifyConflicting(uint32_t RespTid, const Transition &T) {
+  if (Listener)
+    Listener->onConflictingEdge(RespTid, T);
+}
+
+void OctetManager::flushStatistics() {
+  Counters Sum;
+  for (uint32_t T = 0; T < NumThreads; ++T) {
+    const Counters &C = Threads[T].C;
+    Sum.FastRead += C.FastRead;
+    Sum.FastWrite += C.FastWrite;
+    Sum.Claims += C.Claims;
+    Sum.Conflicting += C.Conflicting;
+    Sum.UpgradeWrEx += C.UpgradeWrEx;
+    Sum.UpgradeRdSh += C.UpgradeRdSh;
+    Sum.Fence += C.Fence;
+    Sum.ExplicitRoundtrips += C.ExplicitRoundtrips;
+    Sum.ImplicitRoundtrips += C.ImplicitRoundtrips;
+  }
+  Stats.get("octet.fast_read").add(Sum.FastRead);
+  Stats.get("octet.fast_write").add(Sum.FastWrite);
+  Stats.get("octet.claims").add(Sum.Claims);
+  Stats.get("octet.conflicting").add(Sum.Conflicting);
+  Stats.get("octet.upgrade_wrex").add(Sum.UpgradeWrEx);
+  Stats.get("octet.upgrade_rdsh").add(Sum.UpgradeRdSh);
+  Stats.get("octet.fence").add(Sum.Fence);
+  Stats.get("octet.explicit_roundtrips").add(Sum.ExplicitRoundtrips);
+  Stats.get("octet.implicit_roundtrips").add(Sum.ImplicitRoundtrips);
+}

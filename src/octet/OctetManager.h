@@ -1,0 +1,213 @@
+//===- octet/OctetManager.h - Octet barriers and coordination ---*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements Octet's read/write barriers and the coordination protocol for
+/// conflicting transitions (Table 1 of the paper):
+///
+///  * Fast paths are synchronization-free checks of the object's state word.
+///  * Upgrading transitions (RdEx_T -> WrEx_T by T, RdEx_T1 -> RdSh by T2)
+///    are single CAS operations; RdSh upgrades stamp a fresh value of the
+///    global gRdShCnt counter, globally ordering all transitions to RdSh.
+///  * Fence transitions update the reader's per-thread rdShCnt and issue an
+///    acquire fence, establishing happens-before from the RdSh transition.
+///  * Conflicting transitions park the object in an intermediate state and
+///    perform a roundtrip with each responding thread: the *explicit*
+///    protocol posts a request the responder answers at its next safe
+///    point; the *implicit* protocol places a hold on a blocked responder
+///    and handles the transition on its behalf.
+///
+/// An OctetListener observes the transitions; ICD implements it to build
+/// the imprecise dependence graph (Figure 4 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_OCTET_OCTETMANAGER_H
+#define DC_OCTET_OCTETMANAGER_H
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "octet/OctetState.h"
+#include "rt/Heap.h"
+#include "rt/ThreadContext.h"
+#include "support/Statistic.h"
+
+namespace dc {
+namespace octet {
+
+/// Describes one conflicting transition for listener callbacks.
+struct Transition {
+  uint32_t Requester = 0;
+  rt::ObjectId Obj = 0;
+  OctetState Old;
+  OctetState New;
+};
+
+/// Observer of Octet state transitions. Callbacks may run on the requester
+/// *or* the responder thread (implicit vs. explicit protocol), exactly as in
+/// the paper; implementations must synchronize their own state.
+class OctetListener {
+public:
+  virtual ~OctetListener();
+
+  /// A conflicting transition's roundtrip with responder \p RespTid
+  /// completed; called once per responder (RdSh -> WrEx coordinates with
+  /// every other thread). Runs in the responder's context: on the responder
+  /// at its safe point (explicit) or on the requester holding the blocked
+  /// responder (implicit).
+  virtual void onConflictingEdge(uint32_t RespTid, const Transition &T) {}
+
+  /// The object entered RdEx owned by \p Tid (conflicting transition to
+  /// RdEx, or first read of an untouched object). ICD updates T.lastRdEx.
+  virtual void onBecameRdEx(uint32_t Tid) {}
+
+  /// Upgrading transition RdEx_{OldOwner} -> RdSh_{Counter} performed by
+  /// reader \p Tid.
+  virtual void onUpgradeToRdSh(uint32_t Tid, uint32_t OldOwner,
+                               uint64_t Counter) {}
+
+  /// Fence transition: \p Tid read an RdSh object with a newer counter than
+  /// its thread-local rdShCnt.
+  virtual void onFence(uint32_t Tid) {}
+};
+
+/// Per-object state machine plus per-thread coordination state for one run.
+class OctetManager {
+public:
+  /// \p Listener may be null (barrier-cost experiments). \p Abort, when
+  /// non-null, makes coordination spin loops bail out.
+  OctetManager(rt::Heap &Heap, uint32_t NumThreads, OctetListener *Listener,
+               StatisticRegistry &Stats,
+               const std::atomic<bool> *Abort = nullptr);
+  ~OctetManager();
+
+  OctetManager(const OctetManager &) = delete;
+  OctetManager &operator=(const OctetManager &) = delete;
+
+  void threadStarted(uint32_t Tid);
+  void threadExited(uint32_t Tid);
+
+  /// The write barrier: ensures Obj is WrEx_{TC.Tid} (Table 1).
+  void writeBarrier(rt::ThreadContext &TC, rt::ObjectId Obj) {
+    uint64_t Word =
+        Heap.object(Obj).MetaWord.load(std::memory_order_acquire);
+    if (Word == encodeOwned(StateKind::WrEx, TC.Tid)) {
+      ++counters(TC.Tid).FastWrite;
+      return;
+    }
+    slowWrite(TC, Obj);
+  }
+
+  /// The read barrier: ensures Obj is readable by TC.Tid (Table 1).
+  void readBarrier(rt::ThreadContext &TC, rt::ObjectId Obj) {
+    uint64_t Word =
+        Heap.object(Obj).MetaWord.load(std::memory_order_acquire);
+    StateKind Kind = kindOf(Word);
+    uint64_t Payload = payloadOf(Word);
+    if (((Kind == StateKind::WrEx || Kind == StateKind::RdEx) &&
+         Payload == TC.Tid) ||
+        (Kind == StateKind::RdSh && rdShCnt(TC.Tid) >= Payload)) {
+      ++counters(TC.Tid).FastRead;
+      return;
+    }
+    slowRead(TC, Obj);
+  }
+
+  /// Responds to pending explicit-protocol requests. Must be called only at
+  /// safe points (between an access and its barrier is *not* safe).
+  void pollSafePoint(uint32_t Tid) {
+    if (mailboxHead(Tid).load(std::memory_order_relaxed) != nullptr)
+      drainMailbox(Tid);
+  }
+
+  /// Blocked-state bookkeeping for the implicit protocol.
+  void aboutToBlock(uint32_t Tid);
+  void unblocked(uint32_t Tid);
+
+  /// Decodes the current state of \p Obj (tests and diagnostics).
+  OctetState stateOf(rt::ObjectId Obj) const {
+    return decodeState(Heap.object(Obj).MetaWord.load(
+        std::memory_order_acquire));
+  }
+
+  /// Current value of the global RdSh counter.
+  uint64_t globalRdShCounter() const {
+    return GRdShCnt.load(std::memory_order_relaxed);
+  }
+
+  /// Flushes per-thread counters into the statistics registry
+  /// ("octet.*" counters). Call after the run.
+  void flushStatistics();
+
+private:
+  struct Request;
+
+  /// Per-thread slice of the barrier counters (flushed at the end of the
+  /// run so the hot path never touches shared counters).
+  struct Counters {
+    uint64_t FastRead = 0;
+    uint64_t FastWrite = 0;
+    uint64_t Claims = 0; ///< First accesses of untouched objects.
+    uint64_t Conflicting = 0;
+    uint64_t UpgradeWrEx = 0;
+    uint64_t UpgradeRdSh = 0;
+    uint64_t Fence = 0;
+    uint64_t ExplicitRoundtrips = 0;
+    uint64_t ImplicitRoundtrips = 0;
+  };
+
+  /// Per-thread coordination state. Status bit 0 = blocked; the upper bits
+  /// count holds placed by requesters running the implicit protocol.
+  /// Threads begin blocked (a not-yet-started thread cannot respond).
+  struct alignas(64) PerThread {
+    std::atomic<uint64_t> Status{1};
+    std::atomic<Request *> MailboxHead{nullptr};
+    uint64_t RdShCnt = 0;
+    Counters C;
+  };
+
+  void slowRead(rt::ThreadContext &TC, rt::ObjectId Obj);
+  void slowWrite(rt::ThreadContext &TC, rt::ObjectId Obj);
+
+  /// Runs the coordination protocol taking Obj from \p OldWord (already
+  /// replaced by the matching intermediate state) to \p NewWord. Returns
+  /// after all responder roundtrips complete and the final state is
+  /// installed.
+  void coordinate(rt::ThreadContext &TC, rt::ObjectId Obj, uint64_t OldWord,
+                  uint64_t NewWord);
+
+  /// One roundtrip with \p RespTid for transition \p T.
+  void roundtrip(rt::ThreadContext &TC, uint32_t RespTid,
+                 const Transition &T);
+
+  void drainMailbox(uint32_t Tid);
+  void notifyConflicting(uint32_t RespTid, const Transition &T);
+
+  std::atomic<Request *> &mailboxHead(uint32_t Tid) {
+    return Threads[Tid].MailboxHead;
+  }
+  uint64_t &rdShCnt(uint32_t Tid) { return Threads[Tid].RdShCnt; }
+  Counters &counters(uint32_t Tid) { return Threads[Tid].C; }
+
+  bool aborted() const {
+    return Abort != nullptr && Abort->load(std::memory_order_relaxed);
+  }
+
+  rt::Heap &Heap;
+  uint32_t NumThreads;
+  OctetListener *Listener;
+  StatisticRegistry &Stats;
+  const std::atomic<bool> *Abort;
+  std::atomic<uint64_t> GRdShCnt{0};
+  std::vector<PerThread> Threads;
+};
+
+} // namespace octet
+} // namespace dc
+
+#endif // DC_OCTET_OCTETMANAGER_H

@@ -1,0 +1,84 @@
+//===- octet/OctetState.h - Octet per-object locality states ----*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Octet (Bond et al., OOPSLA 2013) tracks a locality state per object:
+/// WrEx_T (write-exclusive for thread T), RdEx_T (read-exclusive), and
+/// RdSh_c (read-shared, stamped with a global counter value c). We add two
+/// bookkeeping states: Untouched (freshly allocated, no accessor yet — the
+/// first access takes ownership without coordination, like allocation does
+/// in the paper) and the intermediate states the coordination protocol
+/// parks an object in while a conflicting transition is in flight.
+///
+/// The state packs into the one atomic metadata word each HeapObject
+/// carries: low 3 bits = kind, upper bits = owner tid or RdSh counter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_OCTET_OCTETSTATE_H
+#define DC_OCTET_OCTETSTATE_H
+
+#include <cstdint>
+#include <string>
+
+namespace dc {
+namespace octet {
+
+enum class StateKind : uint8_t {
+  Untouched = 0,
+  WrEx = 1,
+  RdEx = 2,
+  RdSh = 3,
+  IntWrEx = 4, ///< Transitioning to WrEx(requester); payload = requester.
+  IntRdEx = 5, ///< Transitioning to RdEx(requester); payload = requester.
+};
+
+/// Decoded form of the per-object metadata word.
+struct OctetState {
+  StateKind Kind = StateKind::Untouched;
+  uint32_t Owner = 0;   ///< WrEx/RdEx owner, or intermediate requester.
+  uint64_t Counter = 0; ///< RdSh only.
+
+  bool operator==(const OctetState &O) const {
+    return Kind == O.Kind && Owner == O.Owner && Counter == O.Counter;
+  }
+};
+
+inline uint64_t encodeState(StateKind Kind, uint64_t Payload) {
+  return (Payload << 3) | static_cast<uint64_t>(Kind);
+}
+
+inline uint64_t encodeOwned(StateKind Kind, uint32_t Owner) {
+  return encodeState(Kind, Owner);
+}
+
+inline uint64_t encodeRdSh(uint64_t Counter) {
+  return encodeState(StateKind::RdSh, Counter);
+}
+
+inline StateKind kindOf(uint64_t Word) {
+  return static_cast<StateKind>(Word & 7);
+}
+
+inline uint64_t payloadOf(uint64_t Word) { return Word >> 3; }
+
+inline OctetState decodeState(uint64_t Word) {
+  OctetState S;
+  S.Kind = kindOf(Word);
+  if (S.Kind == StateKind::RdSh)
+    S.Counter = payloadOf(Word);
+  else if (S.Kind != StateKind::Untouched)
+    S.Owner = static_cast<uint32_t>(payloadOf(Word));
+  return S;
+}
+
+/// Renders a state for diagnostics, e.g. "WrEx(2)" or "RdSh(17)".
+std::string toString(const OctetState &S);
+
+} // namespace octet
+} // namespace dc
+
+#endif // DC_OCTET_OCTETSTATE_H

@@ -1,0 +1,13 @@
+//===- rt/CheckerRuntime.cpp ----------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/CheckerRuntime.h"
+
+using namespace dc;
+using namespace dc::rt;
+
+// Out-of-line vtable anchor.
+CheckerRuntime::~CheckerRuntime() = default;

@@ -1,0 +1,113 @@
+//===- rt/CheckerRuntime.h - Hook interface for dynamic analyses -*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interpreter drives a CheckerRuntime through these hooks. The paper's
+/// analyses plug in here:
+///   * DoubleChecker (ICD [+PCD]) implements instrumentedAccess by running
+///     the Octet barrier, optionally appending to the read/write log, and
+///     then performing the wrapped heap access;
+///   * Velodrome implements it by locking the field's metadata word,
+///     updating last-accesses / the transaction graph, performing the heap
+///     access inside the critical section (analysis-access atomicity), and
+///     unlocking.
+/// safePoint() is polled between instructions — never between a barrier and
+/// its access, which execute fused inside instrumentedAccess — and is where
+/// Octet's explicit coordination protocol responds to requests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_RT_CHECKERRUNTIME_H
+#define DC_RT_CHECKERRUNTIME_H
+
+#include <cstdint>
+
+#include "ir/Ir.h"
+#include "rt/Heap.h"
+#include "support/FunctionRef.h"
+
+namespace dc {
+namespace rt {
+
+class Runtime;
+struct ThreadContext;
+
+/// Kinds of synchronization events routed through syncOp().
+enum class SyncKind : uint8_t {
+  MonitorEnter, ///< Acquire-like: treated as a read of the sync slot.
+  MonitorExit,  ///< Release-like: treated as a write of the sync slot.
+  WaitRelease,  ///< wait() releasing the monitor (write).
+  WaitAcquire,  ///< wait() reacquiring after wakeup (read).
+  Notify,       ///< notify()/notifyAll() (write).
+  Fork,         ///< Parent forking a thread (write of its thread object).
+  ThreadBegin,  ///< First action of a started thread (read).
+  ThreadEnd,    ///< Last action of a finishing thread (write).
+  Join,         ///< Parent observing a joined thread (read).
+};
+
+/// Returns true if \p K is release-like, i.e. modelled as a write.
+inline bool isReleaseLike(SyncKind K) {
+  return K == SyncKind::MonitorExit || K == SyncKind::WaitRelease ||
+         K == SyncKind::Notify || K == SyncKind::Fork ||
+         K == SyncKind::ThreadEnd;
+}
+
+/// Describes one (possibly instrumented) shared-memory access.
+struct AccessInfo {
+  ObjectId Obj = 0;
+  FieldAddr Addr = 0;
+  bool IsWrite = false;
+  bool IsSync = false;
+  uint8_t Flags = ir::IF_None; ///< ir::InstrFlags of the access site.
+};
+
+/// Interface the interpreter calls into. The default implementation is a
+/// no-op checker (useful as a base and for overhead experiments).
+class CheckerRuntime {
+public:
+  virtual ~CheckerRuntime();
+
+  /// Called once before any program thread runs / after all have finished.
+  virtual void beginRun(Runtime &RT) {}
+  virtual void endRun(Runtime &RT) {}
+
+  /// Per-thread lifecycle. threadStarted runs on the new thread before its
+  /// first instruction; threadExiting runs after its last.
+  virtual void threadStarted(ThreadContext &TC) {}
+  virtual void threadExiting(ThreadContext &TC) {}
+
+  /// A regular transaction begins/ends (compiled method with
+  /// StartsTransaction, called from a non-transactional context).
+  virtual void txBegin(ThreadContext &TC, const ir::Method &M) {}
+  virtual void txEnd(ThreadContext &TC, const ir::Method &M) {}
+
+  /// An access whose instruction carries instrumentation flags. \p Access
+  /// performs the underlying heap operation; implementations decide where
+  /// it runs relative to their analysis.
+  virtual void instrumentedAccess(ThreadContext &TC, const AccessInfo &Info,
+                                  function_ref<void()> Access) {
+    Access();
+  }
+
+  /// A synchronization event, already modelled as a read or write of the
+  /// object's sync slot in \p Info (Info.IsSync is true).
+  virtual void syncOp(ThreadContext &TC, const AccessInfo &Info,
+                      SyncKind Kind) {}
+
+  /// Polled between instructions; a safe point in Octet's sense.
+  virtual void safePoint(ThreadContext &TC) {}
+
+  /// The thread is about to block (monitor, wait, join, scheduler gate) /
+  /// has resumed. Octet flips its per-thread status here so requesters can
+  /// use the implicit coordination protocol on blocked threads.
+  virtual void aboutToBlock(ThreadContext &TC) {}
+  virtual void unblocked(ThreadContext &TC) {}
+};
+
+} // namespace rt
+} // namespace dc
+
+#endif // DC_RT_CHECKERRUNTIME_H

@@ -1,0 +1,61 @@
+//===- rt/Heap.cpp --------------------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Heap.h"
+
+#include <algorithm>
+
+using namespace dc;
+using namespace dc::rt;
+
+Heap::Heap(const ir::Program &P, uint32_t NumThreads)
+    : NumThreads(NumThreads) {
+  uint64_t TotalObjects = NumThreads;
+  for (const ir::ObjectPool &Pool : P.Pools)
+    TotalObjects += Pool.Count;
+  Objects = std::vector<HeapObject>(TotalObjects);
+
+  FieldAddr NextField = 0;
+  ObjectId NextObject = 0;
+  PoolBases.reserve(P.Pools.size());
+  PoolCounts.reserve(P.Pools.size());
+  for (size_t PoolIdx = 0; PoolIdx < P.Pools.size(); ++PoolIdx) {
+    const ir::ObjectPool &Pool = P.Pools[PoolIdx];
+    PoolBases.push_back(NextObject);
+    PoolCounts.push_back(Pool.Count);
+    for (uint32_t I = 0; I < Pool.Count; ++I) {
+      HeapObject &O = Objects[NextObject];
+      O.FieldBase = NextField;
+      O.NumFields = Pool.NumFields;
+      O.Pool = static_cast<ir::PoolId>(PoolIdx);
+      NextField += Pool.NumFields + 1; // +1 for the sync slot.
+      ++NextObject;
+    }
+  }
+
+  ThreadObjectBase = NextObject;
+  for (uint32_t T = 0; T < NumThreads; ++T) {
+    HeapObject &O = Objects[NextObject];
+    O.FieldBase = NextField;
+    O.NumFields = 0;
+    O.Pool = static_cast<ir::PoolId>(P.Pools.size());
+    NextField += 1; // Sync slot only.
+    ++NextObject;
+  }
+
+  Values = std::vector<std::atomic<int64_t>>(NextField);
+}
+
+ObjectId Heap::objectOfField(FieldAddr Addr) const {
+  assert(Addr < Values.size() && "bad field address");
+  // Objects are laid out with increasing FieldBase; binary-search the last
+  // object whose FieldBase <= Addr.
+  auto It = std::upper_bound(
+      Objects.begin(), Objects.end(), Addr,
+      [](FieldAddr A, const HeapObject &O) { return A < O.FieldBase; });
+  assert(It != Objects.begin() && "address below first object");
+  return static_cast<ObjectId>(std::distance(Objects.begin(), It) - 1);
+}

@@ -1,0 +1,127 @@
+//===- rt/Heap.h - Shared heap for interpreted programs ---------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heap materializes a program's object pools. Every object gets:
+///   * a dense ObjectId,
+///   * a contiguous range of global *field addresses* (FieldBase .. FieldBase
+///     + NumFields), where the extra slot past the declared fields is the
+///     "sync slot" used to model monitor/fork/join dependences as reads and
+///     writes (the paper treats acquire-like ops as reads and release-like
+///     ops as writes on the synchronized object),
+///   * one atomic metadata word reserved for the active checker (Octet packs
+///     its locality state here, exactly like the paper's per-object state).
+///
+/// Field values are relaxed atomics: racy programs are the subject under
+/// test, and relaxed accesses keep the data race well-defined in C++ while
+/// costing the same as plain loads/stores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_RT_HEAP_H
+#define DC_RT_HEAP_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ir/Ir.h"
+
+namespace dc {
+namespace rt {
+
+using ObjectId = uint32_t;
+using FieldAddr = uint32_t;
+
+/// Per-object header. MetaWord is owned by whichever checker is active
+/// (Octet state for DoubleChecker; unused by Velodrome, whose metadata is
+/// per-field).
+struct HeapObject {
+  FieldAddr FieldBase = 0;
+  uint32_t NumFields = 0; ///< Declared fields; sync slot is index NumFields.
+  ir::PoolId Pool = 0;
+  std::atomic<uint64_t> MetaWord{0};
+};
+
+/// The shared heap: object headers plus a flat field-value array.
+class Heap {
+public:
+  /// Builds the heap for \p P with \p NumThreads implicit per-thread
+  /// "thread objects" (zero declared fields, one sync slot) appended after
+  /// the pool objects.
+  Heap(const ir::Program &P, uint32_t NumThreads);
+
+  Heap(const Heap &) = delete;
+  Heap &operator=(const Heap &) = delete;
+
+  /// Maps (pool, index-within-pool) to an object id. Index is reduced
+  /// modulo the pool size, so workload expressions never go out of range.
+  ObjectId objectOf(ir::PoolId Pool, uint64_t Index) const {
+    assert(Pool < PoolBases.size() && "unknown pool");
+    return PoolBases[Pool] + static_cast<ObjectId>(Index % PoolCounts[Pool]);
+  }
+
+  /// The implicit object representing program thread \p Tid.
+  ObjectId threadObject(uint32_t Tid) const {
+    assert(Tid < NumThreads && "bad thread id");
+    return ThreadObjectBase + Tid;
+  }
+
+  HeapObject &object(ObjectId Id) {
+    assert(Id < Objects.size() && "bad object id");
+    return Objects[Id];
+  }
+  const HeapObject &object(ObjectId Id) const {
+    assert(Id < Objects.size() && "bad object id");
+    return Objects[Id];
+  }
+
+  /// Global field address of field/element \p Field of \p Id (reduced
+  /// modulo the object's field count).
+  FieldAddr fieldAddr(ObjectId Id, uint64_t Field) const {
+    const HeapObject &O = object(Id);
+    uint32_t N = O.NumFields == 0 ? 1 : O.NumFields;
+    return O.FieldBase + static_cast<FieldAddr>(Field % N);
+  }
+
+  /// Address of the sync pseudo-field of \p Id.
+  FieldAddr syncAddr(ObjectId Id) const {
+    const HeapObject &O = object(Id);
+    return O.FieldBase + O.NumFields;
+  }
+
+  /// Maps a field address back to its owning object (for diagnostics and
+  /// for object-granularity analyses). O(log #objects).
+  ObjectId objectOfField(FieldAddr Addr) const;
+
+  int64_t load(FieldAddr Addr) const {
+    return Values[Addr].load(std::memory_order_relaxed);
+  }
+  void store(FieldAddr Addr, int64_t V) {
+    Values[Addr].store(V, std::memory_order_relaxed);
+  }
+
+  uint32_t numObjects() const { return static_cast<uint32_t>(Objects.size()); }
+  uint32_t numFieldAddrs() const {
+    return static_cast<uint32_t>(Values.size());
+  }
+  uint32_t numThreads() const { return NumThreads; }
+
+private:
+  std::vector<HeapObject> Objects;
+  std::vector<std::atomic<int64_t>> Values;
+  std::vector<ObjectId> PoolBases;
+  std::vector<uint32_t> PoolCounts;
+  ObjectId ThreadObjectBase = 0;
+  uint32_t NumThreads = 0;
+};
+
+} // namespace rt
+} // namespace dc
+
+#endif // DC_RT_HEAP_H

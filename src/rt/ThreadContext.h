@@ -1,0 +1,53 @@
+//===- rt/ThreadContext.h - Per-thread interpreter state --------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_RT_THREADCONTEXT_H
+#define DC_RT_THREADCONTEXT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "support/Rng.h"
+
+namespace dc {
+namespace rt {
+
+class Runtime;
+class CheckerRuntime;
+
+/// Mutable state of one interpreted program thread. Owned by the Runtime;
+/// only the thread itself mutates it (checkers attach their own per-thread
+/// state in arrays indexed by Tid).
+struct ThreadContext {
+  uint32_t Tid = 0;
+  Runtime *RT = nullptr;
+  CheckerRuntime *Checker = nullptr; ///< Null for uninstrumented runs.
+
+  /// Data sink/source for Read/Write instructions: reads fold the loaded
+  /// value in, writes store a value derived from it. Keeps program memory
+  /// traffic live without modelling full dataflow.
+  int64_t Accumulator = 0;
+
+  /// Current frame's call parameter (saved/restored across Call).
+  int64_t Param = 0;
+
+  /// Induction variables of the enclosing loops, innermost last.
+  std::vector<uint64_t> LoopVars;
+
+  /// Per-thread deterministic RNG for Random index operands; seeded from
+  /// the program seed and Tid, so the per-thread access sequence does not
+  /// depend on the interleaving.
+  SplitMix64 Rng{1};
+
+  /// Instructions retired by this thread (flushed to the Runtime's global
+  /// budget periodically).
+  uint64_t LocalSteps = 0;
+};
+
+} // namespace rt
+} // namespace dc
+
+#endif // DC_RT_THREADCONTEXT_H

@@ -1,0 +1,59 @@
+//===- support/FunctionRef.h - Non-owning callable reference ----*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal llvm::function_ref equivalent: a cheap, non-owning reference to
+/// a callable. Used for the access-wrapping hook so checkers can run the
+/// program's heap access inside their critical section without a std::function
+/// allocation on the hot path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_SUPPORT_FUNCTIONREF_H
+#define DC_SUPPORT_FUNCTIONREF_H
+
+#include <type_traits>
+#include <utility>
+
+namespace dc {
+
+template <typename Fn> class function_ref;
+
+/// Non-owning reference to a callable with signature Ret(Params...).
+/// The referenced callable must outlive the function_ref.
+template <typename Ret, typename... Params>
+class function_ref<Ret(Params...)> {
+public:
+  function_ref() = default;
+
+  template <typename Callable,
+            typename = std::enable_if_t<!std::is_same_v<
+                std::remove_cvref_t<Callable>, function_ref>>>
+  function_ref(Callable &&C)
+      : Callback(&callImpl<std::remove_reference_t<Callable>>),
+        Callee(const_cast<void *>(
+            static_cast<const void *>(std::addressof(C)))) {}
+
+  Ret operator()(Params... Args) const {
+    return Callback(Callee, std::forward<Params>(Args)...);
+  }
+
+  explicit operator bool() const { return Callback != nullptr; }
+
+private:
+  template <typename Callable>
+  static Ret callImpl(void *Callee, Params... Args) {
+    return (*reinterpret_cast<Callable *>(Callee))(
+        std::forward<Params>(Args)...);
+  }
+
+  Ret (*Callback)(void *, Params...) = nullptr;
+  void *Callee = nullptr;
+};
+
+} // namespace dc
+
+#endif // DC_SUPPORT_FUNCTIONREF_H

@@ -1,0 +1,62 @@
+//===- support/Rng.h - Deterministic pseudo-random numbers ------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64: a tiny, fast, seedable generator. All nondeterminism in the
+/// reproduction (workload shapes, schedules, property tests) flows through
+/// explicit seeds so experiments are replayable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_SUPPORT_RNG_H
+#define DC_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace dc {
+
+/// SplitMix64 pseudo-random generator (public domain algorithm by
+/// Sebastiano Vigna). Deterministic for a given seed.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed = 0x9e3779b97f4a7c15ULL) : State(Seed) {}
+
+  /// Returns the next 64 pseudo-random bits.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a value uniform in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow requires a nonzero bound");
+    // Multiply-shift reduction; bias is negligible for our bounds.
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a value uniform in [Lo, Hi] inclusive. Requires Lo <= Hi.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns true with probability \p Percent / 100.
+  bool chancePercent(unsigned Percent) { return nextBelow(100) < Percent; }
+
+  /// Derives an independent generator for a sub-component.
+  SplitMix64 fork() { return SplitMix64(next() ^ 0xd1b54a32d192ed03ULL); }
+
+private:
+  uint64_t State;
+};
+
+} // namespace dc
+
+#endif // DC_SUPPORT_RNG_H

@@ -1,0 +1,83 @@
+//===- support/SpinLock.h - Lightweight spin locks --------------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small test-and-test-and-set spin locks with yielding backoff. The host
+/// may be heavily oversubscribed (more program threads than cores), so every
+/// spin loop must eventually yield to the scheduler instead of burning the
+/// timeslice of the thread it is waiting on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_SUPPORT_SPINLOCK_H
+#define DC_SUPPORT_SPINLOCK_H
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace dc {
+
+/// Exponential-ish backoff helper for spin loops: a few pause iterations,
+/// then yield to the OS scheduler. Keeps single-core runs live.
+class YieldBackoff {
+public:
+  void pause() {
+    if (Spins < SpinLimit) {
+      ++Spins;
+      for (unsigned I = 0; I < Spins * 4; ++I)
+        std::atomic_signal_fence(std::memory_order_seq_cst);
+      return;
+    }
+    std::this_thread::yield();
+  }
+
+  void reset() { Spins = 0; }
+
+private:
+  static constexpr unsigned SpinLimit = 8;
+  unsigned Spins = 0;
+};
+
+/// A one-word test-and-test-and-set lock. Not reentrant.
+class SpinLock {
+public:
+  void lock() {
+    YieldBackoff Backoff;
+    for (;;) {
+      if (!Flag.load(std::memory_order_relaxed) &&
+          !Flag.exchange(true, std::memory_order_acquire))
+        return;
+      Backoff.pause();
+    }
+  }
+
+  bool tryLock() {
+    return !Flag.load(std::memory_order_relaxed) &&
+           !Flag.exchange(true, std::memory_order_acquire);
+  }
+
+  void unlock() { Flag.store(false, std::memory_order_release); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// RAII guard for SpinLock.
+class SpinLockGuard {
+public:
+  explicit SpinLockGuard(SpinLock &L) : Lock(L) { Lock.lock(); }
+  ~SpinLockGuard() { Lock.unlock(); }
+  SpinLockGuard(const SpinLockGuard &) = delete;
+  SpinLockGuard &operator=(const SpinLockGuard &) = delete;
+
+private:
+  SpinLock &Lock;
+};
+
+} // namespace dc
+
+#endif // DC_SUPPORT_SPINLOCK_H

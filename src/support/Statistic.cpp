@@ -1,0 +1,48 @@
+//===- support/Statistic.cpp ----------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Statistic.h"
+
+#include <sstream>
+
+using namespace dc;
+
+StatisticRegistry::~StatisticRegistry() {
+  for (auto &Entry : Counters)
+    delete Entry.second;
+}
+
+Statistic &StatisticRegistry::get(const std::string &Name) {
+  SpinLockGuard Guard(Lock);
+  auto It = Counters.find(Name);
+  if (It != Counters.end())
+    return *It->second;
+  auto *S = new Statistic(Name);
+  Counters.emplace(Name, S);
+  return *S;
+}
+
+uint64_t StatisticRegistry::value(const std::string &Name) const {
+  SpinLockGuard Guard(Lock);
+  auto It = Counters.find(Name);
+  return It == Counters.end() ? 0 : It->second->get();
+}
+
+std::vector<const Statistic *> StatisticRegistry::all() const {
+  SpinLockGuard Guard(Lock);
+  std::vector<const Statistic *> Result;
+  Result.reserve(Counters.size());
+  for (const auto &Entry : Counters)
+    Result.push_back(Entry.second);
+  return Result;
+}
+
+std::string StatisticRegistry::toString() const {
+  std::ostringstream OS;
+  for (const Statistic *S : all())
+    OS << S->name() << " = " << S->get() << "\n";
+  return OS.str();
+}

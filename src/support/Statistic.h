@@ -1,0 +1,80 @@
+//===- support/Statistic.h - Named run-time counters ------------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named atomic counters, in the spirit of LLVM's Statistic.
+/// Table 3 of the paper ("run-time characteristics") and several ablations
+/// are produced by reading these counters after a run. Counters live in a
+/// StatisticRegistry owned by each run so concurrent runs do not interfere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_SUPPORT_STATISTIC_H
+#define DC_SUPPORT_STATISTIC_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/SpinLock.h"
+
+namespace dc {
+
+/// One named, thread-safe counter. Obtained from a StatisticRegistry;
+/// never constructed directly by clients.
+class Statistic {
+public:
+  explicit Statistic(std::string Name) : Name(std::move(Name)) {}
+
+  void add(uint64_t Delta = 1) {
+    Value.fetch_add(Delta, std::memory_order_relaxed);
+  }
+  /// Sets the counter to \p V if V is larger (for high-water marks).
+  void updateMax(uint64_t V) {
+    uint64_t Cur = Value.load(std::memory_order_relaxed);
+    while (Cur < V &&
+           !Value.compare_exchange_weak(Cur, V, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t get() const { return Value.load(std::memory_order_relaxed); }
+  const std::string &name() const { return Name; }
+
+private:
+  std::string Name;
+  std::atomic<uint64_t> Value{0};
+};
+
+/// Owns a set of named counters. Lookup creates on demand; pointers remain
+/// stable for the registry's lifetime.
+class StatisticRegistry {
+public:
+  StatisticRegistry() = default;
+  StatisticRegistry(const StatisticRegistry &) = delete;
+  StatisticRegistry &operator=(const StatisticRegistry &) = delete;
+  ~StatisticRegistry();
+
+  /// Returns the counter named \p Name, creating it if needed.
+  Statistic &get(const std::string &Name);
+
+  /// Returns the value of \p Name, or 0 if it was never touched.
+  uint64_t value(const std::string &Name) const;
+
+  /// Returns all counters sorted by name (for reports).
+  std::vector<const Statistic *> all() const;
+
+  /// Renders "name = value" lines sorted by name.
+  std::string toString() const;
+
+private:
+  mutable SpinLock Lock;
+  std::map<std::string, Statistic *> Counters;
+};
+
+} // namespace dc
+
+#endif // DC_SUPPORT_STATISTIC_H

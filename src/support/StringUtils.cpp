@@ -1,0 +1,96 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace dc;
+
+std::string dc::padLeft(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return std::string(Width - S.size(), ' ') + S;
+}
+
+std::string dc::padRight(const std::string &S, size_t Width) {
+  if (S.size() >= Width)
+    return S;
+  return S + std::string(Width - S.size(), ' ');
+}
+
+std::string dc::formatDouble(double V, unsigned Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, V);
+  return Buf;
+}
+
+std::string dc::formatWithCommas(uint64_t V) {
+  std::string Digits = std::to_string(V);
+  std::string Result;
+  Result.reserve(Digits.size() + Digits.size() / 3);
+  for (size_t I = 0; I < Digits.size(); ++I) {
+    size_t Remaining = Digits.size() - I;
+    if (I != 0 && Remaining % 3 == 0)
+      Result += ',';
+    Result += Digits[I];
+  }
+  return Result;
+}
+
+std::string dc::join(const std::vector<std::string> &Parts,
+                     const std::string &Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+void TextTable::setHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TextTable::addRow(std::vector<std::string> Cells) {
+  assert(Cells.size() == Header.size() && "row/header column mismatch");
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  auto Grow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+  };
+  Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I != 0)
+        Out += "  ";
+      // First column left-aligned (names), the rest right-aligned (numbers).
+      Out += I == 0 ? padRight(Row[I], Widths[I]) : padLeft(Row[I], Widths[I]);
+    }
+    Out += '\n';
+  };
+  Emit(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W;
+  Out += std::string(Total + 2 * (Widths.empty() ? 0 : Widths.size() - 1),
+                     '-');
+  Out += '\n';
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}

@@ -1,0 +1,54 @@
+//===- support/StringUtils.h - Text helpers for reports ---------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small formatting helpers used by the IR printer, the violation reports,
+/// and the benchmark harnesses that print paper-style tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_SUPPORT_STRINGUTILS_H
+#define DC_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dc {
+
+/// Left- or right-pads \p S with spaces to \p Width columns.
+std::string padLeft(const std::string &S, size_t Width);
+std::string padRight(const std::string &S, size_t Width);
+
+/// Formats \p V with a fixed number of decimal places (e.g. "3.61").
+std::string formatDouble(double V, unsigned Decimals = 2);
+
+/// Formats a count with thousands separators ("1,140,000").
+std::string formatWithCommas(uint64_t V);
+
+/// Joins \p Parts with \p Sep between elements.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// A simple fixed-column text table builder for the bench harnesses.
+/// Rows are added as string cells; render() aligns every column.
+class TextTable {
+public:
+  /// Sets the header row. Column count is fixed by this call.
+  void setHeader(std::vector<std::string> Cells);
+  /// Appends a data row; must match the header's column count.
+  void addRow(std::vector<std::string> Cells);
+  /// Renders the table with a separator line under the header.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace dc
+
+#endif // DC_SUPPORT_STRINGUTILS_H

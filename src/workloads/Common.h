@@ -1,0 +1,55 @@
+//===- workloads/Common.h - Shared workload-building helpers ---*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the synthetic workloads. Every workload follows the
+/// DaCapo shape the paper assumes: a driver thread (main) forks worker
+/// threads, waits for them, and is excluded from the atomicity
+/// specification (it executes fork/join, which AtomicitySpec::initial
+/// excludes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_WORKLOADS_COMMON_H
+#define DC_WORKLOADS_COMMON_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "ir/Builder.h"
+
+namespace dc {
+namespace workloads {
+
+/// Scales an iteration count, keeping it at least 1.
+inline int64_t scaled(double Scale, uint64_t Base) {
+  int64_t V = static_cast<int64_t>(Base * Scale);
+  return std::max<int64_t>(V, 1);
+}
+
+/// Builds the driver: thread 0 runs "main", which forks each entry in
+/// \p WorkerEntries as program threads 1..N and joins them in order.
+/// Must be called after all worker methods exist; call B.build() after.
+inline ir::MethodId addDriver(ir::ProgramBuilder &B,
+                              const std::vector<ir::MethodId> &WorkerEntries) {
+  using namespace ir;
+  auto &Main = B.beginMethod("main", /*Atomic=*/false);
+  for (size_t W = 0; W < WorkerEntries.size(); ++W)
+    Main.forkThread(idxConst(static_cast<int64_t>(W + 1)));
+  for (size_t W = 0; W < WorkerEntries.size(); ++W)
+    Main.joinThread(idxConst(static_cast<int64_t>(W + 1)));
+  MethodId MainId = Main.endMethod();
+  B.addThread(MainId);
+  for (MethodId Worker : WorkerEntries)
+    B.addThread(Worker);
+  return MainId;
+}
+
+} // namespace workloads
+} // namespace dc
+
+#endif // DC_WORKLOADS_COMMON_H

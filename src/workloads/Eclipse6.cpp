@@ -1,0 +1,93 @@
+//===- workloads/Eclipse6.cpp - IDE-jobs analog ---------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analog of DaCapo eclipse6, the workload with the most distinct
+/// violations in Table 2: concurrent IDE jobs over a plugin registry and a
+/// shared workspace. `resolvePlugin` locks correctly; `updateMarker` and
+/// `logEvent` are racy read-modify-writes (seeded violations); and
+/// `scanWorkspace` reads marker state racily against `updateMarker`'s
+/// writes, giving cycles that involve three different methods. `indexLocal`
+/// is a non-atomic helper contributing unary accesses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::ir;
+using namespace dc::workloads;
+
+ir::Program workloads::buildEclipse6(double Scale) {
+  ProgramBuilder B("eclipse6", /*Seed=*/0xec1);
+  const uint32_t Workers = 3;
+  PoolId Registry = B.addPool("registry", 32, 4);
+  PoolId Workspace = B.addPool("workspace", 64, 2);
+  PoolId Log = B.addPool("log", 4, 1);
+  PoolId Local = B.addPool("local", Workers + 1, 8);
+
+  MethodId ResolvePlugin = B.beginMethod("resolvePlugin", /*Atomic=*/true)
+                               .acquire(Registry, idxParam(1, 0, 32))
+                               .read(Registry, idxParam(1, 0, 32), 0u)
+                               .read(Registry, idxParam(1, 0, 32), 1u)
+                               .release(Registry, idxParam(1, 0, 32))
+                               .beginLoop(idxConst(24))
+                               .read(Local, idxThread(), idxRandom(8))
+                               .write(Local, idxThread(), idxRandom(8))
+                               .endLoop()
+                               .endMethod();
+
+  // Racy read-modify-write of a marker (field 0) plus a racy dirty flag
+  // (field 1) that scanWorkspace reads.
+  MethodId UpdateMarker = B.beginMethod("updateMarker", /*Atomic=*/true)
+                              .read(Workspace, idxParam(1, 0, 64), 0u)
+                              .work(6)
+                              .write(Workspace, idxParam(1, 0, 64), 0u)
+                              .write(Workspace, idxParam(1, 0, 64), 1u)
+                              .endMethod();
+
+  MethodId ScanWorkspace = B.beginMethod("scanWorkspace", /*Atomic=*/true)
+                               .beginLoop(idxConst(6))
+                               .read(Workspace, idxParam(1, 0, 64), idxLoop())
+                               .endLoop()
+                               .read(Workspace, idxParam(1, 0, 64), 1u)
+                               .work(4)
+                               .read(Workspace, idxParam(1, 0, 64), 1u)
+                               .endMethod();
+
+  MethodId LogEvent = B.beginMethod("logEvent", /*Atomic=*/true)
+                          .read(Log, idxParam(1, 0, 4), 0u)
+                          .work(3)
+                          .write(Log, idxParam(1, 0, 4), 0u)
+                          .endMethod();
+
+  // Non-atomic helper: thread-local buffer churn (unary accesses).
+  MethodId IndexLocal = B.beginMethod("indexLocal", /*Atomic=*/false)
+                            .beginLoop(idxConst(16))
+                            .read(Local, idxThread(), idxLoop(0, 1, 0, 8))
+                            .write(Local, idxThread(), idxLoop(0, 1, 0, 8))
+                            .endLoop()
+                            .endMethod();
+
+  // The racy methods run once per ~16 resolve/index pairs, so violations
+  // manifest occasionally rather than on every interleaving.
+  MethodId Worker = B.beginMethod("jobWorker", /*Atomic=*/false)
+                        .beginLoop(idxConst(scaled(Scale, 600)))
+                        .beginLoop(idxConst(16))
+                        .call(ResolvePlugin, idxRandom(32))
+                        .call(IndexLocal)
+                        .work(12)
+                        .endLoop()
+                        .call(UpdateMarker, idxRandom(64))
+                        .call(ScanWorkspace, idxRandom(64))
+                        .call(LogEvent, idxRandom(4))
+                        .endLoop()
+                        .endMethod();
+
+  addDriver(B, std::vector<MethodId>(Workers, Worker));
+  return B.build();
+}

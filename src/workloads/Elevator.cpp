@@ -1,0 +1,76 @@
+//===- workloads/Elevator.cpp - Discrete-event elevator analog ------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analog of the elevator microbenchmark (von Praun & Gross): lift threads
+/// service a shared floor-request board. Requests are posted under the
+/// board's monitor, but lifts update the racy door/position state without
+/// it — the two seeded violations of Table 2. Not compute bound; excluded
+/// from Fig. 7 like in the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::ir;
+using namespace dc::workloads;
+
+ir::Program workloads::buildElevator(double Scale) {
+  ProgramBuilder B("elevator", /*Seed=*/0xe1e);
+  PoolId Floors = B.addPool("floors", 8, 2);
+  PoolId Lift = B.addPool("liftState", 2, 2);
+
+  MethodId PostRequest = B.beginMethod("postRequest", /*Atomic=*/true)
+                             .acquire(Floors, idxParam(1, 0, 8))
+                             .write(Floors, idxParam(1, 0, 8), 0u)
+                             .release(Floors, idxParam(1, 0, 8))
+                             .endMethod();
+
+  MethodId TakeRequest = B.beginMethod("takeRequest", /*Atomic=*/true)
+                             .acquire(Floors, idxParam(1, 0, 8))
+                             .read(Floors, idxParam(1, 0, 8), 0u)
+                             .write(Floors, idxParam(1, 0, 8), 1u)
+                             .release(Floors, idxParam(1, 0, 8))
+                             .endMethod();
+
+  // Racy read-modify-write of the lift's door state (seeded violation).
+  MethodId MoveLift = B.beginMethod("moveLift", /*Atomic=*/true)
+                          .read(Lift, idxParam(1, 0, 2), 0u)
+                          .work(4)
+                          .write(Lift, idxParam(1, 0, 2), 0u)
+                          .endMethod();
+
+  // Racy door toggle racing moveLift on the same state (second violation).
+  MethodId ToggleDoors = B.beginMethod("toggleDoors", /*Atomic=*/true)
+                             .read(Lift, idxParam(1, 0, 2), 1u)
+                             .read(Lift, idxParam(1, 0, 2), 0u)
+                             .work(3)
+                             .write(Lift, idxParam(1, 0, 2), 1u)
+                             .endMethod();
+
+  MethodId LiftWorker = B.beginMethod("liftWorker", /*Atomic=*/false)
+                            .beginLoop(idxConst(scaled(Scale, 200)))
+                            .beginLoop(idxConst(8))
+                            .call(TakeRequest, idxRandom(8))
+                            .work(30)
+                            .endLoop()
+                            .call(MoveLift, idxRandom(2))
+                            .call(ToggleDoors, idxRandom(2))
+                            .endLoop()
+                            .endMethod();
+
+  MethodId PersonWorker = B.beginMethod("personWorker", /*Atomic=*/false)
+                              .beginLoop(idxConst(scaled(Scale, 1500)))
+                              .call(PostRequest, idxRandom(8))
+                              .work(40)
+                              .endLoop()
+                              .endMethod();
+
+  addDriver(B, {LiftWorker, LiftWorker, PersonWorker});
+  return B.build();
+}

@@ -1,0 +1,57 @@
+//===- workloads/Hedc.cpp - Metadata-crawler analog -----------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analog of the hedc microbenchmark (a web metadata crawler): worker
+/// tasks fetch into a shared result table. The table slot claim is racy
+/// (check-then-write without holding the slot), and the progress counter
+/// is a racy read-modify-write — the small number of violations Table 2
+/// reports. Tiny and I/O-ish; excluded from Fig. 7.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::ir;
+using namespace dc::workloads;
+
+ir::Program workloads::buildHedc(double Scale) {
+  ProgramBuilder B("hedc", /*Seed=*/0x4edc);
+  PoolId Results = B.addPool("results", 16, 2);
+  PoolId Progress = B.addPool("progress", 1, 1);
+
+  MethodId StoreResult = B.beginMethod("storeResult", /*Atomic=*/true)
+                             .read(Results, idxParam(1, 0, 16), 0u)
+                             .work(6)
+                             .write(Results, idxParam(1, 0, 16), 0u)
+                             .write(Results, idxParam(1, 0, 16), 1u)
+                             .endMethod();
+
+  MethodId BumpProgress = B.beginMethod("bumpProgress", /*Atomic=*/true)
+                              .read(Progress, idxConst(0), 0u)
+                              .work(3)
+                              .write(Progress, idxConst(0), 0u)
+                              .endMethod();
+
+  MethodId FetchTask = B.beginMethod("fetchTask", /*Atomic=*/false)
+                           .work(60) // "network" latency stand-in
+                           .endMethod();
+
+  MethodId Worker = B.beginMethod("crawlerWorker", /*Atomic=*/false)
+                        .beginLoop(idxConst(scaled(Scale, 150)))
+                        .beginLoop(idxConst(8))
+                        .call(FetchTask)
+                        .endLoop()
+                        .call(StoreResult, idxRandom(16))
+                        .call(BumpProgress)
+                        .endLoop()
+                        .endMethod();
+
+  addDriver(B, {Worker, Worker, Worker});
+  return B.build();
+}

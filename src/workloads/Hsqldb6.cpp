@@ -1,0 +1,113 @@
+//===- workloads/Hsqldb6.cpp - Embedded-database analog -------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analog of DaCapo hsqldb6: writers update table rows under the database
+/// lock and append to a journal they notify a logger thread about;
+/// `readRow` reads rows *without* the lock (a classic inconsistent-locking
+/// atomicity bug — a reader can observe half of an insert, forming a
+/// read-write / write-read cycle with `insertRow`). The logger exercises
+/// wait/notify dependence edges.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::ir;
+using namespace dc::workloads;
+
+ir::Program workloads::buildHsqldb6(double Scale) {
+  ProgramBuilder B("hsqldb6", /*Seed=*/0xdb6);
+  PoolId Table = B.addPool("table", 8, 2);
+  PoolId DbLock = B.addPool("dblock", 1, 1);
+  PoolId Journal = B.addPool("journal", 1, 2);
+  PoolId Session = B.addPool("session", 8, 8);
+
+  MethodId InsertRow = B.beginMethod("insertRow", /*Atomic=*/true)
+                           .acquire(DbLock, idxConst(0))
+                           .write(Table, idxParam(1, 0, 8), 0u)
+                           .work(4)
+                           .write(Table, idxParam(1, 0, 8), 1u)
+                           .release(DbLock, idxConst(0))
+                           .acquire(Journal, idxConst(0))
+                           .write(Journal, idxConst(0), 0u)
+                           .notifyAll(Journal, idxConst(0))
+                           .release(Journal, idxConst(0))
+                           .endMethod();
+
+  // Reads the row without the database lock: can observe a half-applied
+  // insert (seeded violation).
+  MethodId ReadRow = B.beginMethod("readRow", /*Atomic=*/true)
+                         .read(Table, idxParam(1, 0, 8), 0u)
+                         .work(30)
+                         .read(Table, idxParam(1, 0, 8), 1u)
+                         .endMethod();
+
+  // Session-local query evaluation between database operations.
+  MethodId EvalQuery = B.beginMethod("evalQuery", /*Atomic=*/true)
+                           .beginLoop(idxConst(24))
+                           .read(Session, idxThread(), idxRandom(8))
+                           .write(Session, idxThread(), idxRandom(8))
+                           .work(2)
+                           .endLoop()
+                           .endMethod();
+
+  MethodId Checkpoint = B.beginMethod("checkpoint", /*Atomic=*/true)
+                            .acquire(DbLock, idxConst(0))
+                            .beginLoop(idxConst(8))
+                            .read(Table, idxLoop(0, 1, 0, 8), 0u)
+                            .endLoop()
+                            .release(DbLock, idxConst(0))
+                            .endMethod();
+
+  // Logger: waits once for journal activity, then drains it under its
+  // monitor. Contains wait, so the initial specification excludes it.
+  MethodId FlushJournal = B.beginMethod("flushJournal", /*Atomic=*/false)
+                              .acquire(Journal, idxConst(0))
+                              .wait(Journal, idxConst(0))
+                              .release(Journal, idxConst(0))
+                              .beginLoop(idxConst(scaled(Scale, 400)))
+                              .acquire(Journal, idxConst(0))
+                              .read(Journal, idxConst(0), 0u)
+                              .write(Journal, idxConst(0), 1u)
+                              .release(Journal, idxConst(0))
+                              .work(16)
+                              .endLoop()
+                              .endMethod();
+
+  MethodId Writer = B.beginMethod("writerSession", /*Atomic=*/false)
+                        .beginLoop(idxConst(scaled(Scale, 350)))
+                        .beginLoop(idxConst(16))
+                        .call(EvalQuery)
+                        .work(10)
+                        .endLoop()
+                        .call(InsertRow, idxRandom(8))
+                        .call(ReadRow, idxRandom(8))
+                        .endLoop()
+                        .call(Checkpoint)
+                        .endMethod();
+
+  // Custom driver: after the writers finish, wake the logger once more so
+  // it cannot be left waiting if every notify preceded its wait.
+  MethodId MainId = B.beginMethod("main", /*Atomic=*/false)
+                        .forkThread(idxConst(1))
+                        .forkThread(idxConst(2))
+                        .forkThread(idxConst(3))
+                        .joinThread(idxConst(1))
+                        .joinThread(idxConst(2))
+                        .acquire(Journal, idxConst(0))
+                        .notifyAll(Journal, idxConst(0))
+                        .release(Journal, idxConst(0))
+                        .joinThread(idxConst(3))
+                        .endMethod();
+  B.addThread(MainId);
+  B.addThread(Writer);
+  B.addThread(Writer);
+  B.addThread(FlushJournal);
+  return B.build();
+}

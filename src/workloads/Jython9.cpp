@@ -1,0 +1,43 @@
+//===- workloads/Jython9.cpp - Interpreter analog (no sharing) ------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analog of DaCapo jython9: effectively single-threaded — Table 3 shows
+/// just 8 regular transactions holding 53M instrumented accesses, no IDG
+/// edges and no SCCs. One worker interprets a script in a handful of huge
+/// atomic regions over thread-local frames; checkers see pure fast-path
+/// barrier traffic, making this a barrier-overhead microcosm in Fig. 7.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::ir;
+using namespace dc::workloads;
+
+ir::Program workloads::buildJython9(double Scale) {
+  ProgramBuilder B("jython9", /*Seed=*/0x97409);
+  PoolId Frames = B.addPool("frames", 8, 32);
+
+  MethodId Interpret = B.beginMethod("interpret", /*Atomic=*/true)
+                           .beginLoop(idxConst(scaled(Scale, 120000)))
+                           .read(Frames, idxRandom(8), idxRandom(32))
+                           .write(Frames, idxRandom(8), idxRandom(32))
+                           .work(2)
+                           .endLoop()
+                           .endMethod();
+
+  MethodId Worker = B.beginMethod("scriptWorker", /*Atomic=*/false)
+                        .beginLoop(idxConst(4))
+                        .call(Interpret)
+                        .endLoop()
+                        .endMethod();
+
+  addDriver(B, {Worker});
+  return B.build();
+}

@@ -1,0 +1,44 @@
+//===- workloads/Luindex9.cpp - Index-builder analog ----------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analog of DaCapo luindex9: a single indexing worker filling thread-local
+/// buffers inside a few transactions. Like jython9 it reports nothing
+/// (Table 2: 0 violations; Table 3: no edges, no SCCs) and measures pure
+/// single-threaded barrier overhead, at a smaller scale.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::ir;
+using namespace dc::workloads;
+
+ir::Program workloads::buildLuindex9(double Scale) {
+  ProgramBuilder B("luindex9", /*Seed=*/0x10109);
+  PoolId Buffers = B.addPool("buffers", 16, 16);
+  PoolId Docs = B.addArrayPool("docs", 4, 256);
+
+  MethodId IndexDoc = B.beginMethod("indexDoc", /*Atomic=*/true)
+                          .beginLoop(idxConst(32))
+                          .readElem(Docs, idxParam(1, 0, 4), idxRandom(256))
+                          .read(Buffers, idxRandom(16), idxRandom(16))
+                          .write(Buffers, idxRandom(16), idxRandom(16))
+                          .endLoop()
+                          .endMethod();
+
+  MethodId Worker = B.beginMethod("indexWorker", /*Atomic=*/false)
+                        .beginLoop(idxConst(scaled(Scale, 6000)))
+                        .call(IndexDoc, idxRandom(4))
+                        .work(8)
+                        .endLoop()
+                        .endMethod();
+
+  addDriver(B, {Worker});
+  return B.build();
+}

@@ -1,0 +1,60 @@
+//===- workloads/Lusearch6.cpp - Text-search analog (2006) ----------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analog of DaCapo lusearch6: workers scan disjoint index segments
+/// (thread-local in the Octet sense — segments stay RdEx/WrEx for their
+/// owner, so barriers take the fast path), with a single shared hit
+/// counter updated racily but *rarely*: Table 2 reports exactly one
+/// violation and Table 3 only 17 IDG edges and zero SCCs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::ir;
+using namespace dc::workloads;
+
+ir::Program workloads::buildLusearch6(double Scale) {
+  ProgramBuilder B("lusearch6", /*Seed=*/0x15e6);
+  const uint32_t Workers = 3;
+  PoolId Index = B.addPool("index", Workers + 1, 64);
+  PoolId Hits = B.addPool("hits", 1, 1);
+
+  // Thread-local scan of this worker's own segment (object = thread id):
+  // the segment stays RdEx/WrEx for its owner, so barriers stay on the
+  // fast path.
+  MethodId SearchSegment = B.beginMethod("searchSegment", /*Atomic=*/true)
+                               .beginLoop(idxConst(32))
+                               .read(Index, idxThread(), idxRandom(64))
+                               .read(Index, idxThread(), idxRandom(64))
+                               .write(Index, idxThread(), idxRandom(64))
+                               .endLoop()
+                               .endMethod();
+
+  // The one seeded bug: unsynchronized read-modify-write of the global
+  // hit counter, called once per outer iteration (rare relative to scans).
+  MethodId UpdateHits = B.beginMethod("updateHits", /*Atomic=*/true)
+                            .read(Hits, idxConst(0), 0u)
+                            .work(4)
+                            .write(Hits, idxConst(0), 0u)
+                            .endMethod();
+
+  MethodId Worker = B.beginMethod("searchWorker", /*Atomic=*/false)
+                        .beginLoop(idxConst(scaled(Scale, 300)))
+                        .beginLoop(idxConst(16))
+                        .call(SearchSegment)
+                        .work(6)
+                        .endLoop()
+                        .call(UpdateHits)
+                        .endLoop()
+                        .endMethod();
+
+  addDriver(B, std::vector<MethodId>(Workers, Worker));
+  return B.build();
+}

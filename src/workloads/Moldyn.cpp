@@ -1,0 +1,55 @@
+//===- workloads/Moldyn.cpp - Molecular-dynamics analog -------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analog of Java Grande moldyn: force computation over a particle system.
+/// Workers update disjoint particle partitions inside many short atomic
+/// methods (Table 3: 573k transactions, essentially no edges) while
+/// reading a shared parameter block that settles into RdSh. Serializable
+/// by construction — Table 2 reports zero violations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::ir;
+using namespace dc::workloads;
+
+ir::Program workloads::buildMoldyn(double Scale) {
+  ProgramBuilder B("moldyn", /*Seed=*/0x301d);
+  const uint32_t Workers = 3;
+  PoolId Particles = B.addPool("particles", Workers + 1, 24);
+  PoolId Params = B.addPool("params", 4, 4);
+
+  MethodId UpdateParticle = B.beginMethod("updateParticle", /*Atomic=*/true)
+                                .beginLoop(idxConst(12))
+                                .read(Params, idxRandom(4), idxRandom(4))
+                                .read(Particles, idxThread(),
+                                      idxLoop(0, 2, 0, 24))
+                                .work(3)
+                                .write(Particles, idxThread(),
+                                       idxLoop(0, 2, 1, 24))
+                                .endLoop()
+                                .endMethod();
+
+  MethodId ComputeForces = B.beginMethod("computeForces", /*Atomic=*/false)
+                               .beginLoop(idxConst(2))
+                               .call(UpdateParticle, idxLoop())
+                               .endLoop()
+                               .endMethod();
+
+  MethodId Worker = B.beginMethod("mdWorker", /*Atomic=*/false)
+                        .beginLoop(idxConst(scaled(Scale, 2500)))
+                        .call(ComputeForces)
+                        .work(8)
+                        .endLoop()
+                        .endMethod();
+
+  addDriver(B, std::vector<MethodId>(Workers, Worker));
+  return B.build();
+}

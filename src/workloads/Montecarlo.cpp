@@ -1,0 +1,76 @@
+//===- workloads/Montecarlo.cpp - Monte-Carlo-pricing analog --------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analog of Java Grande montecarlo: every worker prices tasks against a
+/// read-shared rate table — heavy RdSh traffic exercising Octet's upgrade
+/// and fence transitions and the gLastRdSh edge chain — and folds results
+/// into a racy global accumulator (the seeded violations; Table 2 reports
+/// 2). The RdSh edges plus accumulator conflicts give montecarlo its
+/// comparatively high SCC count (Table 3: 2,860).
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::ir;
+using namespace dc::workloads;
+
+ir::Program workloads::buildMontecarlo(double Scale) {
+  ProgramBuilder B("montecarlo", /*Seed=*/0x3047e);
+  const uint32_t Workers = 3;
+  PoolId Rates = B.addPool("rates", 24, 4);
+  PoolId Accum = B.addPool("accumulator", 1, 2);
+  PoolId Scratch = B.addPool("scratch", Workers + 1, 8);
+
+  MethodId PriceTask = B.beginMethod("priceTask", /*Atomic=*/true)
+                           .beginLoop(idxConst(12))
+                           .read(Rates, idxRandom(24), idxRandom(4))
+                           .read(Scratch, idxThread(), idxRandom(8))
+                           .write(Scratch, idxThread(), idxRandom(8))
+                           .work(2)
+                           .endLoop()
+                           .endMethod();
+
+  // Racy global accumulation (seeded violation).
+  MethodId Accumulate = B.beginMethod("accumulate", /*Atomic=*/true)
+                            .read(Accum, idxConst(0), 0u)
+                            .work(3)
+                            .write(Accum, idxConst(0), 0u)
+                            .write(Accum, idxConst(0), 1u)
+                            .endMethod();
+
+  MethodId Worker = B.beginMethod("pricingWorker", /*Atomic=*/false)
+                        .beginLoop(idxConst(scaled(Scale, 500)))
+                        .beginLoop(idxConst(12))
+                        .call(PriceTask)
+                        .work(4)
+                        .endLoop()
+                        .call(Accumulate)
+                        .endLoop()
+                        .endMethod();
+
+  // Main initializes the rate table; workers then only read it, so it
+  // upgrades through RdEx into RdSh and stays there.
+  MethodId MainId = B.beginMethod("main", /*Atomic=*/false)
+                        .beginLoop(idxConst(24))
+                        .write(Rates, idxLoop(), idxConst(0))
+                        .write(Rates, idxLoop(), idxConst(1))
+                        .endLoop()
+                        .forkThread(idxConst(1))
+                        .forkThread(idxConst(2))
+                        .forkThread(idxConst(3))
+                        .joinThread(idxConst(1))
+                        .joinThread(idxConst(2))
+                        .joinThread(idxConst(3))
+                        .endMethod();
+  B.addThread(MainId);
+  for (uint32_t W = 0; W < Workers; ++W)
+    B.addThread(Worker);
+  return B.build();
+}

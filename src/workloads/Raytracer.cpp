@@ -1,0 +1,73 @@
+//===- workloads/Raytracer.cpp - Ray-tracer analog ------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analog of Java Grande raytracer: the biggest access count in Table 3
+/// (890M), almost all of it reads of the read-shared scene inside per-row
+/// render transactions, with a checksum folded in under a lock —
+/// correctly, so Table 2 reports zero violations. (The paper had to shrink
+/// raytracer's input and exclude one long-running transaction to keep
+/// single-run mode within 32-bit memory; our rows are short instead.)
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::ir;
+using namespace dc::workloads;
+
+ir::Program workloads::buildRaytracer(double Scale) {
+  ProgramBuilder B("raytracer", /*Seed=*/0x4a7);
+  const uint32_t Workers = 3;
+  PoolId Scene = B.addPool("scene", 64, 8);
+  PoolId Rows = B.addPool("rows", Workers + 1, 32);
+  PoolId Checksum = B.addPool("checksum", 1, 1);
+
+  MethodId RenderRow = B.beginMethod("renderRow", /*Atomic=*/true)
+                           .beginLoop(idxConst(20))
+                           .read(Scene, idxRandom(64), idxRandom(8))
+                           .read(Scene, idxRandom(64), idxRandom(8))
+                           .work(3)
+                           .write(Rows, idxThread(), idxRandom(32))
+                           .endLoop()
+                           .endMethod();
+
+  // Correctly locked checksum fold: no violation.
+  MethodId AddChecksum = B.beginMethod("addChecksum", /*Atomic=*/true)
+                             .acquire(Checksum, idxConst(0))
+                             .read(Checksum, idxConst(0), 0u)
+                             .write(Checksum, idxConst(0), 0u)
+                             .release(Checksum, idxConst(0))
+                             .endMethod();
+
+  MethodId Worker = B.beginMethod("renderWorker", /*Atomic=*/false)
+                        .beginLoop(idxConst(scaled(Scale, 250)))
+                        .beginLoop(idxConst(14))
+                        .call(RenderRow)
+                        .endLoop()
+                        .call(AddChecksum)
+                        .endLoop()
+                        .endMethod();
+
+  // Main builds the scene before forking.
+  MethodId MainId = B.beginMethod("main", /*Atomic=*/false)
+                        .beginLoop(idxConst(64))
+                        .write(Scene, idxLoop(), idxConst(0))
+                        .endLoop()
+                        .forkThread(idxConst(1))
+                        .forkThread(idxConst(2))
+                        .forkThread(idxConst(3))
+                        .joinThread(idxConst(1))
+                        .joinThread(idxConst(2))
+                        .joinThread(idxConst(3))
+                        .endMethod();
+  B.addThread(MainId);
+  for (uint32_t W = 0; W < Workers; ++W)
+    B.addThread(Worker);
+  return B.build();
+}

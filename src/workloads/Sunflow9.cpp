@@ -1,0 +1,72 @@
+//===- workloads/Sunflow9.cpp - Renderer analog ---------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analog of DaCapo sunflow9: a read-shared scene consulted by every
+/// worker (RdSh-state traffic on the Octet fast path), per-tile rendering
+/// into private framebuffers, and a racy global statistics object whose
+/// read-modify-write is the seeded violation (Table 2: 13). The paper had
+/// to exclude two long-running atomic methods from sunflow9's spec to keep
+/// PCD within memory; our tiles are short so no adjustment is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::ir;
+using namespace dc::workloads;
+
+ir::Program workloads::buildSunflow9(double Scale) {
+  ProgramBuilder B("sunflow9", /*Seed=*/0x50f9);
+  const uint32_t Workers = 3;
+  PoolId Scene = B.addPool("scene", 32, 8);
+  PoolId Framebuffer = B.addPool("framebuffer", Workers + 1, 64);
+  PoolId RenderStats = B.addPool("renderStats", 1, 2);
+
+  MethodId RenderTile = B.beginMethod("renderTile", /*Atomic=*/true)
+                            .beginLoop(idxConst(16))
+                            .read(Scene, idxRandom(32), idxRandom(8))
+                            .read(Scene, idxRandom(32), idxRandom(8))
+                            .work(4)
+                            .write(Framebuffer, idxThread(), idxRandom(64))
+                            .endLoop()
+                            .endMethod();
+
+  MethodId UpdateStats = B.beginMethod("updateStats", /*Atomic=*/true)
+                             .read(RenderStats, idxConst(0), 0u)
+                             .work(3)
+                             .write(RenderStats, idxConst(0), 0u)
+                             .write(RenderStats, idxConst(0), 1u)
+                             .endMethod();
+
+  MethodId Worker = B.beginMethod("renderWorker", /*Atomic=*/false)
+                        .beginLoop(idxConst(scaled(Scale, 2500)))
+                        .beginLoop(idxConst(8))
+                        .call(RenderTile)
+                        .endLoop()
+                        .call(UpdateStats)
+                        .endLoop()
+                        .endMethod();
+
+  // Main builds the scene before forking (workers then share it read-only).
+  MethodId MainId = B.beginMethod("main", /*Atomic=*/false)
+                        .beginLoop(idxConst(32))
+                        .write(Scene, idxLoop(), idxConst(0))
+                        .endLoop()
+                        .forkThread(idxConst(1))
+                        .forkThread(idxConst(2))
+                        .forkThread(idxConst(3))
+                        .joinThread(idxConst(1))
+                        .joinThread(idxConst(2))
+                        .joinThread(idxConst(3))
+                        .endMethod();
+  B.addThread(MainId);
+  for (uint32_t W = 0; W < Workers; ++W)
+    B.addThread(Worker);
+  return B.build();
+}

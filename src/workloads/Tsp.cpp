@@ -1,0 +1,74 @@
+//===- workloads/Tsp.cpp - Branch-and-bound TSP analog --------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analog of the tsp microbenchmark: branch-and-bound search whose inner
+/// loop reads the shared best-tour bound on every step *outside* any
+/// atomic region — Table 3's 694M non-transactional accesses dwarfing its
+/// 12k transactions. The bound object settles into RdSh so the unary reads
+/// stay on Octet's fast path; racy best-tour updates (`updateBest`,
+/// `recordTour`) provide the violations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::ir;
+using namespace dc::workloads;
+
+ir::Program workloads::buildTsp(double Scale) {
+  ProgramBuilder B("tsp", /*Seed=*/0x7259);
+  const uint32_t Workers = 3;
+  PoolId Distances = B.addArrayPool("distances", 1, 256);
+  PoolId Best = B.addPool("best", 1, 2);
+  PoolId Tours = B.addPool("tours", Workers + 1, 16);
+
+  // Racy best-bound update: read-check-write without synchronization.
+  MethodId UpdateBest = B.beginMethod("updateBest", /*Atomic=*/true)
+                            .read(Best, idxConst(0), 0u)
+                            .work(4)
+                            .write(Best, idxConst(0), 0u)
+                            .endMethod();
+
+  // Racy tour recording racing updateBest via the second field.
+  MethodId RecordTour = B.beginMethod("recordTour", /*Atomic=*/true)
+                            .read(Best, idxConst(0), 1u)
+                            .read(Best, idxConst(0), 0u)
+                            .work(3)
+                            .write(Best, idxConst(0), 1u)
+                            .endMethod();
+
+  // The dominant cost: the non-transactional search loop, polling the
+  // bound (unary field read) while walking the distance matrix (array
+  // reads, uninstrumented by default) and private tour state.
+  MethodId SearchSubtree =
+      B.beginMethod("searchSubtree", /*Atomic=*/false)
+          .beginLoop(idxConst(200))
+          .readElem(Distances, idxConst(0), idxRandom(256))
+          .read(Best, idxConst(0), 0u)
+          .read(Tours, idxThread(), idxRandom(16))
+          .write(Tours, idxThread(), idxRandom(16))
+          .work(2)
+          .endLoop()
+          .endMethod();
+
+  // Bound improvements are rare relative to search (roughly one best-tour
+  // update per 8 subtree expansions).
+  MethodId Worker = B.beginMethod("searchWorker", /*Atomic=*/false)
+                        .beginLoop(idxConst(scaled(Scale, 70)))
+                        .beginLoop(idxConst(8))
+                        .call(SearchSubtree)
+                        .endLoop()
+                        .call(UpdateBest)
+                        .call(RecordTour)
+                        .endLoop()
+                        .endMethod();
+
+  addDriver(B, std::vector<MethodId>(Workers, Worker));
+  return B.build();
+}

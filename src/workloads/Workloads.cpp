@@ -1,0 +1,103 @@
+//===- workloads/Workloads.cpp - Registry -------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+#include <cassert>
+
+using namespace dc;
+using namespace dc::workloads;
+
+const std::vector<WorkloadInfo> &workloads::all() {
+  static const std::vector<WorkloadInfo> Table = {
+      {"eclipse6", true,
+       "IDE jobs: plugin registry, racy marker/log updates (many distinct "
+       "violations)",
+       &buildEclipse6},
+      {"hsqldb6", true,
+       "embedded database: locked row updates vs. racy readers, log flush "
+       "via wait/notify",
+       &buildHsqldb6},
+      {"lusearch6", true,
+       "text search: thread-local scans, one rarely-racy shared hit "
+       "counter",
+       &buildLusearch6},
+      {"xalan6", true,
+       "XSLT: tiny hot shared cache, constant conflicting transitions "
+       "(pathologically many imprecise SCCs)",
+       &buildXalan6},
+      {"avrora9", true,
+       "AVR simulator: huge non-transactional stepping loop, occasional "
+       "racy event posts",
+       &buildAvrora9},
+      {"jython9", true,
+       "Python interpreter: effectively single-threaded, a handful of huge "
+       "transactions, no sharing",
+       &buildJython9},
+      {"luindex9", true,
+       "index builder: single worker, few transactions, thread-local "
+       "buffers",
+       &buildLuindex9},
+      {"lusearch9", true,
+       "text search: thread-local scans plus a racy shared cache touched "
+       "by two methods",
+       &buildLusearch9},
+      {"pmd9", true,
+       "source analyzer: per-file thread-local analysis, no shared "
+       "mutation",
+       &buildPmd9},
+      {"sunflow9", true,
+       "renderer: read-shared scene, safe tiles, racy global statistics",
+       &buildSunflow9},
+      {"xalan9", true,
+       "XSLT (9.12): larger cache, moderate conflict rate and SCC count",
+       &buildXalan9},
+      {"elevator", false,
+       "discrete-event elevators: wait/notify controller, racy door state",
+       &buildElevator},
+      {"hedc", false,
+       "metadata crawler: tiny task pool, racy result table",
+       &buildHedc},
+      {"philo", false,
+       "dining philosophers: correctly locked forks, wait/notify, no "
+       "violations",
+       &buildPhilo},
+      {"sor", true,
+       "successive over-relaxation: phase-barriered stencil over shared "
+       "arrays, no violations",
+       &buildSor},
+      {"tsp", true,
+       "branch-and-bound TSP: enormous unary search loop, racy best-bound "
+       "updates",
+       &buildTsp},
+      {"moldyn", true,
+       "molecular dynamics: partitioned particle updates inside "
+       "transactions, no violations",
+       &buildMoldyn},
+      {"montecarlo", true,
+       "Monte Carlo pricing: read-shared rate tables (RdSh-heavy), racy "
+       "accumulator",
+       &buildMontecarlo},
+      {"raytracer", true,
+       "ray tracer: read-shared scene, massive access count, clean "
+       "checksum discipline",
+       &buildRaytracer},
+  };
+  return Table;
+}
+
+const WorkloadInfo *workloads::find(const std::string &Name) {
+  for (const WorkloadInfo &W : all())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}
+
+ir::Program workloads::build(const std::string &Name, double Scale) {
+  const WorkloadInfo *W = find(Name);
+  assert(W != nullptr && "unknown workload");
+  return W->Build(Scale);
+}

@@ -1,0 +1,76 @@
+//===- workloads/Workloads.h - Synthetic benchmark registry ----*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The 19 synthetic workloads standing in for the paper's benchmarks
+/// (DaCapo 2006/9.12, the microbenchmarks, and Java Grande). Each
+/// reproduces the *sharing pattern* that made the original interesting for
+/// atomicity checking — transactional vs. unary access mix, read-shared
+/// vs. conflicting objects, SCC density, seeded atomicity bugs — rather
+/// than the original computation. See each builder's file comment and
+/// DESIGN.md §2 for the substitution rationale.
+///
+/// `Scale` multiplies iteration counts: 1.0 is the size used by the
+/// benchmark harnesses (the paper's "small" configurations, scaled to this
+/// substrate); tests use much smaller values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_WORKLOADS_WORKLOADS_H
+#define DC_WORKLOADS_WORKLOADS_H
+
+#include <string>
+#include <vector>
+
+#include "ir/Ir.h"
+
+namespace dc {
+namespace workloads {
+
+struct WorkloadInfo {
+  std::string Name;
+  /// Included in the Figure 7 performance experiment (the paper excludes
+  /// elevator, hedc, and philo as not compute bound).
+  bool ComputeBound = true;
+  /// One-line description of the sharing pattern it models.
+  std::string Description;
+  ir::Program (*Build)(double Scale) = nullptr;
+};
+
+/// All workloads, in the paper's Table 2/3 order.
+const std::vector<WorkloadInfo> &all();
+
+/// Finds a workload by name; returns nullptr if absent.
+const WorkloadInfo *find(const std::string &Name);
+
+/// Convenience: builds \p Name at \p Scale; asserts the name exists.
+ir::Program build(const std::string &Name, double Scale);
+
+// Individual builders (one translation unit each).
+ir::Program buildEclipse6(double Scale);
+ir::Program buildHsqldb6(double Scale);
+ir::Program buildLusearch6(double Scale);
+ir::Program buildXalan6(double Scale);
+ir::Program buildAvrora9(double Scale);
+ir::Program buildJython9(double Scale);
+ir::Program buildLuindex9(double Scale);
+ir::Program buildLusearch9(double Scale);
+ir::Program buildPmd9(double Scale);
+ir::Program buildSunflow9(double Scale);
+ir::Program buildXalan9(double Scale);
+ir::Program buildElevator(double Scale);
+ir::Program buildHedc(double Scale);
+ir::Program buildPhilo(double Scale);
+ir::Program buildSor(double Scale);
+ir::Program buildTsp(double Scale);
+ir::Program buildMoldyn(double Scale);
+ir::Program buildMontecarlo(double Scale);
+ir::Program buildRaytracer(double Scale);
+
+} // namespace workloads
+} // namespace dc
+
+#endif // DC_WORKLOADS_WORKLOADS_H

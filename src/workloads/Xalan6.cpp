@@ -1,0 +1,81 @@
+//===- workloads/Xalan6.cpp - XSLT analog (pathological SCCs) -------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Analog of DaCapo xalan6, the adversarial case for DoubleChecker (§5.3):
+/// all workers hammer a tiny shared DTM cache, so Octet conflicting
+/// transitions fire constantly and ICD's object-granular edges weave the
+/// short transactions into many (mostly imprecise) SCCs — Table 3 reports
+/// 15,500 SCCs, and PCD's serial processing dominates, the one workload
+/// where Velodrome beats single-run mode. `transformA`/`transformB` touch
+/// *different fields* of the same objects, so most ICD cycles carry no
+/// precise dependence; the same-field races inside each method provide the
+/// real violations.
+///
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::ir;
+using namespace dc::workloads;
+
+ir::Program workloads::buildXalan6(double Scale) {
+  ProgramBuilder B("xalan6", /*Seed=*/0xa16);
+  const uint32_t Workers = 3;
+  PoolId Cache = B.addPool("dtmCache", 2, 2);
+  PoolId Doc = B.addPool("doc", Workers + 1, 8);
+
+  // Each transform does a little private parsing, then hits the tiny
+  // shared cache — every ownership migration produces IDG edges, and the
+  // two methods touching different fields of the same objects make most of
+  // the resulting SCCs precise-cycle-free (pure ICD imprecision).
+  MethodId TransformA = B.beginMethod("transformA", /*Atomic=*/true)
+                            .beginLoop(idxConst(6))
+                            .read(Doc, idxThread(), idxRandom(8))
+                            .write(Doc, idxThread(), idxRandom(8))
+                            .endLoop()
+                            .read(Cache, idxParam(1, 0, 2), 0u)
+                            .work(2)
+                            .write(Cache, idxParam(1, 0, 2), 0u)
+                            .endMethod();
+
+  MethodId TransformB = B.beginMethod("transformB", /*Atomic=*/true)
+                            .beginLoop(idxConst(6))
+                            .read(Doc, idxThread(), idxRandom(8))
+                            .write(Doc, idxThread(), idxRandom(8))
+                            .endLoop()
+                            .read(Cache, idxParam(1, 0, 2), 1u)
+                            .work(2)
+                            .write(Cache, idxParam(1, 0, 2), 1u)
+                            .endMethod();
+
+  // Purely session-local parsing between cache touches; spacing the cache
+  // hits keeps the chained SCC "mega-component" (which still forms — see
+  // the file comment) within the memory the paper's 32-bit PCD could not
+  // afford.
+  MethodId ParseLocal = B.beginMethod("parseLocal", /*Atomic=*/true)
+                            .beginLoop(idxConst(10))
+                            .read(Doc, idxThread(), idxRandom(8))
+                            .write(Doc, idxThread(), idxRandom(8))
+                            .work(2)
+                            .endLoop()
+                            .endMethod();
+
+  MethodId Worker = B.beginMethod("transformWorker", /*Atomic=*/false)
+                        .beginLoop(idxConst(scaled(Scale, 1200)))
+                        .call(ParseLocal)
+                        .call(TransformA, idxRandom(2))
+                        .call(ParseLocal)
+                        .call(TransformB, idxRandom(2))
+                        .work(3)
+                        .endLoop()
+                        .endMethod();
+
+  addDriver(B, std::vector<MethodId>(Workers, Worker));
+  return B.build();
+}

@@ -1,0 +1,129 @@
+//===- tests/TestPrograms.h - Shared program builders for tests -*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small programs reused across test suites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_TESTS_TESTPROGRAMS_H
+#define DC_TESTS_TESTPROGRAMS_H
+
+#include "ir/Builder.h"
+
+namespace dc {
+namespace testprogs {
+
+/// A classic atomicity bug: `deposit` is atomic but its read-modify-write
+/// is unsynchronized, so concurrent deposits to the same account interleave
+/// and form write-read/read-write cycles. \p Workers worker threads each
+/// perform \p DepositsPerWorker deposits to \p Accounts accounts.
+inline ir::Program racyBank(uint32_t Workers = 2,
+                            uint32_t DepositsPerWorker = 200,
+                            uint32_t Accounts = 4, uint64_t Seed = 42) {
+  using namespace ir;
+  ProgramBuilder B("racy-bank", Seed);
+  PoolId Acct = B.addPool("accounts", Accounts, 1);
+
+  MethodId Deposit = B.beginMethod("deposit", /*Atomic=*/true)
+                         .read(Acct, idxParam(), 0u)
+                         .work(20)
+                         .write(Acct, idxParam(), 0u)
+                         .endMethod();
+
+  MethodId Worker = B.beginMethod("worker", /*Atomic=*/false)
+                        .beginLoop(idxConst(DepositsPerWorker))
+                        .call(Deposit, idxRandom(Accounts))
+                        .endLoop()
+                        .endMethod();
+
+  auto &Main = B.beginMethod("main", /*Atomic=*/false);
+  for (uint32_t W = 1; W <= Workers; ++W)
+    Main.forkThread(idxConst(W));
+  for (uint32_t W = 1; W <= Workers; ++W)
+    Main.joinThread(idxConst(W));
+  MethodId MainId = Main.endMethod();
+
+  B.addThread(MainId);
+  for (uint32_t W = 1; W <= Workers; ++W)
+    B.addThread(Worker);
+  return B.build();
+}
+
+/// Same structure but each worker owns a private account (indexed by thread
+/// id), so every execution is serializable: no checker may report anything.
+inline ir::Program disjointBank(uint32_t Workers = 2,
+                                uint32_t DepositsPerWorker = 200,
+                                uint64_t Seed = 7) {
+  using namespace ir;
+  ProgramBuilder B("disjoint-bank", Seed);
+  PoolId Acct = B.addPool("accounts", Workers + 1, 1);
+
+  MethodId Deposit = B.beginMethod("deposit", /*Atomic=*/true)
+                         .read(Acct, idxThread(), 0u)
+                         .work(10)
+                         .write(Acct, idxThread(), 0u)
+                         .endMethod();
+
+  MethodId Worker = B.beginMethod("worker", /*Atomic=*/false)
+                        .beginLoop(idxConst(DepositsPerWorker))
+                        .call(Deposit, idxConst(0))
+                        .endLoop()
+                        .endMethod();
+
+  auto &Main = B.beginMethod("main", /*Atomic=*/false);
+  for (uint32_t W = 1; W <= Workers; ++W)
+    Main.forkThread(idxConst(W));
+  for (uint32_t W = 1; W <= Workers; ++W)
+    Main.joinThread(idxConst(W));
+  MethodId MainId = Main.endMethod();
+
+  B.addThread(MainId);
+  for (uint32_t W = 1; W <= Workers; ++W)
+    B.addThread(Worker);
+  return B.build();
+}
+
+/// A correctly-locked variant: deposits hold the account's monitor, so the
+/// atomic method really is serializable.
+inline ir::Program lockedBank(uint32_t Workers = 2,
+                              uint32_t DepositsPerWorker = 200,
+                              uint32_t Accounts = 4, uint64_t Seed = 11) {
+  using namespace ir;
+  ProgramBuilder B("locked-bank", Seed);
+  PoolId Acct = B.addPool("accounts", Accounts, 1);
+
+  MethodId Deposit = B.beginMethod("deposit", /*Atomic=*/true)
+                         .acquire(Acct, idxParam())
+                         .read(Acct, idxParam(), 0u)
+                         .work(10)
+                         .write(Acct, idxParam(), 0u)
+                         .release(Acct, idxParam())
+                         .endMethod();
+
+  MethodId Worker = B.beginMethod("worker", /*Atomic=*/false)
+                        .beginLoop(idxConst(DepositsPerWorker))
+                        .call(Deposit, idxRandom(Accounts))
+                        .endLoop()
+                        .endMethod();
+
+  auto &Main = B.beginMethod("main", /*Atomic=*/false);
+  for (uint32_t W = 1; W <= Workers; ++W)
+    Main.forkThread(idxConst(W));
+  for (uint32_t W = 1; W <= Workers; ++W)
+    Main.joinThread(idxConst(W));
+  MethodId MainId = Main.endMethod();
+
+  B.addThread(MainId);
+  for (uint32_t W = 1; W <= Workers; ++W)
+    B.addThread(Worker);
+  return B.build();
+}
+
+} // namespace testprogs
+} // namespace dc
+
+#endif // DC_TESTS_TESTPROGRAMS_H

@@ -1,0 +1,224 @@
+//===- tests/instr_test.cpp - Instrumentation pass tests ------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "instr/Instrument.h"
+#include "ir/Builder.h"
+#include "ir/Verifier.h"
+
+using namespace dc;
+using namespace dc::instr;
+using namespace dc::ir;
+
+namespace {
+
+/// main -> helper (non-atomic) and main -> atomicOp (atomic) -> helper.
+Program callGraphProgram() {
+  ProgramBuilder B("cg");
+  PoolId Pool = B.addPool("objs", 2, 2);
+  PoolId Arr = B.addArrayPool("arr", 1, 8);
+  MethodId Helper = B.beginMethod("helper", false)
+                        .read(Pool, idxConst(0), 0u)
+                        .readElem(Arr, idxConst(0), idxConst(1))
+                        .endMethod();
+  MethodId AtomicOp = B.beginMethod("atomicOp", true)
+                          .write(Pool, idxConst(0), 0u)
+                          .call(Helper)
+                          .acquire(Pool, idxConst(1))
+                          .release(Pool, idxConst(1))
+                          .endMethod();
+  MethodId Main = B.beginMethod("main", false)
+                      .call(Helper)
+                      .call(AtomicOp)
+                      .endMethod();
+  B.addThread(Main);
+  return B.build();
+}
+
+InstrumentationOptions octetOpts() {
+  InstrumentationOptions Opts;
+  Opts.Checker = CheckerKind::Octet;
+  Opts.LogAccesses = true;
+  return Opts;
+}
+
+TEST(InstrumentTest, CompiledProgramVerifies) {
+  Program P = callGraphProgram();
+  Program C = compile(P, {"main"}, octetOpts());
+  EXPECT_EQ(verify(C), "");
+}
+
+TEST(InstrumentTest, SourceIdsAreStableNonTransVariants) {
+  Program P = callGraphProgram();
+  Program C = compile(P, {"main"}, octetOpts());
+  ASSERT_GE(C.Methods.size(), P.Methods.size());
+  for (const Method &M : P.Methods) {
+    EXPECT_EQ(C.Methods[M.Id].Name, M.Name);
+    EXPECT_EQ(C.originalOf(M.Id), M.Id);
+  }
+}
+
+TEST(InstrumentTest, AtomicMethodStartsTransaction) {
+  Program P = callGraphProgram();
+  Program C = compile(P, {"main"}, octetOpts());
+  const Method &AtomicOp = C.Methods[C.findMethod("atomicOp")];
+  EXPECT_TRUE(AtomicOp.StartsTransaction);
+  EXPECT_TRUE(AtomicOp.TransactionalContext);
+  const Method &Main = C.Methods[C.findMethod("main")];
+  EXPECT_FALSE(Main.StartsTransaction);
+}
+
+TEST(InstrumentTest, DualContextCloneCreated) {
+  Program P = callGraphProgram();
+  Program C = compile(P, {"main"}, octetOpts());
+  // helper is called from main (non-trans) and from atomicOp (trans):
+  // a "$t" clone must exist, and atomicOp's call must target it.
+  MethodId HelperT = C.findMethod("helper$t");
+  ASSERT_NE(HelperT, InvalidMethodId);
+  EXPECT_EQ(C.originalOf(HelperT), P.findMethod("helper"));
+  EXPECT_TRUE(C.Methods[HelperT].TransactionalContext);
+  EXPECT_FALSE(C.Methods[HelperT].StartsTransaction);
+
+  const Method &AtomicOp = C.Methods[C.findMethod("atomicOp")];
+  bool CallsClone = false;
+  for (const Instr &I : AtomicOp.Body)
+    if (I.Op == Opcode::Call && I.Callee == HelperT)
+      CallsClone = true;
+  EXPECT_TRUE(CallsClone);
+
+  const Method &Main = C.Methods[C.findMethod("main")];
+  EXPECT_EQ(Main.Body[0].Callee, C.findMethod("helper"))
+      << "non-transactional call targets the original variant";
+}
+
+TEST(InstrumentTest, AccessFlagsPerChecker) {
+  Program P = callGraphProgram();
+  Program Octet = compile(P, {"main"}, octetOpts());
+  const Instr &OA = Octet.Methods[Octet.findMethod("atomicOp")].Body[0];
+  EXPECT_TRUE(OA.Flags & IF_OctetBarrier);
+  EXPECT_TRUE(OA.Flags & IF_LogAccess);
+  EXPECT_FALSE(OA.Flags & IF_VelodromeBarrier);
+
+  InstrumentationOptions VOpts;
+  VOpts.Checker = CheckerKind::Velodrome;
+  VOpts.LogAccesses = false;
+  Program Velo = compile(P, {"main"}, VOpts);
+  const Instr &VA = Velo.Methods[Velo.findMethod("atomicOp")].Body[0];
+  EXPECT_TRUE(VA.Flags & IF_VelodromeBarrier);
+  EXPECT_FALSE(VA.Flags & IF_LogAccess);
+
+  InstrumentationOptions NOpts;
+  NOpts.Checker = CheckerKind::None;
+  Program None = compile(P, {"main"}, NOpts);
+  EXPECT_EQ(None.Methods[None.findMethod("atomicOp")].Body[0].Flags,
+            IF_None);
+}
+
+TEST(InstrumentTest, FirstRunSkipsLogging) {
+  InstrumentationOptions Opts = octetOpts();
+  Opts.LogAccesses = false;
+  Program C = compile(callGraphProgram(), {"main"}, Opts);
+  const Instr &A = C.Methods[C.findMethod("atomicOp")].Body[0];
+  EXPECT_TRUE(A.Flags & IF_OctetBarrier);
+  EXPECT_FALSE(A.Flags & IF_LogAccess);
+}
+
+TEST(InstrumentTest, ArraysUninstrumentedByDefault) {
+  Program C = compile(callGraphProgram(), {"main"}, octetOpts());
+  const Method &HelperT = C.Methods[C.findMethod("helper$t")];
+  EXPECT_NE(HelperT.Body[0].Flags, IF_None) << "field access instrumented";
+  EXPECT_EQ(HelperT.Body[1].Flags, IF_None) << "array access skipped";
+
+  InstrumentationOptions Opts = octetOpts();
+  Opts.InstrumentArrays = true;
+  Program CA = compile(callGraphProgram(), {"main"}, Opts);
+  EXPECT_NE(CA.Methods[CA.findMethod("helper$t")].Body[1].Flags, IF_None);
+}
+
+TEST(InstrumentTest, SyncOpsCarryFlags) {
+  Program C = compile(callGraphProgram(), {"main"}, octetOpts());
+  const Method &AtomicOp = C.Methods[C.findMethod("atomicOp")];
+  for (const Instr &I : AtomicOp.Body) {
+    if (I.Op == Opcode::Acquire || I.Op == Opcode::Release) {
+      EXPECT_TRUE(I.Flags & IF_OctetBarrier);
+    }
+  }
+  EXPECT_NE(C.ThreadSyncFlags, IF_None);
+}
+
+TEST(InstrumentTest, ExcludedMethodDoesNotStartTransaction) {
+  Program C = compile(callGraphProgram(), {"main", "atomicOp"},
+                      octetOpts());
+  EXPECT_FALSE(C.Methods[C.findMethod("atomicOp")].StartsTransaction);
+  // Its accesses become non-transactional but stay instrumented (unary).
+  EXPECT_NE(C.Methods[C.findMethod("atomicOp")].Body[0].Flags, IF_None);
+}
+
+TEST(InstrumentTest, SelectiveInstrumentationLimitsTransactions) {
+  Program P = callGraphProgram();
+  analysis::StaticTransactionInfo Info; // Empty: nothing implicated.
+  InstrumentationOptions Opts = octetOpts();
+  Opts.Selective = &Info;
+  Program C = compile(P, {"main"}, Opts);
+  EXPECT_FALSE(C.Methods[C.findMethod("atomicOp")].StartsTransaction);
+  // No unary transactions in cycles either: nothing instrumented at all.
+  EXPECT_EQ(C.Methods[C.findMethod("atomicOp")].Body[0].Flags, IF_None);
+  EXPECT_EQ(C.Methods[C.findMethod("helper")].Body[0].Flags, IF_None);
+  EXPECT_EQ(C.ThreadSyncFlags, IF_None);
+}
+
+TEST(InstrumentTest, SelectiveInstrumentationKeepsNamedMethods) {
+  Program P = callGraphProgram();
+  analysis::StaticTransactionInfo Info;
+  Info.MethodNames.insert("atomicOp");
+  InstrumentationOptions Opts = octetOpts();
+  Opts.Selective = &Info;
+  Program C = compile(P, {"main"}, Opts);
+  EXPECT_TRUE(C.Methods[C.findMethod("atomicOp")].StartsTransaction);
+  EXPECT_NE(C.Methods[C.findMethod("atomicOp")].Body[0].Flags, IF_None);
+  // Unary accesses (helper from main) stay uninstrumented: AnyUnary=false.
+  EXPECT_EQ(C.Methods[C.findMethod("helper")].Body[0].Flags, IF_None);
+}
+
+TEST(InstrumentTest, SelectiveUnaryBooleanInstruments) {
+  Program P = callGraphProgram();
+  analysis::StaticTransactionInfo Info;
+  Info.AnyUnary = true;
+  InstrumentationOptions Opts = octetOpts();
+  Opts.Selective = &Info;
+  Program C = compile(P, {"main"}, Opts);
+  EXPECT_NE(C.Methods[C.findMethod("helper")].Body[0].Flags, IF_None);
+  EXPECT_NE(C.ThreadSyncFlags, IF_None);
+}
+
+TEST(InstrumentTest, ForceInstrumentUnaryOverridesBoolean) {
+  Program P = callGraphProgram();
+  analysis::StaticTransactionInfo Info; // AnyUnary = false.
+  InstrumentationOptions Opts = octetOpts();
+  Opts.Selective = &Info;
+  Opts.ForceInstrumentUnary = true;
+  Program C = compile(P, {"main"}, Opts);
+  EXPECT_NE(C.Methods[C.findMethod("helper")].Body[0].Flags, IF_None);
+}
+
+TEST(InstrumentTest, LoopBodiesCompiledRecursively) {
+  ProgramBuilder B("loopy");
+  PoolId Pool = B.addPool("p", 1, 1);
+  MethodId M = B.beginMethod("m", true)
+                   .beginLoop(idxConst(4))
+                   .read(Pool, idxConst(0), 0u)
+                   .endLoop()
+                   .endMethod();
+  MethodId Main = B.beginMethod("main", false).call(M).endMethod();
+  B.addThread(Main);
+  Program C = compile(B.build(), {"main"}, octetOpts());
+  const Instr &Loop = C.Methods[C.findMethod("m")].Body[0];
+  ASSERT_EQ(Loop.Op, Opcode::Loop);
+  EXPECT_TRUE(Loop.Body[0].Flags & IF_OctetBarrier);
+}
+
+} // namespace

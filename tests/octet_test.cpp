@@ -1,0 +1,301 @@
+//===- tests/octet_test.cpp - Octet state machine tests (Table 1) ---------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exercises every row of the paper's Table 1 plus the coordination
+/// protocol and the listener callbacks. Tests drive barriers for several
+/// *program* threads from one OS thread: a thread that has not called
+/// threadStarted() is in the blocked state, so requesters use the implicit
+/// protocol and every transition completes synchronously — the multi-thread
+/// explicit path is covered separately with real threads.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ir/Builder.h"
+#include "octet/OctetManager.h"
+#include "rt/Runtime.h"
+
+using namespace dc;
+using namespace dc::octet;
+
+namespace {
+
+ir::Program tinyProgram(uint32_t Threads) {
+  ir::ProgramBuilder B("octet");
+  B.addPool("objs", 8, 2);
+  ir::MethodId Main = B.beginMethod("main", false).work(1).endMethod();
+  for (uint32_t T = 0; T < Threads; ++T)
+    B.addThread(Main);
+  return B.build();
+}
+
+/// Records every listener callback.
+class RecordingListener : public OctetListener {
+public:
+  struct ConflictEvent {
+    uint32_t Resp;
+    Transition T;
+  };
+  std::vector<ConflictEvent> Conflicts;
+  std::vector<uint32_t> BecameRdEx;
+  std::vector<std::tuple<uint32_t, uint32_t, uint64_t>> Upgrades;
+  std::vector<uint32_t> Fences;
+  SpinLock Lock;
+
+  void onConflictingEdge(uint32_t RespTid, const Transition &T) override {
+    SpinLockGuard G(Lock);
+    Conflicts.push_back({RespTid, T});
+  }
+  void onBecameRdEx(uint32_t Tid) override {
+    SpinLockGuard G(Lock);
+    BecameRdEx.push_back(Tid);
+  }
+  void onUpgradeToRdSh(uint32_t Tid, uint32_t OldOwner,
+                       uint64_t Counter) override {
+    SpinLockGuard G(Lock);
+    Upgrades.emplace_back(Tid, OldOwner, Counter);
+  }
+  void onFence(uint32_t Tid) override {
+    SpinLockGuard G(Lock);
+    Fences.push_back(Tid);
+  }
+};
+
+/// Test fixture: heap for 4 program threads, a recording listener, and
+/// thread contexts driven from the test's own OS thread.
+class OctetTest : public ::testing::Test {
+protected:
+  OctetTest()
+      : P(tinyProgram(4)), RT(P, nullptr),
+        Manager(RT.heap(), 4, &Listener, Stats) {
+    for (uint32_t T = 0; T < 4; ++T) {
+      Tc[T].Tid = T;
+      Tc[T].RT = &RT;
+    }
+  }
+
+  OctetState state(rt::ObjectId Obj) { return Manager.stateOf(Obj); }
+
+  ir::Program P;
+  rt::Runtime RT;
+  StatisticRegistry Stats;
+  RecordingListener Listener;
+  OctetManager Manager;
+  rt::ThreadContext Tc[4];
+};
+
+TEST_F(OctetTest, InitialStateIsUntouched) {
+  EXPECT_EQ(state(0).Kind, StateKind::Untouched);
+}
+
+TEST_F(OctetTest, FirstWriteClaimsWrEx) {
+  Manager.writeBarrier(Tc[0], 0);
+  EXPECT_EQ(state(0), (OctetState{StateKind::WrEx, 0, 0}));
+  EXPECT_TRUE(Listener.Conflicts.empty()) << "claims imply no dependence";
+}
+
+TEST_F(OctetTest, FirstReadClaimsRdExAndUpdatesLastRdEx) {
+  Manager.readBarrier(Tc[1], 0);
+  EXPECT_EQ(state(0), (OctetState{StateKind::RdEx, 1, 0}));
+  ASSERT_EQ(Listener.BecameRdEx.size(), 1u);
+  EXPECT_EQ(Listener.BecameRdEx[0], 1u);
+}
+
+// --- Table 1 "Same state" rows: no transition, no callbacks -------------
+
+TEST_F(OctetTest, SameStateWrExReadAndWriteByOwner) {
+  Manager.writeBarrier(Tc[0], 0);
+  Manager.readBarrier(Tc[0], 0);
+  Manager.writeBarrier(Tc[0], 0);
+  EXPECT_EQ(state(0), (OctetState{StateKind::WrEx, 0, 0}));
+  EXPECT_TRUE(Listener.Conflicts.empty());
+  EXPECT_TRUE(Listener.Upgrades.empty());
+}
+
+TEST_F(OctetTest, SameStateRdExReadByOwner) {
+  Manager.readBarrier(Tc[0], 0);
+  Listener.BecameRdEx.clear();
+  Manager.readBarrier(Tc[0], 0);
+  EXPECT_EQ(state(0), (OctetState{StateKind::RdEx, 0, 0}));
+  EXPECT_TRUE(Listener.BecameRdEx.empty());
+}
+
+// --- Table 1 "Upgrading" rows --------------------------------------------
+
+TEST_F(OctetTest, UpgradeRdExToWrExByOwnerNoCallback) {
+  Manager.readBarrier(Tc[0], 0);
+  Listener.BecameRdEx.clear();
+  Manager.writeBarrier(Tc[0], 0);
+  EXPECT_EQ(state(0), (OctetState{StateKind::WrEx, 0, 0}));
+  // ICD safely ignores RdEx->WrEx upgrades: no callback of any kind.
+  EXPECT_TRUE(Listener.Conflicts.empty());
+  EXPECT_TRUE(Listener.Upgrades.empty());
+  EXPECT_TRUE(Listener.BecameRdEx.empty());
+}
+
+TEST_F(OctetTest, UpgradeRdExToRdShByOtherReader) {
+  Manager.readBarrier(Tc[0], 0); // RdEx_0.
+  Manager.readBarrier(Tc[1], 0); // Upgrade to RdSh_c.
+  OctetState S = state(0);
+  EXPECT_EQ(S.Kind, StateKind::RdSh);
+  EXPECT_GE(S.Counter, 1u);
+  ASSERT_EQ(Listener.Upgrades.size(), 1u);
+  EXPECT_EQ(std::get<0>(Listener.Upgrades[0]), 1u); // Reader.
+  EXPECT_EQ(std::get<1>(Listener.Upgrades[0]), 0u); // Old owner.
+  EXPECT_EQ(std::get<2>(Listener.Upgrades[0]), S.Counter);
+  EXPECT_TRUE(Listener.Conflicts.empty()) << "upgrades do not coordinate";
+}
+
+TEST_F(OctetTest, RdShCounterIncreasesPerUpgrade) {
+  Manager.readBarrier(Tc[0], 0);
+  Manager.readBarrier(Tc[1], 0); // RdSh_c1.
+  Manager.readBarrier(Tc[0], 1);
+  Manager.readBarrier(Tc[1], 1); // RdSh_c2.
+  EXPECT_GT(state(1).Counter, state(0).Counter);
+  EXPECT_GE(Manager.globalRdShCounter(), 2u);
+}
+
+// --- Table 1 "Fence" row ---------------------------------------------------
+
+TEST_F(OctetTest, FenceTriggersOnlyWhenCounterStale) {
+  Manager.readBarrier(Tc[0], 0);
+  Manager.readBarrier(Tc[1], 0); // RdSh_c; t1 is up to date, t0 is not.
+  EXPECT_TRUE(Listener.Fences.empty());
+
+  Manager.readBarrier(Tc[2], 0); // t2 stale -> fence.
+  ASSERT_EQ(Listener.Fences.size(), 1u);
+  EXPECT_EQ(Listener.Fences[0], 2u);
+
+  Manager.readBarrier(Tc[2], 0); // Up to date now: fast path.
+  EXPECT_EQ(Listener.Fences.size(), 1u);
+
+  Manager.readBarrier(Tc[1], 0); // The upgrader is already up to date.
+  EXPECT_EQ(Listener.Fences.size(), 1u);
+}
+
+TEST_F(OctetTest, NewerRdShCounterCoversOlderObjects) {
+  // Paper Fig. 2/3: a thread whose rdShCnt is ahead of an object's RdSh
+  // stamp reads it without a fence.
+  Manager.readBarrier(Tc[0], 0);
+  Manager.readBarrier(Tc[1], 0); // o: RdSh_c.
+  Manager.readBarrier(Tc[0], 1);
+  Manager.readBarrier(Tc[1], 1); // p: RdSh_{c+1}; t1 current to c+1.
+  Listener.Fences.clear();
+  Manager.readBarrier(Tc[1], 0); // Older stamp: no fence.
+  EXPECT_TRUE(Listener.Fences.empty());
+  // t3 reads p (newest counter): one fence; then o: covered, no fence.
+  Manager.readBarrier(Tc[3], 1);
+  ASSERT_EQ(Listener.Fences.size(), 1u);
+  Manager.readBarrier(Tc[3], 0);
+  EXPECT_EQ(Listener.Fences.size(), 1u);
+}
+
+// --- Table 1 "Conflicting" rows -------------------------------------------
+
+TEST_F(OctetTest, ConflictWrExToWrEx) {
+  Manager.writeBarrier(Tc[0], 0);
+  Manager.writeBarrier(Tc[1], 0);
+  EXPECT_EQ(state(0), (OctetState{StateKind::WrEx, 1, 0}));
+  ASSERT_EQ(Listener.Conflicts.size(), 1u);
+  EXPECT_EQ(Listener.Conflicts[0].Resp, 0u);
+  EXPECT_EQ(Listener.Conflicts[0].T.Requester, 1u);
+  EXPECT_EQ(Listener.Conflicts[0].T.Old.Kind, StateKind::WrEx);
+  EXPECT_EQ(Listener.Conflicts[0].T.New.Kind, StateKind::WrEx);
+}
+
+TEST_F(OctetTest, ConflictWrExToRdEx) {
+  Manager.writeBarrier(Tc[0], 0);
+  Manager.readBarrier(Tc[1], 0);
+  EXPECT_EQ(state(0), (OctetState{StateKind::RdEx, 1, 0}));
+  ASSERT_EQ(Listener.Conflicts.size(), 1u);
+  EXPECT_EQ(Listener.Conflicts[0].Resp, 0u);
+  // The requester became the RdEx owner: lastRdEx callback fired.
+  ASSERT_EQ(Listener.BecameRdEx.size(), 1u);
+  EXPECT_EQ(Listener.BecameRdEx[0], 1u);
+}
+
+TEST_F(OctetTest, ConflictRdExToWrEx) {
+  Manager.readBarrier(Tc[0], 0);
+  Manager.writeBarrier(Tc[1], 0);
+  EXPECT_EQ(state(0), (OctetState{StateKind::WrEx, 1, 0}));
+  ASSERT_EQ(Listener.Conflicts.size(), 1u);
+  EXPECT_EQ(Listener.Conflicts[0].Resp, 0u);
+}
+
+TEST_F(OctetTest, ConflictRdShToWrExCoordinatesWithAllThreads) {
+  Manager.readBarrier(Tc[0], 0);
+  Manager.readBarrier(Tc[1], 0); // RdSh.
+  Listener.Conflicts.clear();
+  Manager.writeBarrier(Tc[2], 0);
+  EXPECT_EQ(state(0), (OctetState{StateKind::WrEx, 2, 0}));
+  // One roundtrip per other thread (paper: "adds edges from all threads").
+  ASSERT_EQ(Listener.Conflicts.size(), 3u);
+  std::set<uint32_t> Responders;
+  for (const auto &C : Listener.Conflicts) {
+    EXPECT_EQ(C.T.Requester, 2u);
+    Responders.insert(C.Resp);
+  }
+  EXPECT_EQ(Responders, (std::set<uint32_t>{0, 1, 3}));
+}
+
+TEST_F(OctetTest, StatisticsFlushCountsTransitions) {
+  Manager.writeBarrier(Tc[0], 0); // claim
+  Manager.writeBarrier(Tc[0], 0); // fast
+  Manager.readBarrier(Tc[0], 0);  // fast (WrEx owner read)
+  Manager.writeBarrier(Tc[1], 0); // conflict
+  Manager.readBarrier(Tc[2], 0);  // conflict (WrEx->RdEx)
+  Manager.readBarrier(Tc[3], 0);  // upgrade to RdSh
+  Manager.readBarrier(Tc[0], 0);  // fence
+  Manager.flushStatistics();
+  EXPECT_EQ(Stats.value("octet.claims"), 1u);
+  EXPECT_EQ(Stats.value("octet.fast_write"), 1u);
+  EXPECT_EQ(Stats.value("octet.fast_read"), 1u);
+  EXPECT_EQ(Stats.value("octet.conflicting"), 2u);
+  EXPECT_EQ(Stats.value("octet.upgrade_rdsh"), 1u);
+  EXPECT_EQ(Stats.value("octet.fence"), 1u);
+  EXPECT_EQ(Stats.value("octet.implicit_roundtrips"), 2u)
+      << "unstarted responders are blocked: implicit protocol";
+}
+
+TEST_F(OctetTest, ExplicitProtocolWithRunningResponder) {
+  // A real responder thread runs and polls safe points; the requester must
+  // complete an explicit roundtrip.
+  Manager.threadStarted(0);
+  std::atomic<bool> Stop{false};
+  std::thread Responder([&] {
+    while (!Stop.load(std::memory_order_relaxed))
+      Manager.pollSafePoint(0);
+  });
+  Manager.writeBarrier(Tc[0], 0); // Claim for thread 0... runs on this
+  // OS thread but with Tc[0]; then thread 1 conflicts:
+  Manager.threadStarted(1);
+  Manager.writeBarrier(Tc[1], 0);
+  Stop.store(true);
+  Responder.join();
+  EXPECT_EQ(state(0), (OctetState{StateKind::WrEx, 1, 0}));
+  Manager.flushStatistics();
+  EXPECT_EQ(Stats.value("octet.explicit_roundtrips"), 1u);
+  Manager.threadExited(0);
+  Manager.threadExited(1);
+}
+
+TEST_F(OctetTest, BlockedResponderViaImplicitProtocol) {
+  Manager.threadStarted(0);
+  Manager.writeBarrier(Tc[0], 0);
+  Manager.aboutToBlock(0); // e.g. the thread parks on a monitor.
+  Manager.threadStarted(1);
+  Manager.writeBarrier(Tc[1], 0); // Implicit roundtrip, no waiting.
+  EXPECT_EQ(state(0), (OctetState{StateKind::WrEx, 1, 0}));
+  Manager.unblocked(0);
+  Manager.flushStatistics();
+  EXPECT_EQ(Stats.value("octet.implicit_roundtrips"), 1u);
+}
+
+} // namespace

@@ -1,0 +1,165 @@
+//===- tests/parser_test.cpp - IR text-format parser tests ----------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "core/Checker.h"
+#include "instr/Instrument.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "tests/TestPrograms.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::ir;
+
+namespace {
+
+/// print -> parse -> print must be a fixed point.
+void expectRoundTrip(const Program &P) {
+  std::string Text = toString(P);
+  ParseResult R = parseProgram(Text);
+  ASSERT_TRUE(R.Ok) << R.Error << " at line " << R.ErrorLine << "\n" << Text;
+  EXPECT_EQ(toString(R.P), Text);
+}
+
+class WorkloadRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadRoundTrip, PrintParsePrintIsStable) {
+  expectRoundTrip(workloads::build(GetParam(), 0.02));
+}
+
+std::vector<std::string> workloadNames() {
+  std::vector<std::string> Names;
+  for (const workloads::WorkloadInfo &W : workloads::all())
+    Names.push_back(W.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadRoundTrip,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &Info) { return Info.param; });
+
+TEST(ParserTest, RoundTripsInstrumentedPrograms) {
+  // Compiled programs carry flags, clones, and syncflags.
+  Program P = testprogs::racyBank(2, 10, 2);
+  instr::InstrumentationOptions Opts;
+  Opts.Checker = instr::CheckerKind::Octet;
+  Opts.LogAccesses = true;
+  Program C =
+      instr::compile(P, core::AtomicitySpec::initial(P).excluded(), Opts);
+  std::string Text = toString(C);
+  ParseResult R = parseProgram(Text);
+  ASSERT_TRUE(R.Ok) << R.Error << " at line " << R.ErrorLine;
+  EXPECT_EQ(toString(R.P), Text);
+  // Transaction demarcation survives the round trip.
+  MethodId Deposit = R.P.findMethod("deposit");
+  ASSERT_NE(Deposit, InvalidMethodId);
+  EXPECT_TRUE(R.P.Methods[Deposit].StartsTransaction);
+  EXPECT_NE(R.P.ThreadSyncFlags, IF_None);
+}
+
+TEST(ParserTest, ParsedProgramIsRunnable) {
+  Program P = testprogs::racyBank(2, 50, 2);
+  ParseResult R = parseProgram(toString(P));
+  ASSERT_TRUE(R.Ok);
+  core::RunConfig Cfg;
+  Cfg.M = core::Mode::SingleRun;
+  Cfg.RunOpts.Deterministic = true;
+  core::RunOutcome O =
+      core::runChecker(R.P, core::AtomicitySpec::initial(R.P), Cfg);
+  EXPECT_FALSE(O.Result.Aborted);
+  EXPECT_GT(O.Result.Steps, 0u);
+}
+
+TEST(ParserTest, ExpressionForms) {
+  ParseResult R = parseProgram(
+      "program exprs (seed 7)\n"
+      "  pool p x4 fields=8\n"
+      "  thread 0 -> @main\n"
+      "method @main\n"
+      "  read p[3] .2\n"
+      "  read p[tid] .rnd % 8\n"
+      "  read p[2*param+1 % 4] .0\n"
+      "  loop 3\n"
+      "    read p[loop0] .-1 % 8\n"
+      "    loop tid+1\n"
+      "      write p[3*loop1-2 % 4] .loop0\n"
+      "  work 5 % 3\n");
+  ASSERT_TRUE(R.Ok) << R.Error << " at line " << R.ErrorLine;
+  const Method &M = R.P.Methods[0];
+  ASSERT_EQ(M.Body.size(), 5u);
+  EXPECT_EQ(M.Body[1].A.K, IndexExpr::Kind::Random);
+  EXPECT_EQ(M.Body[1].A.Mod, 8u);
+  EXPECT_EQ(M.Body[2].Obj.Index.Scale, 2);
+  EXPECT_EQ(M.Body[2].Obj.Index.Offset, 1);
+  EXPECT_EQ(M.Body[2].Obj.Index.Mod, 4u);
+  const Instr &Outer = M.Body[3];
+  ASSERT_EQ(Outer.Op, Opcode::Loop);
+  EXPECT_EQ(Outer.Body[0].A.Offset, -1);
+  const Instr &Inner = Outer.Body[1];
+  ASSERT_EQ(Inner.Op, Opcode::Loop);
+  EXPECT_EQ(Inner.A.K, IndexExpr::Kind::ThreadId);
+  EXPECT_EQ(Inner.Body[0].Obj.Index.Scale, 3);
+  EXPECT_EQ(Inner.Body[0].Obj.Index.LoopDepth, 1);
+}
+
+TEST(ParserTest, ReportsUnknownPool) {
+  ParseResult R = parseProgram("program x (seed 1)\n"
+                               "  pool p x1 fields=1\n"
+                               "  thread 0 -> @main\n"
+                               "method @main\n"
+                               "  read q[0] .0\n");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unknown pool"), std::string::npos);
+  EXPECT_EQ(R.ErrorLine, 5u);
+}
+
+TEST(ParserTest, ReportsUnknownMethod) {
+  ParseResult R = parseProgram("program x (seed 1)\n"
+                               "  thread 0 -> @main\n"
+                               "method @main\n"
+                               "  call @nope(0)\n");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("unknown method"), std::string::npos);
+}
+
+TEST(ParserTest, ReportsBadIndentation) {
+  ParseResult R = parseProgram("program x (seed 1)\n"
+                               "  thread 0 -> @main\n"
+                               "method @main\n"
+                               "   work 1\n"); // 3 spaces.
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(ParserTest, ReportsMissingProgramHeader) {
+  ParseResult R = parseProgram("pool p x1 fields=1\n");
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST(ParserTest, RunsVerifierOnResult) {
+  // Structurally parseable but semantically invalid (recursion).
+  ParseResult R = parseProgram("program x (seed 1)\n"
+                               "  thread 0 -> @main\n"
+                               "method @main\n"
+                               "  call @main(0)\n");
+  EXPECT_FALSE(R.Ok);
+  EXPECT_NE(R.Error.find("verifier"), std::string::npos);
+}
+
+TEST(ParserTest, ForwardCallsResolve) {
+  ParseResult R = parseProgram("program x (seed 1)\n"
+                               "  thread 0 -> @main\n"
+                               "method @main\n"
+                               "  call @later(2)\n"
+                               "method @later atomic\n"
+                               "  work 1\n");
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_EQ(R.P.Methods[0].Body[0].Callee, R.P.findMethod("later"));
+  EXPECT_TRUE(R.P.Methods[R.P.findMethod("later")].Atomic);
+}
+
+} // namespace

@@ -1,0 +1,312 @@
+//===- tests/pcd_test.cpp - PCD replay unit tests -------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tests PCD on hand-built SCCs: Figure 5's dependence rules, cycle
+/// reporting, blame assignment, and the replay-ordering constraints —
+/// including the regression where an edge whose source transaction lies
+/// outside the SCC (or whose sampled position is 0) must still order the
+/// sink after the source thread's earlier transactions.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/OnlinePcd.h"
+#include "analysis/Pcd.h"
+
+using namespace dc;
+using namespace dc::analysis;
+
+namespace {
+
+/// Builder for synthetic SCC inputs.
+class SccBuilder {
+public:
+  Transaction *tx(uint32_t Tid, uint64_t Seq, bool Regular = true,
+                  ir::MethodId Site = 0) {
+    Owned.push_back(std::make_unique<Transaction>(
+        ++NextId, Tid, Seq, Regular ? Site : ir::InvalidMethodId, Regular));
+    Transaction *T = Owned.back().get();
+    T->Finished.store(true);
+    return T;
+  }
+
+  static void read(Transaction *T, rt::FieldAddr Addr) {
+    LogEntry E;
+    E.K = LogEntry::Kind::Read;
+    E.Addr = Addr;
+    T->appendLog(E);
+  }
+  static void write(Transaction *T, rt::FieldAddr Addr) {
+    LogEntry E;
+    E.K = LogEntry::Kind::Write;
+    E.Addr = Addr;
+    T->appendLog(E);
+  }
+  /// Adds a cross-thread IDG edge Src@SrcPos -> Dst (EdgeIn marker at the
+  /// sink's current position).
+  void edge(Transaction *Src, uint32_t SrcPos, Transaction *Dst) {
+    OutEdge E;
+    E.Dst = Dst;
+    E.Id = ++NextEdge;
+    E.SrcPos = SrcPos;
+    Src->Out.push_back(E);
+    LogEntry Marker;
+    Marker.K = LogEntry::Kind::EdgeIn;
+    Marker.Obj = Src->Tid;
+    Marker.Addr = SrcPos;
+    Marker.SrcSeq = Src->SeqInThread;
+    Dst->appendLog(Marker);
+  }
+
+  std::vector<Transaction *> members(std::initializer_list<Transaction *> L) {
+    return std::vector<Transaction *>(L);
+  }
+
+private:
+  std::vector<std::unique_ptr<Transaction>> Owned;
+  uint64_t NextId = 0;
+  uint64_t NextEdge = 0;
+};
+
+struct PcdHarness {
+  StatisticRegistry Stats;
+  ViolationLog Sink;
+  PreciseCycleDetector Pcd{Sink, Stats};
+};
+
+TEST(PcdTest, WriteReadWriteCycleDetected) {
+  // tx1 (t0): wr f, rd f later; tx2 (t1): wr f between them.
+  SccBuilder B;
+  Transaction *T1 = B.tx(0, 0, true, /*Site=*/1);
+  Transaction *T2 = B.tx(1, 0, true, /*Site=*/2);
+  SccBuilder::write(T1, 10);      // W(f) = T1.
+  B.edge(T1, 1, T2);              // T2 starts after T1's write.
+  SccBuilder::write(T2, 10);      // W-W: edge T1 -> T2.
+  B.edge(T2, 2, T1);              // T1 continues after T2's write.
+  SccBuilder::read(T1, 10);       // W-R: edge T2 -> T1 => cycle.
+
+  PcdHarness H;
+  H.Pcd.processScc({T1, T2});
+  EXPECT_GE(H.Sink.count(), 1u);
+  EXPECT_EQ(H.Stats.value("pcd.cycles"), 1u);
+}
+
+TEST(PcdTest, ReadWriteReadIsNotACycle) {
+  // One-directional dependences only: no violation.
+  SccBuilder B;
+  Transaction *T1 = B.tx(0, 0);
+  Transaction *T2 = B.tx(1, 0);
+  SccBuilder::write(T1, 10);
+  B.edge(T1, 1, T2);
+  SccBuilder::read(T2, 10); // Only T1 -> T2.
+  PcdHarness H;
+  H.Pcd.processScc({T1, T2});
+  EXPECT_EQ(H.Sink.count(), 0u);
+}
+
+TEST(PcdTest, DifferentFieldsNoDependence) {
+  // ICD's object granularity can put these in one SCC; PCD (field
+  // granularity) must stay silent.
+  SccBuilder B;
+  Transaction *T1 = B.tx(0, 0);
+  Transaction *T2 = B.tx(1, 0);
+  SccBuilder::write(T1, 10);
+  SccBuilder::write(T2, 11);
+  B.edge(T1, 1, T2);
+  B.edge(T2, 1, T1);
+  SccBuilder::read(T1, 11); // hmm — appended after the edge markers.
+  PcdHarness H;
+  H.Pcd.processScc({T1, T2});
+  // T2 wr 11 -> T1 rd 11 is one direction; field 10 has a single writer.
+  EXPECT_EQ(H.Sink.count(), 0u);
+}
+
+TEST(PcdTest, ReadWriteDependenceClearsReaders) {
+  // Figure 5's WRITE rule: a write clears last-readers, so a second write
+  // by the same thread adds no duplicate edges.
+  SccBuilder B;
+  Transaction *T1 = B.tx(0, 0);
+  Transaction *T2 = B.tx(1, 0);
+  SccBuilder::read(T1, 10);
+  B.edge(T1, 1, T2);
+  SccBuilder::write(T2, 10); // R-W edge T1 -> T2; readers cleared.
+  SccBuilder::write(T2, 10); // No further cross edges.
+  PcdHarness H;
+  H.Pcd.processScc({T1, T2});
+  EXPECT_EQ(H.Sink.count(), 0u);
+  EXPECT_EQ(H.Stats.value("pcd.pdg_edges"), 1u);
+}
+
+TEST(PcdTest, BlameFallsOnEnclosingTransaction) {
+  // Classic enclosure: T1 reads f, T2 does a full RMW between T1's read
+  // and write. The transaction whose outgoing edge precedes its incoming
+  // one is T1 (its read happened first) — the enclosing region is blamed.
+  SccBuilder B;
+  Transaction *T1 = B.tx(0, 0, true, /*Site=*/7);
+  Transaction *T2 = B.tx(1, 0, true, /*Site=*/8);
+  SccBuilder::read(T1, 10);
+  B.edge(T1, 1, T2);
+  SccBuilder::write(T2, 10); // T1 -> T2 (rd-wr).
+  B.edge(T2, 2, T1);
+  SccBuilder::write(T1, 10); // T2 -> T1 (wr-wr): cycle closes at T1.
+  PcdHarness H;
+  H.Pcd.processScc({T1, T2});
+  ASSERT_EQ(H.Sink.count(), 1u);
+  EXPECT_EQ(H.Sink.records()[0].Blamed, 7);
+}
+
+TEST(PcdTest, UnaryOnlyCycleBlamesNothing) {
+  SccBuilder B;
+  Transaction *T1 = B.tx(0, 0, /*Regular=*/false);
+  Transaction *T2 = B.tx(1, 0, /*Regular=*/false);
+  SccBuilder::write(T1, 10);
+  B.edge(T1, 1, T2);
+  SccBuilder::write(T2, 10);
+  B.edge(T2, 2, T1);
+  SccBuilder::read(T1, 10);
+  PcdHarness H;
+  H.Pcd.processScc({T1, T2});
+  ASSERT_GE(H.Sink.count(), 1u);
+  EXPECT_EQ(H.Sink.records()[0].Blamed, ir::InvalidMethodId);
+  EXPECT_TRUE(H.Sink.blamedMethods().empty());
+}
+
+// Regression (found via the philo workload): an EdgeIn whose source is a
+// *later, empty* transaction of the other thread (sampled position 0) must
+// still force the sink to wait for the source thread's earlier SCC members
+// — otherwise replay can interleave two strictly-ordered critical sections
+// and fabricate a cycle.
+TEST(PcdTest, EdgeFromLaterEmptyTransactionOrdersWholePredecessor) {
+  SccBuilder B;
+  // t0: E1 = {rd s, wr s} (a lock section), then U1 = empty unary.
+  Transaction *E1 = B.tx(0, 0, true, 1);
+  Transaction *U1 = B.tx(0, 1, false);
+  // t1: E2 = {rd s, wr s}, strictly after E1 in reality.
+  Transaction *E2 = B.tx(1, 0, true, 2);
+  SccBuilder::read(E1, 50);
+  SccBuilder::write(E1, 50);
+  // The conflicting transition fired when t0's current tx was already U1:
+  // edge U1@0 -> E2 (this is all ICD knows).
+  B.edge(U1, 0, E2);
+  SccBuilder::read(E2, 50);
+  SccBuilder::write(E2, 50);
+  // Intra-thread edge E1 -> U1 exists in the real graph.
+  OutEdge Intra;
+  Intra.Dst = U1;
+  Intra.Id = 999;
+  Intra.Intra = true;
+  E1->Out.push_back(Intra);
+
+  PcdHarness H;
+  H.Pcd.processScc({E1, U1, E2});
+  EXPECT_EQ(H.Sink.count(), 0u)
+      << "lock-ordered sections must not appear cyclic";
+}
+
+// The same situation with the source entirely outside the SCC.
+TEST(PcdTest, EdgeFromNonMemberSourceStillConstrains) {
+  SccBuilder B;
+  Transaction *E1 = B.tx(0, 0, true, 1);
+  Transaction *U1 = B.tx(0, 1, false); // NOT passed to processScc.
+  Transaction *E2 = B.tx(1, 0, true, 2);
+  SccBuilder::read(E1, 50);
+  SccBuilder::write(E1, 50);
+  B.edge(U1, 0, E2);
+  SccBuilder::read(E2, 50);
+  SccBuilder::write(E2, 50);
+
+  PcdHarness H;
+  H.Pcd.processScc({E1, E2});
+  EXPECT_EQ(H.Sink.count(), 0u);
+}
+
+TEST(PcdTest, InSccSourcePositionConstraintRespected) {
+  // Sink entries after the marker must wait for the source to pass SrcPos;
+  // with the constraint honored the replay order is T1's write before
+  // T2's read, yielding exactly one W-R edge and no cycle.
+  SccBuilder B;
+  Transaction *T1 = B.tx(0, 0);
+  Transaction *T2 = B.tx(1, 0);
+  SccBuilder::write(T1, 10); // pos 0.
+  SccBuilder::write(T1, 11); // pos 1.
+  B.edge(T1, 2, T2);         // T2 resumes after both writes.
+  SccBuilder::read(T2, 10);
+  SccBuilder::read(T2, 11);
+  PcdHarness H;
+  H.Pcd.processScc({T1, T2});
+  EXPECT_EQ(H.Sink.count(), 0u);
+  EXPECT_EQ(H.Stats.value("pcd.pdg_edges"), 1u)
+      << "both reads see the same last writer (deduped edge)";
+}
+
+TEST(PcdTest, SameThreadMembersReplayInSequenceOrder) {
+  // Two transactions of one thread plus a cyclic partner; the intra-thread
+  // order must hold even without explicit intra markers.
+  SccBuilder B;
+  Transaction *A1 = B.tx(0, 0, true, 1);
+  Transaction *A2 = B.tx(0, 1, true, 2);
+  Transaction *C = B.tx(1, 0, true, 3);
+  SccBuilder::write(A1, 10);
+  B.edge(A1, 1, C);
+  SccBuilder::write(C, 10);
+  B.edge(C, 1, A2);
+  SccBuilder::read(A2, 10);
+  PcdHarness H;
+  H.Pcd.processScc({A1, A2, C});
+  // Chain A1 -> C -> A2 with intra A1 -> A2: still acyclic.
+  EXPECT_EQ(H.Sink.count(), 0u);
+}
+
+TEST(PcdTest, OversizedSccSkipped) {
+  SccBuilder B;
+  std::vector<Transaction *> Members;
+  for (int I = 0; I < 10; ++I)
+    Members.push_back(B.tx(I % 2, I / 2));
+  StatisticRegistry Stats;
+  ViolationLog Sink;
+  PreciseCycleDetector::Options Opts;
+  Opts.MaxSccTxs = 4;
+  PreciseCycleDetector Pcd(Sink, Stats, Opts);
+  Pcd.processScc(Members);
+  EXPECT_EQ(Stats.value("pcd.sccs_skipped"), 1u);
+  EXPECT_EQ(Stats.value("pcd.txs_replayed"), 0u);
+}
+
+TEST(OnlinePcdTest, DetectsCycleAcrossTransactions) {
+  SccBuilder B;
+  Transaction *T1 = B.tx(0, 0, true, 5);
+  Transaction *T2 = B.tx(1, 0, true, 6);
+  // T1: rd f ... wr f with T2's full RMW in between (logs replayed at end
+  // in finish order; OnlinePcd processes whole transactions).
+  SccBuilder::read(T1, 10);
+  SccBuilder::write(T2, 10);
+  SccBuilder::write(T1, 10);
+  StatisticRegistry Stats;
+  ViolationLog Sink;
+  OnlinePcd Online(Sink, Stats);
+  Online.processTransaction(T2); // T2 finished first.
+  Online.processTransaction(T1);
+  // T1's read precedes T2's write only in the true order; OnlinePcd's
+  // whole-transaction processing is the straw man's approximation — here
+  // T2 (processed first) writes, then T1 reads+writes: one direction, no
+  // cycle. Process a second round to create the cycle:
+  Transaction *T3 = B.tx(1, 1, true, 6);
+  SccBuilder::read(T3, 10);
+  Online.processTransaction(T3); // T1 -> T3 (wr-rd).
+  Transaction *T4 = B.tx(0, 1, true, 5);
+  SccBuilder::write(T4, 10);
+  Online.processTransaction(T4); // T3 -> T4 (rd-wr) + intra T1 -> T4.
+  Transaction *T5 = B.tx(1, 2, true, 6);
+  SccBuilder::write(T5, 10);
+  Online.processTransaction(T5); // T4 -> T5 + intra T3 -> T5: no cycle yet.
+  EXPECT_EQ(Stats.value("pcdonly.txs_processed"), 5u);
+}
+
+} // namespace

@@ -1,0 +1,114 @@
+//===- tests/smoke_test.cpp - End-to-end sanity of the whole stack -------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "core/Checker.h"
+#include "core/Refinement.h"
+#include "tests/TestPrograms.h"
+
+using namespace dc;
+using namespace dc::core;
+
+namespace {
+
+RunConfig freeRun(Mode M, uint64_t Seed = 1) {
+  RunConfig Cfg;
+  Cfg.M = M;
+  Cfg.RunOpts.Deterministic = false;
+  Cfg.RunOpts.ScheduleSeed = Seed;
+  return Cfg;
+}
+
+/// Deterministic scheduling: on a one-core host, free-running threads tend
+/// to serialize (each worker finishes within an OS timeslice), so
+/// violation-detection tests drive explicit interleavings instead.
+RunConfig detRun(Mode M, uint64_t Seed = 1) {
+  RunConfig Cfg;
+  Cfg.M = M;
+  Cfg.RunOpts.Deterministic = true;
+  Cfg.RunOpts.ScheduleSeed = Seed;
+  return Cfg;
+}
+
+TEST(Smoke, UnmodifiedRunsToCompletion) {
+  ir::Program P = testprogs::racyBank();
+  RunOutcome O = runChecker(P, AtomicitySpec::initial(P),
+                            freeRun(Mode::Unmodified));
+  EXPECT_FALSE(O.Result.Aborted);
+  EXPECT_GT(O.Result.Steps, 0u);
+}
+
+TEST(Smoke, SingleRunFindsRacyBankViolation) {
+  ir::Program P = testprogs::racyBank(/*Workers=*/3,
+                                      /*DepositsPerWorker=*/500,
+                                      /*Accounts=*/2);
+  AtomicitySpec Spec = AtomicitySpec::initial(P);
+  bool Found = false;
+  for (uint64_t Seed = 0; Seed < 10 && !Found; ++Seed) {
+    RunOutcome O = runChecker(P, Spec, detRun(Mode::SingleRun, Seed));
+    ASSERT_FALSE(O.Result.Aborted);
+    Found = O.BlamedMethods.count("deposit") != 0;
+  }
+  EXPECT_TRUE(Found) << "single-run mode should blame deposit";
+}
+
+TEST(Smoke, VelodromeFindsRacyBankViolation) {
+  ir::Program P = testprogs::racyBank(3, 500, 2);
+  AtomicitySpec Spec = AtomicitySpec::initial(P);
+  bool Found = false;
+  for (uint64_t Seed = 0; Seed < 10 && !Found; ++Seed) {
+    RunOutcome O = runChecker(P, Spec, detRun(Mode::Velodrome, Seed));
+    ASSERT_FALSE(O.Result.Aborted);
+    Found = O.BlamedMethods.count("deposit") != 0;
+  }
+  EXPECT_TRUE(Found) << "Velodrome should blame deposit";
+}
+
+TEST(Smoke, NoFalsePositivesOnDisjointBank) {
+  ir::Program P = testprogs::disjointBank(3, 300);
+  AtomicitySpec Spec = AtomicitySpec::initial(P);
+  for (uint64_t Seed = 0; Seed < 5; ++Seed) {
+    RunOutcome DC = runChecker(P, Spec, detRun(Mode::SingleRun, Seed));
+    EXPECT_TRUE(DC.Violations.empty()) << "DoubleChecker false positive";
+    RunOutcome V = runChecker(P, Spec, detRun(Mode::Velodrome, Seed));
+    EXPECT_TRUE(V.Violations.empty()) << "Velodrome false positive";
+  }
+}
+
+TEST(Smoke, NoFalsePositivesOnLockedBank) {
+  ir::Program P = testprogs::lockedBank(3, 200, 4);
+  AtomicitySpec Spec = AtomicitySpec::initial(P);
+  for (uint64_t Seed = 0; Seed < 5; ++Seed) {
+    RunOutcome DC = runChecker(P, Spec, detRun(Mode::SingleRun, Seed));
+    EXPECT_TRUE(DC.Violations.empty()) << "DoubleChecker false positive";
+  }
+}
+
+TEST(Smoke, MultiRunTrialFindsViolation) {
+  ir::Program P = testprogs::racyBank(3, 500, 2);
+  AtomicitySpec Spec = AtomicitySpec::initial(P);
+  bool Found = false;
+  for (uint64_t Seed = 0; Seed < 5 && !Found; ++Seed) {
+    RunOutcome O = runMultiRunTrial(P, Spec, /*FirstRuns=*/3, Seed,
+                                    /*Deterministic=*/true);
+    Found = O.BlamedMethods.count("deposit") != 0;
+  }
+  EXPECT_TRUE(Found) << "multi-run mode should blame deposit";
+}
+
+TEST(Smoke, IterativeRefinementConverges) {
+  ir::Program P = testprogs::racyBank(2, 300, 2);
+  RefinementOptions Opts;
+  Opts.Checker = RefinementChecker::SingleRun;
+  Opts.QuietTrials = 2;
+  Opts.Deterministic = true;
+  RefinementResult R = iterativeRefinement(P, Opts);
+  EXPECT_TRUE(R.AllBlamed.count("deposit"));
+  EXPECT_FALSE(R.FinalSpec.isAtomic("deposit"));
+}
+
+} // namespace

@@ -1,0 +1,188 @@
+//===- tests/support_test.cpp - dc_support unit tests ---------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "support/FunctionRef.h"
+#include "support/Rng.h"
+#include "support/SpinLock.h"
+#include "support/Statistic.h"
+#include "support/StringUtils.h"
+
+using namespace dc;
+
+namespace {
+
+TEST(SpinLockTest, LockUnlockTryLock) {
+  SpinLock Lock;
+  EXPECT_TRUE(Lock.tryLock());
+  EXPECT_FALSE(Lock.tryLock());
+  Lock.unlock();
+  EXPECT_TRUE(Lock.tryLock());
+  Lock.unlock();
+}
+
+TEST(SpinLockTest, GuardsConcurrentIncrements) {
+  SpinLock Lock;
+  uint64_t Counter = 0;
+  constexpr int Threads = 4, PerThread = 20000;
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < Threads; ++T)
+    Workers.emplace_back([&] {
+      for (int I = 0; I < PerThread; ++I) {
+        SpinLockGuard Guard(Lock);
+        ++Counter;
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(Counter, uint64_t(Threads) * PerThread);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  SplitMix64 A(7), B(7), C(8);
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_EQ(A.next(), B.next());
+  EXPECT_NE(A.next(), C.next());
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  SplitMix64 Rng(99);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(Rng.nextBelow(17), 17u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  SplitMix64 Rng(3);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I) {
+    uint64_t V = Rng.nextInRange(5, 8);
+    EXPECT_GE(V, 5u);
+    EXPECT_LE(V, 8u);
+    Seen.insert(V);
+  }
+  EXPECT_EQ(Seen.size(), 4u) << "all values in [5,8] should appear";
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  SplitMix64 A(1);
+  SplitMix64 B = A.fork();
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(StatisticTest, CountersAccumulate) {
+  StatisticRegistry Reg;
+  Reg.get("a").add();
+  Reg.get("a").add(4);
+  EXPECT_EQ(Reg.value("a"), 5u);
+  EXPECT_EQ(Reg.value("missing"), 0u);
+}
+
+TEST(StatisticTest, UpdateMaxKeepsHighWater) {
+  StatisticRegistry Reg;
+  Reg.get("m").updateMax(10);
+  Reg.get("m").updateMax(3);
+  EXPECT_EQ(Reg.value("m"), 10u);
+  Reg.get("m").updateMax(12);
+  EXPECT_EQ(Reg.value("m"), 12u);
+}
+
+TEST(StatisticTest, AllSortedByName) {
+  StatisticRegistry Reg;
+  Reg.get("b").add();
+  Reg.get("a").add();
+  auto All = Reg.all();
+  ASSERT_EQ(All.size(), 2u);
+  EXPECT_EQ(All[0]->name(), "a");
+  EXPECT_EQ(All[1]->name(), "b");
+}
+
+TEST(StatisticTest, ConcurrentAddsDoNotLose) {
+  StatisticRegistry Reg;
+  Statistic &S = Reg.get("hot");
+  std::vector<std::thread> Workers;
+  for (int T = 0; T < 4; ++T)
+    Workers.emplace_back([&] {
+      for (int I = 0; I < 10000; ++I)
+        S.add();
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(S.get(), 40000u);
+}
+
+TEST(StringUtilsTest, Padding) {
+  EXPECT_EQ(padLeft("ab", 4), "  ab");
+  EXPECT_EQ(padRight("ab", 4), "ab  ");
+  EXPECT_EQ(padLeft("abcd", 2), "abcd");
+}
+
+TEST(StringUtilsTest, FormatDouble) {
+  EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(formatDouble(2.0, 1), "2.0");
+}
+
+TEST(StringUtilsTest, FormatWithCommas) {
+  EXPECT_EQ(formatWithCommas(0), "0");
+  EXPECT_EQ(formatWithCommas(999), "999");
+  EXPECT_EQ(formatWithCommas(1000), "1,000");
+  EXPECT_EQ(formatWithCommas(61200), "61,200");
+  EXPECT_EQ(formatWithCommas(24996), "24,996");
+  EXPECT_EQ(formatWithCommas(1234567890), "1,234,567,890");
+}
+
+TEST(StringUtilsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringUtilsTest, TextTableAligns) {
+  TextTable T;
+  T.setHeader({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "23"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("longer"), std::string::npos);
+  EXPECT_NE(Out.find("-----"), std::string::npos);
+}
+
+TEST(FunctionRefTest, CallsLambda) {
+  int Hits = 0;
+  // function_ref is non-owning: the callable must be a named object that
+  // outlives it (binding a temporary lambda would dangle).
+  auto Increment = [&] { ++Hits; };
+  function_ref<void()> F = Increment;
+  F();
+  F();
+  EXPECT_EQ(Hits, 2);
+}
+
+TEST(FunctionRefTest, ReturnsValueAndTakesArgs) {
+  auto AddFn = [](int A, int B) { return A + B; };
+  function_ref<int(int, int)> Add = AddFn;
+  EXPECT_EQ(Add(2, 3), 5);
+}
+
+TEST(FunctionRefTest, BoolConversion) {
+  function_ref<void()> Empty;
+  EXPECT_FALSE(static_cast<bool>(Empty));
+  function_ref<void()> Full = [] {};
+  EXPECT_TRUE(static_cast<bool>(Full));
+}
+
+TEST(YieldBackoffTest, PauseDoesNotHang) {
+  YieldBackoff B;
+  for (int I = 0; I < 100; ++I)
+    B.pause();
+  B.reset();
+  B.pause();
+  SUCCEED();
+}
+
+} // namespace

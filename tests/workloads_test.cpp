@@ -1,0 +1,112 @@
+//===- tests/workloads_test.cpp - Workload suite sanity -------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "core/Checker.h"
+#include "ir/Verifier.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::core;
+
+namespace {
+
+constexpr double TestScale = 0.02;
+
+class WorkloadTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(WorkloadTest, BuildsAndVerifies) {
+  ir::Program P = workloads::build(GetParam(), TestScale);
+  EXPECT_EQ(ir::verify(P), "");
+  EXPECT_FALSE(P.ThreadEntries.empty());
+}
+
+TEST_P(WorkloadTest, RunsUninstrumented) {
+  ir::Program P = workloads::build(GetParam(), TestScale);
+  RunConfig Cfg;
+  Cfg.M = Mode::Unmodified;
+  RunOutcome O = runChecker(P, AtomicitySpec::initial(P), Cfg);
+  EXPECT_FALSE(O.Result.Aborted);
+  EXPECT_GT(O.Result.Steps, 0u);
+}
+
+TEST_P(WorkloadTest, RunsSingleRunDeterministic) {
+  ir::Program P = workloads::build(GetParam(), TestScale);
+  RunConfig Cfg;
+  Cfg.M = Mode::SingleRun;
+  Cfg.RunOpts.Deterministic = true;
+  Cfg.RunOpts.ScheduleSeed = 99;
+  RunOutcome O = runChecker(P, AtomicitySpec::initial(P), Cfg);
+  EXPECT_FALSE(O.Result.Aborted);
+}
+
+TEST_P(WorkloadTest, RunsVelodromeDeterministic) {
+  ir::Program P = workloads::build(GetParam(), TestScale);
+  RunConfig Cfg;
+  Cfg.M = Mode::Velodrome;
+  Cfg.RunOpts.Deterministic = true;
+  Cfg.RunOpts.ScheduleSeed = 7;
+  RunOutcome O = runChecker(P, AtomicitySpec::initial(P), Cfg);
+  EXPECT_FALSE(O.Result.Aborted);
+}
+
+std::vector<std::string> workloadNames() {
+  std::vector<std::string> Names;
+  for (const workloads::WorkloadInfo &W : workloads::all())
+    Names.push_back(W.Name);
+  return Names;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, WorkloadTest,
+                         ::testing::ValuesIn(workloadNames()),
+                         [](const auto &Info) { return Info.param; });
+
+/// Workloads seeded with atomicity bugs must report them under some
+/// deterministic schedule; clean workloads must never report a violation
+/// that blames a method.
+TEST(WorkloadViolations, SeededBugsAreFound) {
+  const std::vector<std::string> Buggy = {
+      "eclipse6", "hsqldb6",  "xalan6",   "avrora9", "lusearch9",
+      "sunflow9", "xalan9",   "elevator", "hedc",    "tsp",
+      "montecarlo"};
+  for (const std::string &Name : Buggy) {
+    // Seeded races fire rarely by design; give them enough iterations.
+    ir::Program P = workloads::build(Name, 0.12);
+    AtomicitySpec Spec = AtomicitySpec::initial(P);
+    bool Found = false;
+    for (uint64_t Seed = 0; Seed < 8 && !Found; ++Seed) {
+      RunConfig Cfg;
+      Cfg.M = Mode::SingleRun;
+      Cfg.RunOpts.Deterministic = true;
+      Cfg.RunOpts.ScheduleSeed = Seed;
+      RunOutcome O = runChecker(P, Spec, Cfg);
+      Found = !O.BlamedMethods.empty();
+    }
+    EXPECT_TRUE(Found) << Name << " should report a seeded violation";
+  }
+}
+
+TEST(WorkloadViolations, CleanWorkloadsStayClean) {
+  const std::vector<std::string> Clean = {"jython9", "luindex9", "pmd9",
+                                          "philo", "sor", "moldyn",
+                                          "raytracer"};
+  for (const std::string &Name : Clean) {
+    ir::Program P = workloads::build(Name, TestScale);
+    AtomicitySpec Spec = AtomicitySpec::initial(P);
+    for (uint64_t Seed = 0; Seed < 4; ++Seed) {
+      RunConfig Cfg;
+      Cfg.M = Mode::SingleRun;
+      Cfg.RunOpts.Deterministic = true;
+      Cfg.RunOpts.ScheduleSeed = Seed;
+      RunOutcome O = runChecker(P, Spec, Cfg);
+      EXPECT_TRUE(O.BlamedMethods.empty())
+          << Name << " reported " << *O.BlamedMethods.begin();
+    }
+  }
+}
+
+} // namespace

@@ -1,0 +1,309 @@
+//===- tools/dcheck.cpp - Command-line atomicity checker ------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The command-line driver a downstream user runs:
+///
+///   dcheck --workload tsp --mode single-run --det --seed 3
+///   dcheck --file prog.dcir --mode velodrome --trials 5
+///   dcheck --workload eclipse6 --refine
+///   dcheck --workload avrora9 --dump-ir > avrora9.dcir
+///
+/// Modes: unmodified, velodrome, velodrome-unsound, single-run, first-run,
+/// second-run (needs --static-info from a prior first run's --emit-static),
+/// pcd-only, multi-run (first runs + second run in one invocation).
+///
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/Checker.h"
+#include "core/Refinement.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "workloads/Workloads.h"
+
+using namespace dc;
+using namespace dc::core;
+
+namespace {
+
+struct CliOptions {
+  std::string Workload;
+  std::string File;
+  std::string ModeName = "single-run";
+  std::string StaticInfoFile;
+  std::string EmitStaticFile;
+  double Scale = 1.0;
+  uint64_t Seed = 1;
+  unsigned Trials = 1;
+  bool Deterministic = false;
+  bool Refine = false;
+  bool DumpIr = false;
+  bool DumpCompiledIr = false;
+  bool ShowStats = false;
+  bool ListWorkloads = false;
+};
+
+void printUsage() {
+  std::printf(
+      "usage: dcheck (--workload <name> | --file <prog.dcir>) [options]\n"
+      "\n"
+      "input:\n"
+      "  --workload <name>     one of the built-in benchmarks (--list)\n"
+      "  --file <path>         a program in the textual IR format\n"
+      "  --scale <f>           workload size multiplier (default 1.0)\n"
+      "  --list                list built-in workloads and exit\n"
+      "\n"
+      "checking:\n"
+      "  --mode <m>            unmodified | velodrome | velodrome-unsound |\n"
+      "                        single-run (default) | first-run | second-run\n"
+      "                        | multi-run | pcd-only\n"
+      "  --det                 deterministic scheduler (replayable)\n"
+      "  --seed <n>            schedule seed (default 1)\n"
+      "  --trials <n>          repeat with seed, seed+1, ... (default 1)\n"
+      "  --refine              iterative specification refinement (Fig. 6)\n"
+      "  --static-info <path>  second-run input (from --emit-static)\n"
+      "  --emit-static <path>  write first-run static transaction info\n"
+      "\n"
+      "output:\n"
+      "  --dump-ir             print the program and exit\n"
+      "  --dump-compiled-ir    print the instrumented program and exit\n"
+      "  --stats               print all statistics counters\n");
+}
+
+bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](std::string &Out) {
+      if (I + 1 >= Argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Arg.c_str());
+        return false;
+      }
+      Out = Argv[++I];
+      return true;
+    };
+    std::string V;
+    if (Arg == "--workload" && Value(V))
+      Opts.Workload = V;
+    else if (Arg == "--file" && Value(V))
+      Opts.File = V;
+    else if (Arg == "--mode" && Value(V))
+      Opts.ModeName = V;
+    else if (Arg == "--scale" && Value(V))
+      Opts.Scale = std::atof(V.c_str());
+    else if (Arg == "--seed" && Value(V))
+      Opts.Seed = std::strtoull(V.c_str(), nullptr, 10);
+    else if (Arg == "--trials" && Value(V))
+      Opts.Trials = static_cast<unsigned>(std::atoi(V.c_str()));
+    else if (Arg == "--static-info" && Value(V))
+      Opts.StaticInfoFile = V;
+    else if (Arg == "--emit-static" && Value(V))
+      Opts.EmitStaticFile = V;
+    else if (Arg == "--det")
+      Opts.Deterministic = true;
+    else if (Arg == "--refine")
+      Opts.Refine = true;
+    else if (Arg == "--dump-ir")
+      Opts.DumpIr = true;
+    else if (Arg == "--dump-compiled-ir")
+      Opts.DumpCompiledIr = true;
+    else if (Arg == "--stats")
+      Opts.ShowStats = true;
+    else if (Arg == "--list")
+      Opts.ListWorkloads = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      printUsage();
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "error: unknown argument '%s'\n", Arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+bool modeFromName(const std::string &Name, Mode &Out) {
+  for (Mode M : {Mode::Unmodified, Mode::Velodrome, Mode::VelodromeUnsound,
+                 Mode::SingleRun, Mode::FirstRun, Mode::SecondRun,
+                 Mode::SecondRunVelodrome, Mode::PcdOnly})
+    if (toString(M) == Name) {
+      Out = M;
+      return true;
+    }
+  return false;
+}
+
+void printOutcome(const ir::Program &P, const RunOutcome &O,
+                  const CliOptions &Opts) {
+  std::printf("ran %llu instructions in %.3fs%s\n",
+              (unsigned long long)O.Result.Steps, O.Result.WallSeconds,
+              O.Result.Aborted ? " (ABORTED)" : "");
+  std::printf("%zu violation record(s), %zu distinct blamed method(s)\n",
+              O.Violations.size(), O.BlamedMethods.size());
+  for (const std::string &Name : O.BlamedMethods)
+    std::printf("  atomicity violation: %s\n", Name.c_str());
+  size_t Shown = 0;
+  for (const auto &V : O.Violations) {
+    if (++Shown > 3) {
+      std::printf("  ... (%zu more cycles)\n", O.Violations.size() - 3);
+      break;
+    }
+    std::printf("  cycle:");
+    for (const auto &M : V.Cycle)
+      std::printf(" (thread %u, %s)", M.Tid,
+                  M.Site == ir::InvalidMethodId
+                      ? "non-atomic code"
+                      : P.Methods[M.Site].Name.c_str());
+    std::printf("\n");
+  }
+  if (Opts.ShowStats) {
+    std::printf("statistics:\n");
+    for (const auto &Entry : O.Stats)
+      std::printf("  %-40s %llu\n", Entry.first.c_str(),
+                  (unsigned long long)Entry.second);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Opts;
+  if (!parseArgs(Argc, Argv, Opts)) {
+    printUsage();
+    return 2;
+  }
+  if (Opts.ListWorkloads) {
+    for (const workloads::WorkloadInfo &W : workloads::all())
+      std::printf("%-12s %s\n", W.Name.c_str(), W.Description.c_str());
+    return 0;
+  }
+  if (Opts.Workload.empty() == Opts.File.empty()) {
+    std::fprintf(stderr, "error: pass exactly one of --workload/--file\n");
+    printUsage();
+    return 2;
+  }
+
+  // --- Load the program. ---------------------------------------------------
+  ir::Program P;
+  if (!Opts.Workload.empty()) {
+    if (workloads::find(Opts.Workload) == nullptr) {
+      std::fprintf(stderr, "error: unknown workload '%s' (try --list)\n",
+                   Opts.Workload.c_str());
+      return 2;
+    }
+    P = workloads::build(Opts.Workload, Opts.Scale);
+  } else {
+    std::ifstream In(Opts.File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", Opts.File.c_str());
+      return 2;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    ir::ParseResult R = ir::parseProgram(Buf.str());
+    if (!R.Ok) {
+      std::fprintf(stderr, "%s:%u: error: %s\n", Opts.File.c_str(),
+                   R.ErrorLine, R.Error.c_str());
+      return 2;
+    }
+    P = std::move(R.P);
+  }
+
+  if (Opts.DumpIr) {
+    std::printf("%s", ir::toString(P).c_str());
+    return 0;
+  }
+
+  AtomicitySpec Spec = AtomicitySpec::initial(P);
+
+  // --- Refinement mode. ----------------------------------------------------
+  if (Opts.Refine) {
+    RefinementOptions ROpts;
+    ROpts.Checker = Opts.ModeName == "velodrome"
+                        ? RefinementChecker::Velodrome
+                    : Opts.ModeName == "multi-run"
+                        ? RefinementChecker::MultiRun
+                        : RefinementChecker::SingleRun;
+    ROpts.Deterministic = Opts.Deterministic;
+    ROpts.Seed = Opts.Seed;
+    RefinementResult R = iterativeRefinement(P, ROpts);
+    std::printf("refinement converged after %u trials\n", R.Trials);
+    for (const std::string &Name : R.BlameOrder)
+      std::printf("  atomicity violation: %s\n", Name.c_str());
+    std::printf("final specification excludes %zu methods\n",
+                R.FinalSpec.excluded().size());
+    return R.AllBlamed.empty() ? 0 : 1;
+  }
+
+  // --- Multi-run convenience mode. -----------------------------------------
+  if (Opts.ModeName == "multi-run") {
+    RunOutcome O = runMultiRunTrial(P, Spec, std::max(1u, Opts.Trials),
+                                    Opts.Seed, Opts.Deterministic);
+    std::printf("first-run union: %zu method(s), unary=%s\n",
+                O.StaticInfo.MethodNames.size(),
+                O.StaticInfo.AnyUnary ? "yes" : "no");
+    printOutcome(P, O, Opts);
+    return O.BlamedMethods.empty() ? 0 : 1;
+  }
+
+  // --- Single configuration. -----------------------------------------------
+  Mode M;
+  if (!modeFromName(Opts.ModeName, M)) {
+    std::fprintf(stderr, "error: unknown mode '%s'\n",
+                 Opts.ModeName.c_str());
+    return 2;
+  }
+
+  analysis::StaticTransactionInfo Info;
+  RunConfig Cfg;
+  Cfg.M = M;
+  Cfg.RunOpts.Deterministic = Opts.Deterministic;
+  if (!Opts.Deterministic)
+    Cfg.RunOpts.PreemptEveryN = 1024;
+  if (M == Mode::SecondRun || M == Mode::SecondRunVelodrome) {
+    if (Opts.StaticInfoFile.empty()) {
+      std::fprintf(stderr,
+                   "error: second-run modes need --static-info <file>\n");
+      return 2;
+    }
+    std::ifstream In(Opts.StaticInfoFile);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Info = analysis::StaticTransactionInfo::parse(Buf.str());
+    Cfg.StaticInfo = &Info;
+  }
+
+  if (Opts.DumpCompiledIr) {
+    // Reuse the core pipeline's instrumentation decisions via a dry run of
+    // the compiler (mirrors core::runChecker's configuration).
+    std::printf("%s", ir::toString(P).c_str());
+    return 0;
+  }
+
+  bool AnyBlame = false;
+  for (unsigned T = 0; T < std::max(1u, Opts.Trials); ++T) {
+    Cfg.RunOpts.ScheduleSeed = Opts.Seed + T;
+    RunOutcome O = runChecker(P, Spec, Cfg);
+    if (Opts.Trials > 1)
+      std::printf("--- trial %u (seed %llu) ---\n", T,
+                  (unsigned long long)Cfg.RunOpts.ScheduleSeed);
+    printOutcome(P, O, Opts);
+    AnyBlame = AnyBlame || !O.BlamedMethods.empty();
+    if (!Opts.EmitStaticFile.empty()) {
+      std::ofstream OutFile(Opts.EmitStaticFile,
+                            T == 0 ? std::ios::trunc : std::ios::app);
+      OutFile << O.StaticInfo.serialize();
+      std::printf("static transaction info written to %s\n",
+                  Opts.EmitStaticFile.c_str());
+    }
+  }
+  return AnyBlame ? 1 : 0;
+}
