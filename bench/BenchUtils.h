@@ -92,6 +92,46 @@ inline double geomean(const std::vector<double> &Values) {
   return std::exp(LogSum / static_cast<double>(Values.size()));
 }
 
+/// Minimal writer for BENCH_*.json artifacts: a top-level object with the
+/// harness name and one "rows" array of flat objects. Enough structure for
+/// machine-readable results without a JSON dependency.
+class JsonRows {
+public:
+  void beginRow() { Rows.emplace_back(); }
+  void add(const std::string &Key, uint64_t V) {
+    Rows.back().emplace_back(Key, std::to_string(V));
+  }
+  void add(const std::string &Key, double V) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+    Rows.back().emplace_back(Key, Buf);
+  }
+  void add(const std::string &Key, const std::string &V) {
+    Rows.back().emplace_back(Key, "\"" + V + "\"");
+  }
+
+  /// Writes {"bench": <name>, "rows": [...]} to \p Path; returns success.
+  bool write(const std::string &Path, const std::string &Name) const {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (F == nullptr)
+      return false;
+    std::fprintf(F, "{\n  \"bench\": \"%s\",\n  \"rows\": [\n", Name.c_str());
+    for (size_t R = 0; R < Rows.size(); ++R) {
+      std::fprintf(F, "    {");
+      for (size_t I = 0; I < Rows[R].size(); ++I)
+        std::fprintf(F, "%s\"%s\": %s", I ? ", " : "", Rows[R][I].first.c_str(),
+                     Rows[R][I].second.c_str());
+      std::fprintf(F, "}%s\n", R + 1 < Rows.size() ? "," : "");
+    }
+    std::fprintf(F, "  ]\n}\n");
+    std::fclose(F);
+    return true;
+  }
+
+private:
+  std::vector<std::vector<std::pair<std::string, std::string>>> Rows;
+};
+
 /// Derives the refined ("final") specification for \p Name the way §5.1
 /// does: iterative refinement with the sound single-run checker, at a small
 /// deterministic scale (method names transfer to any scale).

@@ -1,0 +1,202 @@
+//===- bench/scaling_threads.cpp - Sharded-IDG scaling sweep --------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Old-vs-new IDG hot path as thread count grows. The "old" configuration
+/// is the SerializedIdg escape hatch (one global IDG lock, inline PCD and
+/// collection — the pre-sharding behaviour); the "new" one is the default
+/// sharded hot path with the multi-worker PCD pool and the background
+/// collector.
+///
+/// The harness drives DoubleCheckerRuntime's hooks directly from one OS
+/// thread, round-robining T logical threads one access at a time — the
+/// finest possible interleaving, with none of the interpreter scheduler's
+/// context-switch overhead, so the measurement isolates the checker hot
+/// path itself. All logical threads are parked in the Octet blocked state,
+/// so cross-thread conflicts resolve synchronously through the implicit
+/// protocol. The workload is the paper's common shape: fifteen of every
+/// sixteen transactions touch only thread-private fields (where the
+/// sharded path never leaves its own stripe, while the global lock changes
+/// holder at every transaction boundary and pays the calibrated
+/// remote-miss penalty, DESIGN.md §2/§7); the sixteenth writes a random
+/// shared object, forcing Octet conflicts and cross edges.
+///
+/// Expect the 1-thread row below 1.0x on this single-core host: the new
+/// path's background collector and PCD workers cost real context switches
+/// here, while on a multicore they would run on otherwise-idle cores. The
+/// rows that matter are 2+ threads, where the old path's per-transaction
+/// global-lock handoffs dominate.
+///
+//===----------------------------------------------------------------------===//
+
+#include <chrono>
+
+#include "analysis/DoubleChecker.h"
+#include "bench/BenchUtils.h"
+#include "ir/Builder.h"
+#include "support/Rng.h"
+
+using namespace dc;
+using namespace dc::bench;
+
+namespace {
+
+constexpr uint32_t SharedObjects = 16;
+constexpr uint32_t AccessesPerTx = 3;
+constexpr uint32_t SharedTxPeriod = 16; // 1 in 16 transactions is shared.
+
+ir::Program benchProgram(uint32_t Threads) {
+  ir::ProgramBuilder B("scaling");
+  B.addPool("objs", SharedObjects + Threads, 2);
+  B.beginMethod("txn", true).work(1).endMethod();
+  ir::MethodId Main = B.beginMethod("main", false).work(1).endMethod();
+  for (uint32_t T = 0; T < Threads; ++T)
+    B.addThread(Main);
+  return B.build();
+}
+
+struct SweepPoint {
+  double Seconds = 0;
+  double TxPerSec = 0;
+  double EdgesPerSec = 0;
+  uint64_t CrossEdges = 0;
+  uint64_t Handoffs = 0;
+  uint64_t Sccs = 0;
+};
+
+SweepPoint runOnce(const ir::Program &P, uint32_t Threads,
+                   uint64_t TxPerThread, bool Serialized) {
+  StatisticRegistry Stats;
+  analysis::ViolationLog Violations;
+  analysis::DoubleCheckerOptions Opts;
+  Opts.SerializedIdg = Serialized;
+  Opts.ParallelPcd = !Serialized;
+  Opts.PcdWorkers = 2;
+  Opts.CollectEveryTx = 1024; // Keep the live graph (and Tarjan) small.
+  auto DC = std::make_unique<analysis::DoubleCheckerRuntime>(P, Opts,
+                                                             Violations, Stats);
+  rt::Runtime RT(P, DC.get());
+  DC->beginRun(RT);
+
+  const ir::Method &Txn = P.Methods[P.findMethod("txn")];
+  std::vector<rt::ThreadContext> Tc(Threads);
+  std::vector<SplitMix64> Rng;
+  for (uint32_t T = 0; T < Threads; ++T) {
+    Tc[T].Tid = T;
+    Tc[T].RT = &RT;
+    Tc[T].Checker = DC.get();
+    DC->threadStarted(Tc[T]);
+    DC->aboutToBlock(Tc[T]); // Implicit protocol: conflicts are synchronous.
+    Rng.emplace_back(T * 9176 + 5);
+  }
+
+  const uint64_t StepsPerThread = TxPerThread * AccessesPerTx;
+  auto Begin = std::chrono::steady_clock::now();
+  for (uint64_t Step = 0; Step < StepsPerThread; ++Step) {
+    for (uint32_t T = 0; T < Threads; ++T) {
+      if (Step % AccessesPerTx == 0) {
+        if (Step != 0)
+          DC->txEnd(Tc[T], Txn);
+        DC->txBegin(Tc[T], Txn);
+      }
+      const bool SharedTx =
+          (Step / AccessesPerTx) % SharedTxPeriod == SharedTxPeriod - 1;
+      rt::AccessInfo Info;
+      // Shared transactions write one random shared object (write-only
+      // sharing: ping-pongs WrEx ownership without RdSh upgrade storms);
+      // everything else stays on the thread's own object.
+      Info.Obj = SharedTx && Step % AccessesPerTx == 1
+                     ? static_cast<rt::ObjectId>(
+                           Rng[T].nextBelow(SharedObjects))
+                     : static_cast<rt::ObjectId>(SharedObjects + T);
+      Info.Addr = RT.heap().fieldAddr(Info.Obj, Rng[T].nextBelow(2));
+      Info.IsWrite = SharedTx || Step % 2 == 1;
+      Info.Flags = ir::IF_OctetBarrier | ir::IF_LogAccess;
+      DC->instrumentedAccess(Tc[T], Info, [] {});
+    }
+  }
+  for (uint32_t T = 0; T < Threads; ++T) {
+    DC->txEnd(Tc[T], Txn);
+    DC->unblocked(Tc[T]);
+    DC->threadExiting(Tc[T]);
+  }
+  DC->endRun(RT); // Drains the PCD pool and the collector: deferred work
+                  // stays inside the timed region for a fair comparison.
+  auto End = std::chrono::steady_clock::now();
+
+  SweepPoint Pt;
+  Pt.Seconds = std::chrono::duration<double>(End - Begin).count();
+  Pt.TxPerSec = static_cast<double>(Threads) * TxPerThread / Pt.Seconds;
+  Pt.CrossEdges = Stats.value("icd.idg_cross_edges");
+  Pt.EdgesPerSec = static_cast<double>(Pt.CrossEdges) / Pt.Seconds;
+  Pt.Handoffs = Stats.value("icd.idg_lock_handoffs");
+  Pt.Sccs = Stats.value("icd.sccs");
+  return Pt;
+}
+
+SweepPoint sweep(uint32_t Threads, uint64_t TxPerThread, bool Serialized,
+                 unsigned Trials) {
+  ir::Program P = benchProgram(Threads);
+  std::vector<SweepPoint> Runs;
+  for (unsigned R = 0; R < Trials; ++R)
+    Runs.push_back(runOnce(P, Threads, TxPerThread, Serialized));
+  std::sort(Runs.begin(), Runs.end(),
+            [](const SweepPoint &A, const SweepPoint &B) {
+              return A.Seconds < B.Seconds;
+            });
+  return Runs[Runs.size() / 2];
+}
+
+} // namespace
+
+int main() {
+  const double Scale = benchScale();
+  const unsigned Trials = benchTrials();
+  const uint64_t TxPerThread =
+      std::max<uint64_t>(512, static_cast<uint64_t>(50000 * Scale)) /
+      SharedTxPeriod * SharedTxPeriod;
+  std::printf("IDG scaling sweep: global lock (SerializedIdg) vs sharded "
+              "hot path (scale %.2f, %llu tx/thread)\n\n",
+              Scale, static_cast<unsigned long long>(TxPerThread));
+
+  TextTable Table;
+  Table.setHeader({"threads", "old wall s", "new wall s", "old tx/s",
+                   "new tx/s", "new edges/s", "speedup"});
+  JsonRows Json;
+
+  for (uint32_t Threads : {1u, 2u, 4u, 8u}) {
+    SweepPoint Old = sweep(Threads, TxPerThread, /*Serialized=*/true, Trials);
+    SweepPoint New = sweep(Threads, TxPerThread, /*Serialized=*/false, Trials);
+    double Speedup = Old.Seconds / New.Seconds;
+    Table.addRow({std::to_string(Threads), formatDouble(Old.Seconds, 3),
+                  formatDouble(New.Seconds, 3),
+                  formatWithCommas(static_cast<uint64_t>(Old.TxPerSec)),
+                  formatWithCommas(static_cast<uint64_t>(New.TxPerSec)),
+                  formatWithCommas(static_cast<uint64_t>(New.EdgesPerSec)),
+                  formatDouble(Speedup, 2) + "x"});
+    Json.beginRow();
+    Json.add("threads", static_cast<uint64_t>(Threads));
+    Json.add("tx_per_thread", TxPerThread);
+    Json.add("serialized_wall_s", Old.Seconds);
+    Json.add("sharded_wall_s", New.Seconds);
+    Json.add("serialized_tx_per_s", Old.TxPerSec);
+    Json.add("sharded_tx_per_s", New.TxPerSec);
+    Json.add("serialized_edges_per_s", Old.EdgesPerSec);
+    Json.add("sharded_edges_per_s", New.EdgesPerSec);
+    Json.add("serialized_lock_handoffs", Old.Handoffs);
+    Json.add("sharded_lock_handoffs", New.Handoffs);
+    Json.add("serialized_sccs", Old.Sccs);
+    Json.add("sharded_sccs", New.Sccs);
+    Json.add("speedup", Speedup);
+  }
+
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("(speedup = serialized wall / sharded wall; identical total "
+              "work per row)\n");
+  if (Json.write("BENCH_scaling.json", "scaling_threads"))
+    std::printf("wrote BENCH_scaling.json\n");
+  return 0;
+}

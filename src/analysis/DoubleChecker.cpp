@@ -6,6 +6,7 @@
 
 #include "analysis/DoubleChecker.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
@@ -16,72 +17,28 @@
 using namespace dc;
 using namespace dc::analysis;
 
-/// Background PCD worker (parallel-PCD extension, §5.3 future work):
-/// consumes queued SCCs; members are pinned while queued.
-class DoubleCheckerRuntime::AsyncPcdWorker {
-public:
-  explicit AsyncPcdWorker(PreciseCycleDetector &Pcd) : Pcd(Pcd) {
-    Worker = std::thread([this] { run(); });
-  }
-
-  ~AsyncPcdWorker() {
-    {
-      std::lock_guard<std::mutex> L(M);
-      Stop = true;
-    }
-    CV.notify_all();
-    Worker.join();
-  }
-
-  /// Enqueues an SCC; every member gains a pin released after replay.
-  void enqueue(std::vector<Transaction *> Members) {
-    for (Transaction *Tx : Members)
-      Tx->Pins.fetch_add(1, std::memory_order_relaxed);
-    {
-      std::lock_guard<std::mutex> L(M);
-      Queue.push_back(std::move(Members));
-    }
-    CV.notify_one();
-  }
-
-  /// Blocks until every queued SCC has been processed.
-  void drain() {
-    std::unique_lock<std::mutex> L(M);
-    Idle.wait(L, [this] { return Queue.empty() && !Busy; });
-  }
-
-private:
-  void run() {
-    std::unique_lock<std::mutex> L(M);
-    for (;;) {
-      CV.wait(L, [this] { return Stop || !Queue.empty(); });
-      if (Queue.empty() && Stop)
-        return;
-      std::vector<Transaction *> Members = std::move(Queue.front());
-      Queue.pop_front();
-      Busy = true;
-      L.unlock();
-      Pcd.processScc(Members);
-      for (Transaction *Tx : Members)
-        Tx->Pins.fetch_sub(1, std::memory_order_release);
-      L.lock();
-      Busy = false;
-      if (Queue.empty())
-        Idle.notify_all();
-    }
-  }
-
-  PreciseCycleDetector &Pcd;
-  std::mutex M;
-  std::condition_variable CV;
-  std::condition_variable Idle;
-  std::deque<std::vector<Transaction *>> Queue;
-  bool Stop = false;
-  bool Busy = false;
-  std::thread Worker;
-};
-
 namespace {
+
+/// Holder id the background collector uses for stripe acquisition (never a
+/// program thread id).
+constexpr uint32_t HolderCollector = 0xFFFFFFFEu;
+
+/// The program thread currently executing on this OS thread; every checker
+/// hook stores it on entry. Octet listener callbacks run inside some hook
+/// (a barrier, a safe-point poll, or a blocked-state operation), so this
+/// identifies which thread's cache a stripe handoff would miss in.
+thread_local uint32_t TlsPhysTid = StripedLockSet::NoHolder;
+
+uint32_t physTid(uint32_t Fallback) {
+  return TlsPhysTid == StripedLockSet::NoHolder ? Fallback : TlsPhysTid;
+}
+
+/// Ids are (thread, per-thread counter) compositions so allocation needs no
+/// global synchronization. Uniqueness within a run is all the analysis
+/// needs: nothing orders by id (OrderClock stamps do the ordering).
+uint64_t composeId(uint32_t Tid, uint64_t Seq) {
+  return (static_cast<uint64_t>(Tid + 1) << 40) | Seq;
+}
 
 /// Elision cell packing: tid (16 bits) | wasWrite (1) | ts (47).
 uint64_t packCell(uint32_t Tid, bool WasWrite, uint64_t Ts) {
@@ -94,6 +51,187 @@ bool cellWasWrite(uint64_t Cell) { return (Cell >> 47) & 1; }
 uint64_t cellTs(uint64_t Cell) { return Cell & ((1ULL << 47) - 1); }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// Parallel-PCD worker pool
+//===----------------------------------------------------------------------===//
+
+/// Bounded multi-worker pool for PCD replays (parallel-PCD extension, §5.3
+/// future work). SCCs are independent once detected: members are finished
+/// (immutable logs) and pinned by the detecting thread before enqueue; the
+/// worker that replays an SCC releases its members' pins. processScc keeps
+/// no state across calls, so workers replay distinct SCCs concurrently.
+class DoubleCheckerRuntime::PcdPool {
+public:
+  PcdPool(PreciseCycleDetector &Pcd, StatisticRegistry &Stats,
+          uint32_t NumWorkers, uint32_t MaxDepth)
+      : Pcd(Pcd), MaxDepth(std::max(1u, MaxDepth)),
+        SccsQueued(Stats.get("pcd.sccs_queued")),
+        QueueWaitNs(Stats.get("pcd.queue_wait_ns")),
+        MaxQueueDepth(Stats.get("pcd.max_queue_depth")) {
+    Workers.reserve(std::max(1u, NumWorkers));
+    for (uint32_t I = 0; I < std::max(1u, NumWorkers); ++I)
+      Workers.emplace_back([this] { run(); });
+  }
+
+  ~PcdPool() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Stop = true;
+    }
+    HasWork.notify_all();
+    NotFull.notify_all();
+    for (std::thread &W : Workers)
+      W.join(); // Workers drain the remaining queue before exiting.
+  }
+
+  /// Enqueues one detection pass's SCCs (members already pinned by the
+  /// caller; a worker releases the pins after replay). Blocks while the
+  /// queue is at its bound (backpressure on the detecting thread). Safe to
+  /// block here: callers hold no IDG stripe and workers never take one.
+  /// One notify per woken worker for the whole batch, not one per SCC:
+  /// a woken worker drains everything it can see, so per-SCC signalling
+  /// only adds futex traffic and wake/sleep churn.
+  void enqueueBatch(std::vector<std::vector<Transaction *>> Sccs) {
+    const auto Now = std::chrono::steady_clock::now();
+    size_t Queued = 0;
+    {
+      std::unique_lock<std::mutex> L(M);
+      for (std::vector<Transaction *> &Members : Sccs) {
+        NotFull.wait(L, [this] { return Queue.size() < MaxDepth || Stop; });
+        Queue.push_back(Item{std::move(Members), Now});
+        ++Queued;
+        SccsQueued.add(1);
+        MaxQueueDepth.updateMax(Queue.size());
+      }
+    }
+    for (size_t I = std::min(Queued, Workers.size()); I-- > 0;)
+      HasWork.notify_one();
+  }
+
+  /// Blocks until every queued SCC has been fully replayed.
+  void drain() {
+    std::unique_lock<std::mutex> L(M);
+    Idle.wait(L, [this] { return Queue.empty() && Active == 0; });
+  }
+
+private:
+  struct Item {
+    std::vector<Transaction *> Members;
+    std::chrono::steady_clock::time_point Enqueued;
+  };
+
+  void run() {
+    std::unique_lock<std::mutex> L(M);
+    for (;;) {
+      HasWork.wait(L, [this] { return Stop || !Queue.empty(); });
+      if (Queue.empty()) {
+        if (Stop)
+          return;
+        continue;
+      }
+      Item It = std::move(Queue.front());
+      Queue.pop_front();
+      ++Active;
+      L.unlock();
+      NotFull.notify_one();
+      QueueWaitNs.add(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - It.Enqueued)
+              .count()));
+      Pcd.processScc(It.Members);
+      for (Transaction *Tx : It.Members)
+        Tx->Pins.fetch_sub(1, std::memory_order_release);
+      L.lock();
+      --Active;
+      if (Queue.empty() && Active == 0)
+        Idle.notify_all();
+    }
+  }
+
+  PreciseCycleDetector &Pcd;
+  const uint32_t MaxDepth;
+  Statistic &SccsQueued;
+  Statistic &QueueWaitNs;
+  Statistic &MaxQueueDepth;
+
+  std::mutex M;
+  std::condition_variable HasWork;
+  std::condition_variable NotFull;
+  std::condition_variable Idle;
+  std::deque<Item> Queue;
+  uint32_t Active = 0;
+  bool Stop = false;
+  std::vector<std::thread> Workers;
+};
+
+//===----------------------------------------------------------------------===//
+// Background transaction collector
+//===----------------------------------------------------------------------===//
+
+/// Runs mark-sweep passes off the critical path. Triggers from
+/// endCurrentTx only bump a request counter; pending requests coalesce
+/// into one pass (a pass sweeps everything currently unreachable, so a
+/// coalesced pass frees no less than the passes it replaces).
+class DoubleCheckerRuntime::TxCollector {
+public:
+  explicit TxCollector(DoubleCheckerRuntime &DC) : DC(DC) {
+    Worker = std::thread([this] { run(); });
+  }
+
+  ~TxCollector() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      Stop = true;
+    }
+    CV.notify_all();
+    Worker.join();
+  }
+
+  void request() {
+    {
+      std::lock_guard<std::mutex> L(M);
+      ++Requested;
+    }
+    CV.notify_one();
+  }
+
+  /// Blocks until every request made before the call has been served.
+  void drain() {
+    std::unique_lock<std::mutex> L(M);
+    const uint64_t Target = Requested;
+    Done.wait(L, [&] { return Completed >= Target; });
+  }
+
+private:
+  void run() {
+    std::unique_lock<std::mutex> L(M);
+    for (;;) {
+      CV.wait(L, [this] { return Stop || Completed < Requested; });
+      if (Completed >= Requested && Stop)
+        return;
+      const uint64_t Target = Requested; // Coalesce pending requests.
+      L.unlock();
+      DC.collectNow(HolderCollector);
+      L.lock();
+      Completed = Target;
+      Done.notify_all();
+    }
+  }
+
+  DoubleCheckerRuntime &DC;
+  std::mutex M;
+  std::condition_variable CV;
+  std::condition_variable Done;
+  uint64_t Requested = 0;
+  uint64_t Completed = 0;
+  bool Stop = false;
+  std::thread Worker;
+};
+
+//===----------------------------------------------------------------------===//
+// Construction / run lifecycle
+//===----------------------------------------------------------------------===//
 
 DoubleCheckerRuntime::DoubleCheckerRuntime(const ir::Program &P,
                                            DoubleCheckerOptions Opts,
@@ -116,9 +254,10 @@ DoubleCheckerRuntime::DoubleCheckerRuntime(const ir::Program &P,
 }
 
 DoubleCheckerRuntime::~DoubleCheckerRuntime() {
-  // Stop the async PCD worker before freeing the transactions it may still
-  // be replaying.
+  // Stop the PCD pool before freeing the transactions it may still be
+  // replaying, and the collector before tearing down the stripes it locks.
   AsyncPcd.reset();
+  Collector.reset();
   for (uint32_t T = 0; T < NumThreads; ++T)
     for (Transaction *Tx : Threads[T].Owned)
       delete Tx;
@@ -127,20 +266,36 @@ DoubleCheckerRuntime::~DoubleCheckerRuntime() {
 void DoubleCheckerRuntime::beginRun(rt::Runtime &RT) {
   NumThreads = RT.numThreads();
   Threads = std::make_unique<PerThread[]>(NumThreads);
+  // Stripe 0 is the global stripe (gLastRdSh); Tid+1 is thread Tid's.
+  NumShards = Opts.SerializedIdg ? 1 : NumThreads + 1;
+  IdgShards = std::make_unique<StripedLockSet>(NumShards);
   Octet = std::make_unique<octet::OctetManager>(
       RT.heap(), NumThreads, this, Stats, &RT.abortFlag());
   if (Opts.ParallelPcd && Pcd)
-    AsyncPcd = std::make_unique<AsyncPcdWorker>(*Pcd);
+    AsyncPcd = std::make_unique<PcdPool>(*Pcd, Stats, Opts.PcdWorkers,
+                                         Opts.PcdQueueDepth);
+  // SerializedIdg keeps the pre-sharding behaviour: collection runs inline
+  // on the triggering thread. CollectEveryTx == ~0u (PcdOnly) never
+  // triggers, so the collector thread would sit idle.
+  if (!Opts.SerializedIdg && Opts.CollectEveryTx != ~0u)
+    Collector = std::make_unique<TxCollector>(*this);
   if (Opts.LogAccesses) {
     ElisionCells = std::vector<std::atomic<uint64_t>>(
         RT.heap().numFieldAddrs());
-    CellContended.assign(RT.heap().numFieldAddrs(), 0);
+    CellContended = std::vector<std::atomic<uint8_t>>(
+        RT.heap().numFieldAddrs());
   }
 }
 
 void DoubleCheckerRuntime::endRun(rt::Runtime &RT) {
+  // Flush detection roots still short of a full batch (every transaction
+  // is finished now, so this finds any remaining cycles), then drain the
+  // deferred machinery that pass may have fed.
+  sccPass(HolderCollector);
   if (AsyncPcd)
     AsyncPcd->drain();
+  if (Collector)
+    Collector->drain();
   Octet->flushStatistics();
   uint64_t Regular = 0, Unary = 0, AccR = 0, AccU = 0, LogN = 0, LogE = 0;
   for (uint32_t T = 0; T < NumThreads; ++T) {
@@ -158,45 +313,107 @@ void DoubleCheckerRuntime::endRun(rt::Runtime &RT) {
   Stats.get("icd.instrumented_accesses_unary").add(AccU);
   Stats.get("icd.log_entries").add(LogN);
   Stats.get("icd.log_entries_elided").add(LogE);
-  SpinLockGuard Guard(IdgLock);
-  Stats.get("icd.idg_cross_edges").add(CrossEdges);
-  Stats.get("icd.sccs").add(SccCount);
-  Stats.get("icd.collector_runs").add(CollectorRuns);
-  Stats.get("icd.collector_ns").add(CollectorNs);
-  Stats.get("icd.txs_swept").add(TxsSwept);
+  Stats.get("icd.idg_cross_edges")
+      .add(CrossEdges.load(std::memory_order_relaxed));
+  Stats.get("icd.sccs").add(SccCount.load(std::memory_order_relaxed));
+  Stats.get("icd.collector_runs")
+      .add(CollectorRuns.load(std::memory_order_relaxed));
+  Stats.get("icd.collector_ns")
+      .add(CollectorNs.load(std::memory_order_relaxed));
+  Stats.get("icd.txs_swept").add(TxsSwept.load(std::memory_order_relaxed));
+  Stats.get("icd.collector_live")
+      .updateMax(CollectorLiveMax.load(std::memory_order_relaxed));
+  Stats.get("icd.idg_shards").updateMax(NumShards);
+  Stats.get("icd.idg_lock_handoffs").add(IdgShards->totalHandoffs());
 }
 
+//===----------------------------------------------------------------------===//
+// Stripe helpers
+//===----------------------------------------------------------------------===//
+
+void DoubleCheckerRuntime::lockShard(uint32_t S, uint32_t Holder) {
+  if (IdgShards->lock(S, Holder) && Opts.IdgRemoteMissPenalty != 0)
+    spinPenalty(Opts.IdgRemoteMissPenalty,
+                (static_cast<uint64_t>(S) << 32) | Holder);
+}
+
+void DoubleCheckerRuntime::lockShards(const uint32_t *Shards, unsigned N,
+                                      uint32_t Holder) {
+  // Batched acquisition pays at most one remote-miss penalty: the stripes'
+  // cache lines are independent, so on real hardware their coherence
+  // transfers overlap (memory-level parallelism) instead of forming the
+  // serial dependence chain spinPenalty models. Per-stripe handoffs are
+  // still counted individually for the icd.idg_lock_handoffs statistic.
+  bool AnyHandoff = false;
+  for (unsigned I = 0; I < N; ++I)
+    AnyHandoff |= IdgShards->lock(Shards[I], Holder);
+  if (AnyHandoff && Opts.IdgRemoteMissPenalty != 0)
+    spinPenalty(Opts.IdgRemoteMissPenalty, Holder);
+}
+
+void DoubleCheckerRuntime::lockAllShards(uint32_t Holder) {
+  // Same memory-level-parallelism batching as lockShards, over every stripe.
+  bool AnyHandoff = false;
+  for (uint32_t S = 0; S < NumShards; ++S)
+    AnyHandoff |= IdgShards->lock(S, Holder);
+  if (AnyHandoff && Opts.IdgRemoteMissPenalty != 0)
+    spinPenalty(Opts.IdgRemoteMissPenalty, Holder);
+}
+
+void DoubleCheckerRuntime::unlockAllShards() {
+  for (uint32_t S = NumShards; S-- > 0;)
+    unlockShard(S);
+}
+
+void DoubleCheckerRuntime::spinPenalty(uint32_t Iters, uint64_t Seed) {
+  uint64_t Acc = Seed;
+  for (uint32_t I = 0; I < Iters; ++I)
+    Acc = Acc * 6364136223846793005ULL + 1442695040888963407ULL;
+  PenaltySink.fetch_add(Acc, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Checker hooks
+//===----------------------------------------------------------------------===//
+
 void DoubleCheckerRuntime::threadStarted(rt::ThreadContext &TC) {
+  TlsPhysTid = TC.Tid;
   Octet->threadStarted(TC.Tid);
-  SpinLockGuard Guard(IdgLock);
+  const uint32_t S = shardOf(TC.Tid);
+  lockShard(S, TC.Tid);
   newTransactionLocked(TC.Tid, ir::InvalidMethodId, /*Regular=*/false);
+  unlockShard(S);
 }
 
 void DoubleCheckerRuntime::threadExiting(rt::ThreadContext &TC) {
-  {
-    SpinLockGuard Guard(IdgLock);
-    endCurrentTxLocked(TC.Tid);
-    // CurrTx intentionally stays on the (finished) final transaction: a
-    // conflicting transition can still name this thread as its responder
-    // (its objects keep their WrEx/RdEx states after exit), and the edge
-    // source must then be the thread's last transaction — nulling it here
-    // would silently drop those edges.
-  }
+  TlsPhysTid = TC.Tid;
+  endCurrentTx(TC.Tid);
+  // CurrTx intentionally stays on the (finished) final transaction: a
+  // conflicting transition can still name this thread as its responder
+  // (its objects keep their WrEx/RdEx states after exit), and the edge
+  // source must then be the thread's last transaction — nulling it here
+  // would silently drop those edges.
   Octet->threadExited(TC.Tid);
 }
 
 void DoubleCheckerRuntime::txBegin(rt::ThreadContext &TC,
                                    const ir::Method &M) {
-  SpinLockGuard Guard(IdgLock);
-  endCurrentTxLocked(TC.Tid);
+  TlsPhysTid = TC.Tid;
+  endCurrentTx(TC.Tid);
+  const uint32_t S = shardOf(TC.Tid);
+  lockShard(S, TC.Tid);
   newTransactionLocked(TC.Tid, P.originalOf(M.Id), /*Regular=*/true);
+  unlockShard(S);
 }
 
 void DoubleCheckerRuntime::txEnd(rt::ThreadContext &TC, const ir::Method &M) {
   // §4: at method end, a new unary transaction begins.
-  SpinLockGuard Guard(IdgLock);
-  endCurrentTxLocked(TC.Tid);
+  TlsPhysTid = TC.Tid;
+  endCurrentTx(TC.Tid);
+  const uint32_t S = shardOf(TC.Tid);
+  lockShard(S, TC.Tid);
   newTransactionLocked(TC.Tid, ir::InvalidMethodId, /*Regular=*/false);
+  unlockShard(S);
 }
 
 Transaction *DoubleCheckerRuntime::currentForAccess(rt::ThreadContext &TC) {
@@ -207,15 +424,19 @@ Transaction *DoubleCheckerRuntime::currentForAccess(rt::ThreadContext &TC) {
     return Cur;
   // The merged unary transaction was interrupted by a cross-thread edge;
   // end it and start a fresh one (§4's merge optimization boundary).
-  SpinLockGuard Guard(IdgLock);
-  endCurrentTxLocked(TC.Tid);
-  return newTransactionLocked(TC.Tid, ir::InvalidMethodId,
-                              /*Regular=*/false);
+  endCurrentTx(TC.Tid);
+  const uint32_t S = shardOf(TC.Tid);
+  lockShard(S, TC.Tid);
+  Transaction *Fresh = newTransactionLocked(TC.Tid, ir::InvalidMethodId,
+                                            /*Regular=*/false);
+  unlockShard(S);
+  return Fresh;
 }
 
 void DoubleCheckerRuntime::instrumentedAccess(rt::ThreadContext &TC,
                                               const rt::AccessInfo &Info,
                                               function_ref<void()> Access) {
+  TlsPhysTid = TC.Tid;
   PerThread &PT = Threads[TC.Tid];
   Transaction *Cur = currentForAccess(TC);
   if (Info.Flags & ir::IF_OctetBarrier) {
@@ -255,13 +476,9 @@ void DoubleCheckerRuntime::logAccess(rt::ThreadContext &TC, Transaction *Cur,
     // Remote-miss simulation for the elision cell rewrite (see
     // DoubleCheckerOptions::LogRemoteMissPenalty).
     if (Cell != 0 && cellTid(Cell) != TC.Tid)
-      CellContended[Info.Addr] = 1;
-    if (CellContended[Info.Addr]) {
-      uint64_t Acc = Info.Addr;
-      for (uint32_t I = 0; I < Opts.LogRemoteMissPenalty; ++I)
-        Acc = Acc * 6364136223846793005ULL + 1442695040888963407ULL;
-      PenaltySink.fetch_add(Acc, std::memory_order_relaxed);
-    }
+      CellContended[Info.Addr].store(1, std::memory_order_relaxed);
+    if (CellContended[Info.Addr].load(std::memory_order_relaxed))
+      spinPenalty(Opts.LogRemoteMissPenalty, Info.Addr);
   }
   CellA.store(packCell(TC.Tid, Info.IsWrite, MyTs),
               std::memory_order_relaxed);
@@ -278,14 +495,17 @@ void DoubleCheckerRuntime::syncOp(rt::ThreadContext &TC,
 }
 
 void DoubleCheckerRuntime::safePoint(rt::ThreadContext &TC) {
+  TlsPhysTid = TC.Tid;
   Octet->pollSafePoint(TC.Tid);
 }
 
 void DoubleCheckerRuntime::aboutToBlock(rt::ThreadContext &TC) {
+  TlsPhysTid = TC.Tid;
   Octet->aboutToBlock(TC.Tid);
 }
 
 void DoubleCheckerRuntime::unblocked(rt::ThreadContext &TC) {
+  TlsPhysTid = TC.Tid;
   Octet->unblocked(TC.Tid);
 }
 
@@ -295,56 +515,121 @@ void DoubleCheckerRuntime::unblocked(rt::ThreadContext &TC) {
 
 void DoubleCheckerRuntime::onConflictingEdge(uint32_t RespTid,
                                              const octet::Transition &T) {
-  SpinLockGuard Guard(IdgLock);
-  Transaction *Src =
-      Threads[RespTid].CurrTx.load(std::memory_order_relaxed);
-  Transaction *Dst =
-      Threads[T.Requester].CurrTx.load(std::memory_order_relaxed);
-  addCrossEdgeLocked(Src, Dst);
+  // Runs on the responder (explicit protocol) or the requester holding the
+  // blocked responder (implicit); both threads' current transactions are
+  // stable for the duration (see OctetListener's contract).
+  const uint32_t Phys = physTid(T.Requester);
+  uint32_t A = shardOf(RespTid);
+  uint32_t B = shardOf(T.Requester);
+  if (A > B)
+    std::swap(A, B);
+  uint32_t Need[2] = {A, B};
+  const unsigned N = B != A ? 2 : 1;
+  lockShards(Need, N, Phys);
+  addCrossEdgeLocked(Threads[RespTid].CurrTx.load(std::memory_order_relaxed),
+                     Threads[T.Requester].CurrTx.load(
+                         std::memory_order_relaxed));
+  for (unsigned I = N; I-- > 0;)
+    unlockShard(Need[I]);
 }
 
 void DoubleCheckerRuntime::onBecameRdEx(uint32_t Tid) {
-  SpinLockGuard Guard(IdgLock);
+  // Always runs on thread Tid itself (the thread claiming RdEx ownership).
+  const uint32_t S = shardOf(Tid);
+  lockShard(S, physTid(Tid));
   Threads[Tid].LastRdEx = Threads[Tid].CurrTx.load(std::memory_order_relaxed);
+  unlockShard(S);
 }
 
 void DoubleCheckerRuntime::onUpgradeToRdSh(uint32_t Tid, uint32_t OldOwner,
                                            uint64_t Counter) {
-  SpinLockGuard Guard(IdgLock);
+  const uint32_t Phys = physTid(Tid);
+  // Stripe 0 pins gLastRdSh's identity; the remaining stripes are only
+  // known after reading it, and are all ranked above stripe 0, so the
+  // ascending lock order is preserved.
+  lockShard(0, Phys);
+  Transaction *Rd = GLastRdSh;
+  uint32_t Need[3] = {0, 0, 0};
+  unsigned N = 0;
+  auto Add = [&](uint32_t S) {
+    if (S == 0)
+      return; // Already held (always the case under SerializedIdg).
+    for (unsigned I = 0; I < N; ++I)
+      if (Need[I] == S)
+        return;
+    Need[N++] = S;
+  };
+  Add(shardOf(OldOwner));
+  Add(shardOf(Tid));
+  if (Rd != nullptr)
+    Add(shardOf(Rd->Tid));
+  // Ascending order, by hand: N <= 3 and std::sort trips a GCC
+  // -Warray-bounds false positive on arrays this small.
+  for (unsigned I = 1; I < N; ++I)
+    for (unsigned J = I; J > 0 && Need[J] < Need[J - 1]; --J)
+      std::swap(Need[J], Need[J - 1]);
+  lockShards(Need, N, Phys);
   Transaction *Cur = Threads[Tid].CurrTx.load(std::memory_order_relaxed);
   // Edge from the old owner's last transition into RdEx (conservative
   // source for the write-read dependence being upgraded over).
   addCrossEdgeLocked(Threads[OldOwner].LastRdEx, Cur);
   // Edge ordering all transitions to RdSh (needed so fence transitions
   // capture write-read dependences transitively, Fig. 3).
-  addCrossEdgeLocked(GLastRdSh, Cur);
+  addCrossEdgeLocked(Rd, Cur);
   GLastRdSh = Cur;
+  for (unsigned I = N; I-- > 0;)
+    unlockShard(Need[I]);
+  unlockShard(0);
 }
 
 void DoubleCheckerRuntime::onFence(uint32_t Tid) {
-  SpinLockGuard Guard(IdgLock);
-  addCrossEdgeLocked(GLastRdSh,
+  const uint32_t Phys = physTid(Tid);
+  lockShard(0, Phys);
+  Transaction *Rd = GLastRdSh;
+  if (Rd == nullptr) {
+    unlockShard(0);
+    return;
+  }
+  uint32_t Need[2] = {0, 0};
+  unsigned N = 0;
+  auto Add = [&](uint32_t S) {
+    if (S == 0)
+      return;
+    for (unsigned I = 0; I < N; ++I)
+      if (Need[I] == S)
+        return;
+    Need[N++] = S;
+  };
+  Add(shardOf(Rd->Tid));
+  Add(shardOf(Tid));
+  if (N == 2 && Need[1] < Need[0])
+    std::swap(Need[0], Need[1]);
+  lockShards(Need, N, Phys);
+  addCrossEdgeLocked(Rd,
                      Threads[Tid].CurrTx.load(std::memory_order_relaxed));
+  for (unsigned I = N; I-- > 0;)
+    unlockShard(Need[I]);
+  unlockShard(0);
 }
 
 //===----------------------------------------------------------------------===//
-// IDG maintenance (all under IdgLock)
+// IDG maintenance
 //===----------------------------------------------------------------------===//
 
 Transaction *DoubleCheckerRuntime::newTransactionLocked(uint32_t Tid,
                                                         ir::MethodId Site,
                                                         bool Regular) {
   PerThread &PT = Threads[Tid];
-  auto *Tx = new Transaction(++NextTxId, Tid, PT.NextSeq++, Site, Regular);
-  {
-    SpinLockGuard Guard(PT.OwnedLock);
-    PT.Owned.push_back(Tx);
-  }
+  auto *Tx =
+      new Transaction(composeId(Tid, PT.NextSeq), Tid, PT.NextSeq, Site,
+                      Regular);
+  ++PT.NextSeq;
+  PT.Owned.push_back(Tx);
   Transaction *Prev = PT.CurrTx.load(std::memory_order_relaxed);
   if (Prev != nullptr) {
     OutEdge E;
     E.Dst = Tx;
-    E.Id = ++NextEdgeId;
+    E.Id = composeId(Tid, ++PT.NextEdgeSeq);
     E.SrcPos = Prev->LogLen.load(std::memory_order_relaxed);
     E.Intra = true;
     Prev->Out.push_back(E);
@@ -358,19 +643,34 @@ Transaction *DoubleCheckerRuntime::newTransactionLocked(uint32_t Tid,
   return Tx;
 }
 
-void DoubleCheckerRuntime::endCurrentTxLocked(uint32_t Tid) {
+void DoubleCheckerRuntime::endCurrentTx(uint32_t Tid) {
+  const uint32_t Shard = shardOf(Tid);
+  lockShard(Shard, Tid);
   PerThread &PT = Threads[Tid];
   Transaction *Cur = PT.CurrTx.load(std::memory_order_relaxed);
-  if (Cur == nullptr)
+  if (Cur == nullptr) {
+    unlockShard(Shard);
     return;
-  Cur->EndTime = ++OrderClock;
+  }
+  Cur->EndTime = OrderClock.fetch_add(1, std::memory_order_relaxed) + 1;
   Cur->Finished.store(true, std::memory_order_release);
-  if (PcdOnlyAnalysis)
+  const bool NeedScc =
+      !PcdOnlyAnalysis && Cur->HasCrossEdge && Opts.DetectIcdCycles;
+  unlockShard(Shard);
+  // The follow-ups run without the own stripe. Cur is finished, so its log
+  // and incoming-edge set are frozen: edges always target the *requesting*
+  // thread's own current transaction, and this thread — the only one that
+  // could name Cur as an edge destination — is here, not requesting.
+  if (PcdOnlyAnalysis) {
+    SpinLockGuard Guard(PcdOnlyLock);
     PcdOnlyAnalysis->processTransaction(Cur);
-  else if (Cur->HasCrossEdge && Opts.DetectIcdCycles)
-    sccFromLocked(Cur);
-  if (++FinishedTxs % Opts.CollectEveryTx == 0)
-    collectLocked();
+  }
+  if (NeedScc)
+    pendSccRoot(Cur, Tid);
+  if ((FinishedTxs.fetch_add(1, std::memory_order_relaxed) + 1) %
+          Opts.CollectEveryTx ==
+      0)
+    requestCollect(Tid);
 }
 
 void DoubleCheckerRuntime::addCrossEdgeLocked(Transaction *Src,
@@ -379,7 +679,7 @@ void DoubleCheckerRuntime::addCrossEdgeLocked(Transaction *Src,
     return;
   OutEdge E;
   E.Dst = Dst;
-  E.Id = ++NextEdgeId;
+  E.Id = composeId(Src->Tid, ++Threads[Src->Tid].NextEdgeSeq);
   E.SrcPos = Src->LogLen.load(std::memory_order_acquire);
   E.Intra = false;
   Src->Out.push_back(E);
@@ -399,18 +699,47 @@ void DoubleCheckerRuntime::addCrossEdgeLocked(Transaction *Src,
     Marker.Obj = Src->Tid;
     Marker.Addr = E.SrcPos;
     Marker.SrcSeq = Src->SeqInThread;
-    Marker.Time = ++OrderClock;
+    Marker.Time = OrderClock.fetch_add(1, std::memory_order_relaxed) + 1;
     Dst->appendLog(Marker);
   }
-  ++CrossEdges;
+  CrossEdges.fetch_add(1, std::memory_order_relaxed);
 }
 
 //===----------------------------------------------------------------------===//
 // SCC detection (Tarjan over finished transactions)
 //===----------------------------------------------------------------------===//
 
-void DoubleCheckerRuntime::sccFromLocked(Transaction *V) {
+void DoubleCheckerRuntime::pendSccRoot(Transaction *V, uint32_t Holder) {
+  bool Flush;
+  {
+    SpinLockGuard Guard(PendingLock);
+    PendingSccRoots.push_back(V);
+    Flush = PendingSccRoots.size() >= Opts.SccBatch;
+  }
+  if (Flush)
+    sccPass(Holder);
+}
+
+void DoubleCheckerRuntime::sccPass(uint32_t Holder) {
+  // All stripes: freezes the whole IDG (every edge writer holds a stripe)
+  // and serializes passes against each other and the collector. One freeze
+  // serves the whole batch of roots. The pending list is swapped out only
+  // *under* the stripes: the entries are what keeps undetected cycles
+  // strongly rooted, so removing them while a collection could still run
+  // would let it sweep the very transactions this pass is about to walk.
+  lockAllShards(Holder);
+  std::vector<Transaction *> Roots;
+  {
+    SpinLockGuard Guard(PendingLock);
+    Roots.swap(PendingSccRoots);
+  }
+  if (Roots.empty()) {
+    unlockAllShards();
+    return;
+  }
   const uint64_t Epoch = ++SccEpochCounter;
+  for (Transaction *R : Roots)
+    R->RootEpoch = Epoch;
   uint32_t NextIndex = 0;
   std::vector<Transaction *> TarjanStack;
   struct Frame {
@@ -418,6 +747,7 @@ void DoubleCheckerRuntime::sccFromLocked(Transaction *V) {
     size_t EdgeIdx;
   };
   std::vector<Frame> CallStack;
+  std::vector<std::vector<Transaction *>> Detected;
 
   auto Visit = [&](Transaction *Tx) {
     Tx->SccEpoch = Epoch;
@@ -426,56 +756,92 @@ void DoubleCheckerRuntime::sccFromLocked(Transaction *V) {
     TarjanStack.push_back(Tx);
     CallStack.push_back(Frame{Tx, 0});
   };
-  Visit(V);
 
-  while (!CallStack.empty()) {
-    Frame &F = CallStack.back();
-    if (F.EdgeIdx < F.Tx->Out.size()) {
-      Transaction *Next = F.Tx->Out[F.EdgeIdx++].Dst;
-      // Only expand finished transactions (§3.2.3): unfinished members
-      // will trigger their own detection when they end.
-      if (!Next->Finished.load(std::memory_order_acquire))
+  for (Transaction *R : Roots) {
+    if (R->SccEpoch == Epoch)
+      continue; // Already visited from an earlier root of this pass.
+    Visit(R);
+    while (!CallStack.empty()) {
+      Frame &F = CallStack.back();
+      if (F.EdgeIdx < F.Tx->Out.size()) {
+        Transaction *Next = F.Tx->Out[F.EdgeIdx++].Dst;
+        // Only expand finished transactions (§3.2.3): unfinished members
+        // will trigger their own detection when they end.
+        if (!Next->Finished.load(std::memory_order_acquire))
+          continue;
+        if (Next->SccEpoch != Epoch) {
+          Visit(Next);
+        } else if (Next->OnStack) {
+          F.Tx->SccLow = std::min(F.Tx->SccLow, Next->SccIndex);
+        }
         continue;
-      if (Next->SccEpoch != Epoch) {
-        Visit(Next);
-      } else if (Next->OnStack) {
-        F.Tx->SccLow = std::min(F.Tx->SccLow, Next->SccIndex);
       }
-      continue;
+      // Post-order: pop the frame; maybe pop a component.
+      Transaction *Tx = F.Tx;
+      CallStack.pop_back();
+      if (!CallStack.empty())
+        CallStack.back().Tx->SccLow =
+            std::min(CallStack.back().Tx->SccLow, Tx->SccLow);
+      if (Tx->SccLow != Tx->SccIndex)
+        continue;
+      // Tx is the root of a component; pop its members.
+      std::vector<Transaction *> Members;
+      for (;;) {
+        Transaction *M = TarjanStack.back();
+        TarjanStack.pop_back();
+        M->OnStack = false;
+        Members.push_back(M);
+        if (M == Tx)
+          break;
+      }
+      if (Members.size() < 2)
+        continue;
+      // Exactly-once across passes: a cycle is complete precisely when its
+      // maximal-EndTime member finishes (edges only ever target unfinished
+      // transactions, so no member edge postdates that end), and every
+      // transaction is a detection root of exactly one pass — so the pass
+      // whose root set holds that member claims the component. Earlier
+      // passes saw the cycle incomplete; later ones skip it here.
+      uint64_t MaxEnd = 0;
+      Transaction *Last = nullptr;
+      for (Transaction *M : Members)
+        if (Last == nullptr || M->EndTime > MaxEnd) {
+          MaxEnd = M->EndTime;
+          Last = M;
+        }
+      if (Last->RootEpoch != Epoch)
+        continue;
+      SccCount.fetch_add(1, std::memory_order_relaxed);
+      {
+        SpinLockGuard Guard(SccStateLock);
+        for (Transaction *M : Members) {
+          if (M->Regular)
+            SccSites.insert(M->Site);
+          else
+            SccAnyUnary = true;
+        }
+      }
+      if (Pcd) {
+        // Pin before releasing the stripes so the collector cannot sweep
+        // members while the replay (inline or pooled) is in flight.
+        for (Transaction *M : Members)
+          M->Pins.fetch_add(1, std::memory_order_relaxed);
+        Detected.push_back(std::move(Members));
+      }
     }
-    // Post-order: pop the frame; maybe pop a component.
-    Transaction *Tx = F.Tx;
-    CallStack.pop_back();
-    if (!CallStack.empty())
-      CallStack.back().Tx->SccLow =
-          std::min(CallStack.back().Tx->SccLow, Tx->SccLow);
-    if (Tx->SccLow != Tx->SccIndex)
-      continue;
-    // Tx is the root of a component; pop its members.
-    std::vector<Transaction *> Members;
-    for (;;) {
-      Transaction *M = TarjanStack.back();
-      TarjanStack.pop_back();
-      M->OnStack = false;
-      Members.push_back(M);
-      if (M == Tx)
-        break;
-    }
-    // Only the component containing V is new; components among descendants
-    // were detected when their own last member finished.
-    if (Tx != V || Members.size() < 2)
-      continue;
-    ++SccCount;
-    for (Transaction *M : Members) {
-      if (M->Regular)
-        SccSites.insert(M->Site);
-      else
-        SccAnyUnary = true;
-    }
-    if (AsyncPcd)
-      AsyncPcd->enqueue(std::move(Members));
-    else if (Pcd)
+  }
+  unlockAllShards();
+
+  if (Detected.empty())
+    return;
+  if (AsyncPcd) {
+    AsyncPcd->enqueueBatch(std::move(Detected));
+  } else {
+    for (std::vector<Transaction *> &Members : Detected) {
       Pcd->processScc(Members);
+      for (Transaction *M : Members)
+        M->Pins.fetch_sub(1, std::memory_order_release);
+    }
   }
 }
 
@@ -483,8 +849,17 @@ void DoubleCheckerRuntime::sccFromLocked(Transaction *V) {
 // Transaction collection (stands in for the JVM's GC)
 //===----------------------------------------------------------------------===//
 
-void DoubleCheckerRuntime::collectLocked() {
+void DoubleCheckerRuntime::requestCollect(uint32_t Holder) {
+  if (Collector)
+    Collector->request();
+  else
+    collectNow(Holder);
+}
+
+void DoubleCheckerRuntime::collectNow(uint32_t Holder) {
   auto Start = std::chrono::steady_clock::now();
+  std::vector<Transaction *> Doomed;
+  lockAllShards(Holder);
   const uint64_t Epoch = ++MarkEpochCounter;
   std::vector<Transaction *> Work;
   auto AddRoot = [&](Transaction *Tx) {
@@ -493,23 +868,53 @@ void DoubleCheckerRuntime::collectLocked() {
       Work.push_back(Tx);
     }
   };
-  for (uint32_t T = 0; T < NumThreads; ++T) {
+  // Strong roots: the unfinished transactions. Everything a future Tarjan
+  // walk can visit is forward-reachable from one of them — every edge ever
+  // added terminates at a transaction that was current (unfinished) when
+  // the edge was created, so no path from the live region leads backward
+  // into transactions that finished unreachable.
+  for (uint32_t T = 0; T < NumThreads; ++T)
     AddRoot(Threads[T].CurrTx.load(std::memory_order_relaxed));
-    AddRoot(Threads[T].LastRdEx);
+  // Pending detection roots are strong too: a cycle whose members all
+  // finished is no longer reachable from any current transaction, but its
+  // batched Tarjan pass has not run yet — members are mutually reachable,
+  // so rooting the pending member keeps the whole component alive until
+  // the pass claims and pins it.
+  {
+    SpinLockGuard Guard(PendingLock);
+    for (Transaction *R : PendingSccRoots)
+      AddRoot(R);
   }
-  AddRoot(GLastRdSh);
   while (!Work.empty()) {
     Transaction *Tx = Work.back();
     Work.pop_back();
     for (const OutEdge &E : Tx->Out)
       AddRoot(E.Dst);
   }
+  // Weak roots: lastRdEx / gLastRdSh may still become *sources* of future
+  // edges, so the nodes themselves must survive — but their stale forward
+  // closures need not: a cycle through such a node would need an edge from
+  // the live region into it, which can never be created. Marking them
+  // after the traversal (without enqueueing) keeps the node and lets its
+  // unreachable successors be swept; their Out lists then hold dangling
+  // pointers, which is fine because only this mark phase ever walks the
+  // Out edges of a transaction that is not strongly reachable.
+  auto WeakRoot = [&](Transaction *Tx) {
+    if (Tx != nullptr)
+      Tx->MarkEpoch = Epoch;
+  };
+  for (uint32_t T = 0; T < NumThreads; ++T)
+    WeakRoot(Threads[T].LastRdEx);
+  WeakRoot(GLastRdSh);
   // Sweep: a finished transaction not forward-reachable from any root can
   // never gain another edge (edge sinks are current transactions; edge
-  // sources are roots), so it cannot join a future cycle.
+  // sources are roots), so it cannot join a future cycle. Unreachable also
+  // stays unreachable once the stripes drop, and un-pinned stays un-pinned
+  // (detections only pin root-reachable members), so the frees can happen
+  // outside the stripes.
+  uint64_t Live = 0;
   for (uint32_t T = 0; T < NumThreads; ++T) {
     PerThread &PT = Threads[T];
-    SpinLockGuard Guard(PT.OwnedLock);
     size_t Kept = 0;
     for (size_t I = 0; I < PT.Owned.size(); ++I) {
       Transaction *Tx = PT.Owned[I];
@@ -519,21 +924,35 @@ void DoubleCheckerRuntime::collectLocked() {
       } else {
         assert(Tx->Finished.load(std::memory_order_relaxed) &&
                "sweeping a live transaction");
-        delete Tx;
-        ++TxsSwept;
+        Doomed.push_back(Tx);
       }
     }
     PT.Owned.resize(Kept);
+    Live += Kept;
   }
-  ++CollectorRuns;
-  CollectorNs += static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - Start)
-          .count());
+  unlockAllShards();
+  uint64_t PrevMax = CollectorLiveMax.load(std::memory_order_relaxed);
+  while (Live > PrevMax && !CollectorLiveMax.compare_exchange_weak(
+                               PrevMax, Live, std::memory_order_relaxed))
+    ;
+  for (Transaction *Tx : Doomed)
+    delete Tx;
+  TxsSwept.fetch_add(Doomed.size(), std::memory_order_relaxed);
+  CollectorRuns.fetch_add(1, std::memory_order_relaxed);
+  CollectorNs.fetch_add(
+      static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - Start)
+              .count()),
+      std::memory_order_relaxed);
 }
 
-StaticTransactionInfo DoubleCheckerRuntime::staticInfo() const {
-  SpinLockGuard Guard(IdgLock);
+StaticTransactionInfo DoubleCheckerRuntime::staticInfo() {
+  // Detection is batched; claim any cycles whose roots are still pending
+  // so the accumulated site set is complete at the time of the snapshot.
+  if (IdgShards)
+    sccPass(HolderCollector);
+  SpinLockGuard Guard(SccStateLock);
   StaticTransactionInfo Info;
   Info.AnyUnary = SccAnyUnary;
   for (ir::MethodId Site : SccSites)

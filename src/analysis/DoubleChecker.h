@@ -24,6 +24,15 @@
 ///    gLastRdSh}, standing in for the JVM garbage collector the paper
 ///    relies on (see DESIGN.md §2 for the liveness argument).
 ///
+/// Concurrency (see DESIGN.md §7 for the full argument): the IDG is
+/// sharded — one lock stripe per thread plus one global stripe — so the
+/// per-thread transaction lifecycle only touches its own stripe, cross
+/// edges take the two involved threads' stripes, and only SCC detection
+/// and collection quiesce the whole graph. Collection runs on a background
+/// thread; PCD SCCs go to a bounded multi-worker pool. The pre-sharding
+/// behaviour (one global lock, inline collection) is kept behind
+/// DoubleCheckerOptions::SerializedIdg as a one-PR escape hatch.
+///
 /// Configure with LogAccesses=false, RunPcd=false for the first run of
 /// multi-run mode ("ICD w/o logging"); defaults give single-run mode.
 ///
@@ -45,6 +54,7 @@
 #include "rt/Runtime.h"
 #include "support/SpinLock.h"
 #include "support/Statistic.h"
+#include "support/StripedLock.h"
 
 namespace dc {
 namespace analysis {
@@ -59,18 +69,41 @@ struct DoubleCheckerOptions {
   /// Future-work extension the paper suggests for the xalan6 bottleneck
   /// ("ICD detects SCCs serially, and PCD detects cycles serially; making
   /// them parallel could alleviate this bottleneck", §5.3): offload PCD to
-  /// a background worker thread. SCC members are finished (immutable logs)
-  /// and pinned against collection while queued, so the replay needs no
-  /// locks. Violations may be reported slightly later but identically.
+  /// a pool of background worker threads. SCC members are finished
+  /// (immutable logs) and pinned against collection while queued, so the
+  /// replay needs no locks. Violations may be reported slightly later but
+  /// identically.
   bool ParallelPcd = false;
+  /// Worker threads in the parallel-PCD pool (ParallelPcd only; min 1).
+  /// SCCs are independent after enqueue, so workers replay them
+  /// concurrently; processScc is stateless per call.
+  uint32_t PcdWorkers = 2;
+  /// Bound on the parallel-PCD queue. Enqueueing past the bound blocks the
+  /// detecting thread (backpressure; visible in pcd.max_queue_depth).
+  uint32_t PcdQueueDepth = 1024;
   /// Disable ICD SCC detection entirely (§5.4 array-instrumentation
   /// ablation, where conflated metadata makes cycles meaningless).
   bool DetectIcdCycles = true;
+  /// Cross-edged transactions that must finish before one batched Tarjan
+  /// pass walks from all of them at once. Every pass takes all IDG stripes
+  /// (a full-graph freeze), so batching divides both the freeze frequency
+  /// and the per-thread stripe handoffs a freeze inflicts on uninvolved
+  /// threads by this factor. Detection totals are unchanged — a cycle is
+  /// complete by the time its last member finishes, pending roots are
+  /// collector-strong until their pass runs, and endRun flushes the tail —
+  /// only the report is deferred by at most this many transactions.
+  /// 1 restores per-transaction-end detection.
+  uint32_t SccBatch = 8;
   /// §5.4 straw man: feed *every* transaction to a persistent precise
   /// analysis instead of filtering through ICD SCCs. Implies LogAccesses;
   /// the transaction collector is disabled (the persistent maps pin
   /// transactions), reproducing the variant's memory blow-up.
   bool PcdOnly = false;
+  /// Escape hatch: collapse all IDG stripes into one global lock and run
+  /// the collector inline under it — the pre-sharding behaviour. Kept for
+  /// one PR so bench/scaling_threads.cpp can compare the two paths; the
+  /// default (sharded) path must produce identical violations.
+  bool SerializedIdg = false;
   /// Trigger the transaction collector every this many finished
   /// transactions.
   uint32_t CollectEveryTx = 8192;
@@ -83,6 +116,16 @@ struct DoubleCheckerOptions {
   /// cell write is half of Velodrome's two-word locked update, hence the
   /// smaller default. 0 disables.
   uint32_t LogRemoteMissPenalty = 15;
+  /// Remote-cache-miss simulation for IDG lock stripes (same methodology):
+  /// when a stripe is acquired by a different thread than its last holder,
+  /// two lines miss in the acquirer's cache — the stripe's lock word and
+  /// the hot transaction state it guards (the previous holder dirtied both
+  /// in its critical section). Calibrated at twice Velodrome's
+  /// RemoteMissPenalty (300 per ping-ponged line for its two-word locked
+  /// metadata update). With one global stripe nearly every acquisition is
+  /// a handoff; with per-thread stripes only genuine cross-thread events
+  /// are. 0 disables.
+  uint32_t IdgRemoteMissPenalty = 600;
 };
 
 /// The DoubleChecker analysis for one run. Implements the interpreter's
@@ -121,20 +164,22 @@ public:
   void onFence(uint32_t Tid) override;
 
   /// Static transaction information accumulated from ICD SCCs (multi-run
-  /// mode's first-run output). Valid after endRun.
-  StaticTransactionInfo staticInfo() const;
+  /// mode's first-run output). Flushes any pending batched detection pass
+  /// so the snapshot is complete as of the call. Valid after endRun.
+  StaticTransactionInfo staticInfo();
 
   /// The underlying Octet manager; valid between beginRun and destruction.
   octet::OctetManager *octetManager() { return Octet.get(); }
 
 private:
   struct alignas(64) PerThread {
-    std::atomic<Transaction *> CurrTx{nullptr};
+    std::atomic<Transaction *> CurrTx{nullptr}; ///< Written under own stripe.
     /// Log-elision timestamp (paper §4): bumped on transaction start and on
     /// any edge touching the thread's current transaction.
     std::atomic<uint64_t> CurTs{1};
-    Transaction *LastRdEx = nullptr; // IDG lock.
-    uint64_t NextSeq = 0;
+    Transaction *LastRdEx = nullptr; ///< Own stripe.
+    uint64_t NextSeq = 0;            ///< Own thread only (tx lifecycle).
+    uint64_t NextEdgeSeq = 0;        ///< Own stripe (edge ids, src side).
     // Per-thread statistics, flushed at endRun.
     uint64_t RegularTxs = 0;
     uint64_t UnaryTxs = 0;
@@ -142,19 +187,60 @@ private:
     uint64_t AccUnary = 0;
     uint64_t LogEntries = 0;
     uint64_t LogElided = 0;
-    // Transactions allocated by this thread (swept by the collector).
+    /// Transactions allocated by this thread; pushed under own stripe,
+    /// swept by the collector under all stripes.
     std::vector<Transaction *> Owned;
-    SpinLock OwnedLock;
   };
 
-  class AsyncPcdWorker;
+  class PcdPool;
+  class TxCollector;
 
+  // -- IDG stripes ---------------------------------------------------------
+  // Stripe 0 guards gLastRdSh; stripe Tid+1 guards thread Tid's IDG state
+  // (CurrTx identity, lastRdEx, Owned, and the Out lists / HasCrossEdge of
+  // its transactions). SerializedIdg collapses everything onto stripe 0.
+  // Lock order: ascending stripe index; SccStateLock / PcdOnlyLock are
+  // innermost and never held while acquiring a stripe.
+  uint32_t shardOf(uint32_t Tid) const {
+    return Opts.SerializedIdg ? 0 : Tid + 1;
+  }
+  void lockShard(uint32_t S, uint32_t Holder);
+  void unlockShard(uint32_t S) { IdgShards->unlock(S); }
+  /// Acquires the N stripes in Shards (caller-sorted ascending), paying at
+  /// most one remote-miss penalty for the whole batch — the stripes live on
+  /// independent cache lines, so their coherence transfers overlap.
+  void lockShards(const uint32_t *Shards, unsigned N, uint32_t Holder);
+  void lockAllShards(uint32_t Holder);
+  void unlockAllShards();
+  /// Calibrated coherence-miss spin (DESIGN.md §2); result feeds
+  /// PenaltySink so the loop is not optimized away.
+  void spinPenalty(uint32_t Iters, uint64_t Seed);
+
+  /// Requires shard(Tid). Installs and returns Tid's next transaction.
   Transaction *newTransactionLocked(uint32_t Tid, ir::MethodId Site,
                                     bool Regular);
-  void endCurrentTxLocked(uint32_t Tid);
+  /// Finishes Tid's current transaction, then runs the out-of-line
+  /// follow-ups (PCD-only feed, SCC detection, collection trigger).
+  /// Caller must hold no stripe. CurrTx intentionally keeps pointing at
+  /// the finished transaction until the next newTransactionLocked.
+  void endCurrentTx(uint32_t Tid);
+  /// Requires shard(Src->Tid) and shard(Dst->Tid).
   void addCrossEdgeLocked(Transaction *Src, Transaction *Dst);
-  void sccFromLocked(Transaction *V);
-  void collectLocked();
+  /// Queues the just-finished, cross-edged \p V as a detection root and
+  /// runs a batched pass once Opts.SccBatch roots are pending. Caller must
+  /// hold no stripe.
+  void pendSccRoot(Transaction *V, uint32_t Holder);
+  /// Batched Tarjan over finished transactions from every pending root;
+  /// takes all stripes once for the whole batch. A component is claimed
+  /// exactly by the pass whose root set contains its maximal-EndTime
+  /// member (that member's end is when the cycle became complete, and each
+  /// transaction is a root of exactly one pass).
+  void sccPass(uint32_t Holder);
+  /// One mark-sweep pass; takes all stripes, frees outside them.
+  void collectNow(uint32_t Holder);
+  /// Routes a collection trigger to the background collector (sharded) or
+  /// runs it inline (SerializedIdg).
+  void requestCollect(uint32_t Holder);
   /// Returns the transaction the next access belongs to, replacing an
   /// interrupted unary transaction if needed.
   Transaction *currentForAccess(rt::ThreadContext &TC);
@@ -168,41 +254,55 @@ private:
 
   std::unique_ptr<octet::OctetManager> Octet;
   std::unique_ptr<PreciseCycleDetector> Pcd;
-  std::unique_ptr<AsyncPcdWorker> AsyncPcd;
+  std::unique_ptr<PcdPool> AsyncPcd;
   std::unique_ptr<OnlinePcd> PcdOnlyAnalysis;
+  std::unique_ptr<TxCollector> Collector;
   std::unique_ptr<PerThread[]> Threads;
   uint32_t NumThreads = 0;
+  uint32_t NumShards = 0;
+  std::unique_ptr<StripedLockSet> IdgShards;
 
   /// Packed (tid | wasWrite | ts) cells for log duplicate elision, indexed
   /// by field address.
   std::vector<std::atomic<uint64_t>> ElisionCells;
-  /// Sticky multi-thread-logged marker per field (remote-miss simulation;
-  /// benign races).
-  std::vector<uint8_t> CellContended;
+  /// Sticky multi-thread-logged marker per field (remote-miss simulation).
+  /// Relaxed atomics: set/read racily by design, but data-race-free.
+  std::vector<std::atomic<uint8_t>> CellContended;
   /// Keeps the penalty spin from being optimized away.
   std::atomic<uint64_t> PenaltySink{0};
 
-  /// Guards the IDG: edges, lastRdEx/gLastRdSh, transaction lifecycle, SCC
-  /// detection, PCD, and collection all serialize here (the paper's ICD
-  /// detects SCCs serially).
-  mutable SpinLock IdgLock;
-  Transaction *GLastRdSh = nullptr;
-  /// Global order clock: ticks at transaction ends and edge creations
-  /// (already serialized by IdgLock); stamps transaction EndTime and
-  /// EdgeIn markers for PCD's replay-ordering constraints.
-  uint64_t OrderClock = 0;
-  uint64_t NextTxId = 0;
-  uint64_t NextEdgeId = 0;
-  uint64_t CrossEdges = 0;
-  uint64_t FinishedTxs = 0;
-  uint64_t SccCount = 0;
-  uint64_t SccEpochCounter = 0;
-  uint64_t MarkEpochCounter = 0;
-  uint64_t CollectorRuns = 0;
-  uint64_t CollectorNs = 0;
-  uint64_t TxsSwept = 0;
+  Transaction *GLastRdSh = nullptr; ///< Stripe 0.
+  /// Global order clock: ticks at transaction ends and edge creations;
+  /// stamps transaction EndTime and EdgeIn markers for PCD's replay-
+  /// ordering constraints. A relaxed fetch_add preserves the invariant
+  /// PCD needs (DESIGN.md §7): atomic RMWs on one object have a single
+  /// modification order consistent with happens-before, so along every
+  /// happens-before path stamps are strictly increasing.
+  std::atomic<uint64_t> OrderClock{0};
+  std::atomic<uint64_t> CrossEdges{0};
+  std::atomic<uint64_t> FinishedTxs{0};
+  std::atomic<uint64_t> SccCount{0};
+  std::atomic<uint64_t> CollectorRuns{0};
+  std::atomic<uint64_t> CollectorNs{0};
+  std::atomic<uint64_t> TxsSwept{0};
+  /// Largest live set (kept transactions) any collection observed.
+  std::atomic<uint64_t> CollectorLiveMax{0};
+  uint64_t SccEpochCounter = 0;  ///< All stripes (Tarjan scratch epoch).
+  uint64_t MarkEpochCounter = 0; ///< All stripes (collector mark epoch).
+
+  /// Finished cross-edged transactions awaiting a batched detection pass.
+  /// Guarded by PendingLock (innermost, never held while taking a stripe);
+  /// the collector treats every entry as a strong mark root so undetected
+  /// cycles survive until their pass.
+  SpinLock PendingLock;
+  std::vector<Transaction *> PendingSccRoots;
+
+  /// Guards SccSites/SccAnyUnary (innermost; also used by staticInfo).
+  mutable SpinLock SccStateLock;
   std::set<ir::MethodId> SccSites;
   bool SccAnyUnary = false;
+  /// Serializes the PCD-only straw man's persistent analysis (innermost).
+  SpinLock PcdOnlyLock;
 };
 
 } // namespace analysis

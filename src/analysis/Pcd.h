@@ -50,9 +50,16 @@ public:
                        Options Opts)
       : Sink(Sink), Stats(Stats), Opts(Opts) {}
 
-  /// Processes one SCC. \p Members must all be finished; their logs and
-  /// edges must be stable for the duration of the call (DoubleChecker calls
-  /// this under the IDG lock).
+  /// Processes one SCC. \p Members must all be finished; their logs must
+  /// be stable for the duration of the call (guaranteed once Finished is
+  /// set — finished logs are immutable — plus a pin against collection).
+  ///
+  /// Thread-safe for concurrent calls on distinct SCCs: the detector keeps
+  /// no state across calls, the replay only reads members' immutable
+  /// state, and both sinks (ViolationLog, StatisticRegistry counters) are
+  /// internally synchronized. The parallel-PCD pool relies on this; SCCs
+  /// from overlapping detections may even share members, which is still
+  /// safe because the replay never writes to a Transaction.
   void processScc(const std::vector<Transaction *> &Members);
 
 private:

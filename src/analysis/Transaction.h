@@ -22,6 +22,14 @@
 /// source entries are reads that commute with the sink's accesses, so the
 /// replay order PCD reconstructs is still a valid linearization.
 ///
+/// Field guards under the sharded IDG (DESIGN.md §7): mutable per-node
+/// state (Out, HasCrossEdge, EndTime, the Log) is guarded by the owning
+/// thread's IDG stripe; a cross-edge writer holds both endpoints' stripes.
+/// Tarjan and the collector hold every stripe, which freezes the graph and
+/// licenses their use of the unsynchronized scratch fields. Once Finished
+/// is set (release, under the owner's stripe) the log and incoming-edge
+/// set are immutable, which is what lets PCD replay members without locks.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DC_ANALYSIS_TRANSACTION_H
@@ -99,18 +107,21 @@ public:
 
   /// Stamp on ICD's global order clock when the transaction ended
   /// (~0 while running / for hand-built transactions with no stamp).
+  /// Written under the owner's stripe just before Finished; unique per
+  /// transaction, so concurrent SCC detections that find the same
+  /// component agree on which member (the maximal EndTime) processes it.
   uint64_t EndTime = ~0ULL;
 
   /// True once any cross-thread edge touches this transaction; ended
   /// transactions without cross edges cannot be the last-finishing member
   /// of a cycle, so SCC detection is skipped for them.
-  bool HasCrossEdge = false; // Guarded by the IDG lock.
+  bool HasCrossEdge = false; // Guarded by the owner's IDG stripe.
 
   /// For unary transactions: a cross-thread edge interrupted the merge;
   /// the next non-transactional access starts a fresh unary transaction.
   std::atomic<bool> Interrupted{false};
 
-  /// Outgoing edges (guarded by the IDG lock).
+  /// Outgoing edges (guarded by the owner's IDG stripe).
   std::vector<OutEdge> Out;
 
   /// Read/write log, appended by the owning thread (accesses) or by the
@@ -130,13 +141,19 @@ public:
   uint32_t SccIndex = 0;
   uint32_t SccLow = 0;
   bool OnStack = false;
+  /// Pass stamp set (under all stripes) on the roots of the batched
+  /// detection pass currently running; a component is claimed exactly by
+  /// the pass whose root set contains its maximal-EndTime member.
+  uint64_t RootEpoch = 0;
 
   // --- Scratch state for the mark-sweep collector ---
   uint64_t MarkEpoch = 0;
 
-  /// Pin count held by asynchronous PCD (parallel-PCD extension): the
-  /// collector never sweeps a pinned transaction, keeping queued SCC
-  /// members' logs alive until the worker replays them.
+  /// Pin count held across PCD replays: the detecting thread pins every
+  /// member (under all stripes) before releasing them, and the replaying
+  /// side — an inline call or a pool worker — unpins with release order
+  /// after the replay; the collector's acquire read of a zero pin count
+  /// therefore happens-after the last access to the member's log.
   std::atomic<uint32_t> Pins{0};
 };
 

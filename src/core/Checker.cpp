@@ -120,6 +120,8 @@ RunOutcome core::runChecker(const ir::Program &Source,
         Cfg.DetectCycles;
     DOpts.DetectIcdCycles = Cfg.DetectCycles;
     DOpts.ParallelPcd = Cfg.ParallelPcd;
+    DOpts.PcdWorkers = Cfg.PcdWorkers;
+    DOpts.SerializedIdg = Cfg.SerializedIdg;
     DOpts.PcdOnly = Cfg.M == Mode::PcdOnly;
     auto Owned = std::make_unique<analysis::DoubleCheckerRuntime>(
         Compiled, DOpts, Violations, Stats);

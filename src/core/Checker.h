@@ -54,9 +54,15 @@ struct RunConfig {
   /// §5.3 ablation: second run instruments non-transactional accesses
   /// regardless of the first run's unary boolean.
   bool ForceInstrumentUnary = false;
-  /// Extension (§5.3 future work): run PCD on a background worker thread
-  /// instead of inline under the IDG lock.
+  /// Extension (§5.3 future work): run PCD on a pool of background worker
+  /// threads instead of inline on the detecting thread.
   bool ParallelPcd = false;
+  /// Workers in the parallel-PCD pool (ParallelPcd only).
+  uint32_t PcdWorkers = 2;
+  /// Escape hatch: run the IDG behind one global lock with inline
+  /// collection (the pre-sharding behaviour) instead of the sharded hot
+  /// path. For old-vs-new comparisons; violations must be identical.
+  bool SerializedIdg = false;
   /// Required for SecondRun / SecondRunVelodrome.
   const analysis::StaticTransactionInfo *StaticInfo = nullptr;
 };

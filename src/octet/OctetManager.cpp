@@ -331,6 +331,13 @@ void OctetManager::drainMailbox(uint32_t Tid) {
 }
 
 void OctetManager::notifyConflicting(uint32_t RespTid, const Transition &T) {
+  // Reached from exactly two places, which is what backs the listener's
+  // quiescence contract: drainMailbox (the executing thread is RespTid at
+  // its own safe point, or a requester draining on behalf of a blocked,
+  // held RespTid) and roundtrip's implicit path (RespTid blocked and
+  // held). In every case RespTid cannot concurrently begin or end a
+  // transaction, and the requester named in T is the executing thread or
+  // is spinning in roundtrip().
   if (Listener)
     Listener->onConflictingEdge(RespTid, T);
 }

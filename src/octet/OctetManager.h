@@ -51,6 +51,23 @@ struct Transition {
 /// Observer of Octet state transitions. Callbacks may run on the requester
 /// *or* the responder thread (implicit vs. explicit protocol), exactly as in
 /// the paper; implementations must synchronize their own state.
+///
+/// Call contract the sharded IDG relies on (DESIGN.md §7):
+///  * Every callback runs on the OS thread currently executing some checker
+///    hook (a barrier, pollSafePoint, aboutToBlock/unblocked), never on a
+///    manager-internal thread.
+///  * During onConflictingEdge, *both* endpoint threads are quiescent with
+///    respect to their current transactions: the requester is the caller or
+///    is spinning in its roundtrip (it polls safe points but cannot begin or
+///    end a transaction), and the responder is at its own safe point
+///    (explicit), blocked and held (implicit), or exited. Neither can swap
+///    its current transaction out from under the listener.
+///  * onBecameRdEx(Tid) always runs on thread Tid itself.
+///  * onUpgradeToRdSh / onFence run on the reading thread \p Tid. The old
+///    owner is *not* quiesced for these — it may be logging concurrently —
+///    but any entries it races into its current transaction are reads of
+///    the upgraded object, which commute with the sink's accesses (see
+///    Transaction.h on conservative SrcPos sampling).
 class OctetListener {
 public:
   virtual ~OctetListener();
@@ -64,15 +81,16 @@ public:
 
   /// The object entered RdEx owned by \p Tid (conflicting transition to
   /// RdEx, or first read of an untouched object). ICD updates T.lastRdEx.
+  /// Always called on thread \p Tid.
   virtual void onBecameRdEx(uint32_t Tid) {}
 
   /// Upgrading transition RdEx_{OldOwner} -> RdSh_{Counter} performed by
-  /// reader \p Tid.
+  /// reader \p Tid (and called on it).
   virtual void onUpgradeToRdSh(uint32_t Tid, uint32_t OldOwner,
                                uint64_t Counter) {}
 
   /// Fence transition: \p Tid read an RdSh object with a newer counter than
-  /// its thread-local rdShCnt.
+  /// its thread-local rdShCnt. Called on thread \p Tid.
   virtual void onFence(uint32_t Tid) {}
 };
 

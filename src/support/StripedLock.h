@@ -1,0 +1,86 @@
+//===- support/StripedLock.h - Cache-padded lock stripes --------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-size set of cache-line-padded spin locks for sharding a data
+/// structure by owner (the IDG shards by thread). Stripes form a total
+/// order by index: acquiring stripes in ascending index order — and never
+/// acquiring a lower index while holding a higher one — is deadlock-free.
+///
+/// Each stripe remembers the last holder that acquired it, so callers can
+/// detect a cross-holder handoff. On a real multicore a lock handoff is at
+/// least one coherence miss (the lock word plus the protected lines migrate
+/// between caches); the analysis uses this signal to charge its calibrated
+/// remote-miss penalty (see DESIGN.md §2) on the single-core host.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_SUPPORT_STRIPEDLOCK_H
+#define DC_SUPPORT_STRIPEDLOCK_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "support/SpinLock.h"
+
+namespace dc {
+
+/// A set of spin-lock stripes with last-holder tracking.
+class StripedLockSet {
+public:
+  /// Holder id meaning "never locked".
+  static constexpr uint32_t NoHolder = ~0u;
+
+  explicit StripedLockSet(uint32_t Count)
+      : Stripes(new Stripe[Count]), N(Count) {
+    assert(Count > 0 && "need at least one stripe");
+  }
+
+  uint32_t count() const { return N; }
+
+  /// Acquires stripe \p I on behalf of \p Holder. Returns true when the
+  /// stripe was last held by a *different* holder (a handoff): on real
+  /// hardware the stripe's lines would miss in \p Holder's cache.
+  bool lock(uint32_t I, uint32_t Holder) {
+    assert(I < N && "stripe index out of range");
+    Stripe &S = Stripes[I];
+    S.L.lock();
+    bool Handoff = S.LastHolder != Holder && S.LastHolder != NoHolder;
+    if (Handoff)
+      ++S.Handoffs;
+    S.LastHolder = Holder;
+    return Handoff;
+  }
+
+  void unlock(uint32_t I) {
+    assert(I < N && "stripe index out of range");
+    Stripes[I].L.unlock();
+  }
+
+  /// Total cross-holder handoffs across all stripes. Racy if called while
+  /// stripes are contended; the analysis only reads it after the run.
+  uint64_t totalHandoffs() const {
+    uint64_t Sum = 0;
+    for (uint32_t I = 0; I < N; ++I)
+      Sum += Stripes[I].Handoffs;
+    return Sum;
+  }
+
+private:
+  struct alignas(64) Stripe {
+    SpinLock L;
+    uint32_t LastHolder = NoHolder; ///< Guarded by L.
+    uint64_t Handoffs = 0;          ///< Guarded by L.
+  };
+
+  std::unique_ptr<Stripe[]> Stripes;
+  uint32_t N;
+};
+
+} // namespace dc
+
+#endif // DC_SUPPORT_STRIPEDLOCK_H

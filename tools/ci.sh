@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI gate: Release build + full test suite, then a ThreadSanitizer build
+# running the concurrent stress tests (sharded IDG hot path, PCD worker
+# pool, background collector). Run from the repository root:
+#
+#   tools/ci.sh [jobs]
+#
+# Build trees land in build-ci/ and build-ci-tsan/ so a developer's
+# existing build/ directory is left alone.
+set -euo pipefail
+
+JOBS="${1:-$(nproc)}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+echo "== Release build + full ctest =="
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-ci -j "$JOBS"
+ctest --test-dir build-ci --output-on-failure -j 1
+
+echo "== ThreadSanitizer build + concurrency stress tests =="
+cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDC_SANITIZE=thread >/dev/null
+cmake --build build-ci-tsan -j "$JOBS" --target idg_stress_test \
+  octet_stress_test
+# TSan slows execution ~5-15x; restrict to the tests whose whole point is
+# cross-thread synchronization rather than re-running the full suite.
+ctest --test-dir build-ci-tsan --output-on-failure -R "Idg|Octet"
+
+echo "== CI gate passed =="

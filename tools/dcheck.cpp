@@ -45,6 +45,9 @@ struct CliOptions {
   uint64_t Seed = 1;
   unsigned Trials = 1;
   bool Deterministic = false;
+  bool ParallelPcd = false;
+  unsigned PcdWorkers = 2;
+  bool SerializedIdg = false;
   bool Refine = false;
   bool DumpIr = false;
   bool DumpCompiledIr = false;
@@ -70,6 +73,10 @@ void printUsage() {
       "  --seed <n>            schedule seed (default 1)\n"
       "  --trials <n>          repeat with seed, seed+1, ... (default 1)\n"
       "  --refine              iterative specification refinement (Fig. 6)\n"
+      "  --parallel-pcd        replay PCD SCCs on a background worker pool\n"
+      "  --pcd-workers <n>     pool size for --parallel-pcd (default 2)\n"
+      "  --serialized-idg      pre-sharding escape hatch: one global IDG\n"
+      "                        lock, inline collection (for comparisons)\n"
       "  --static-info <path>  second-run input (from --emit-static)\n"
       "  --emit-static <path>  write first-run static transaction info\n"
       "\n"
@@ -109,6 +116,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.EmitStaticFile = V;
     else if (Arg == "--det")
       Opts.Deterministic = true;
+    else if (Arg == "--parallel-pcd")
+      Opts.ParallelPcd = true;
+    else if (Arg == "--pcd-workers" && Value(V))
+      Opts.PcdWorkers = static_cast<unsigned>(std::atoi(V.c_str()));
+    else if (Arg == "--serialized-idg")
+      Opts.SerializedIdg = true;
     else if (Arg == "--refine")
       Opts.Refine = true;
     else if (Arg == "--dump-ir")
@@ -266,6 +279,9 @@ int main(int Argc, char **Argv) {
   RunConfig Cfg;
   Cfg.M = M;
   Cfg.RunOpts.Deterministic = Opts.Deterministic;
+  Cfg.ParallelPcd = Opts.ParallelPcd;
+  Cfg.PcdWorkers = Opts.PcdWorkers;
+  Cfg.SerializedIdg = Opts.SerializedIdg;
   if (!Opts.Deterministic)
     Cfg.RunOpts.PreemptEveryN = 1024;
   if (M == Mode::SecondRun || M == Mode::SecondRunVelodrome) {
