@@ -29,10 +29,13 @@ using namespace dc;
 namespace {
 
 /// A minimal program whose heap provides objects for barrier benchmarks.
+/// The atomic "txn" method exists so log benchmarks can drive transaction
+/// boundaries (which advance the elision epoch).
 ir::Program tinyProgram() {
   ir::ProgramBuilder B("micro");
   ir::PoolId Pool = B.addPool("objs", 64, 4);
   (void)Pool;
+  B.beginMethod("txn", true).work(1).endMethod();
   ir::MethodId Main = B.beginMethod("main", false).work(1).endMethod();
   B.addThread(Main);
   B.addThread(Main);
@@ -96,32 +99,51 @@ void BM_OctetRdShFastPath(benchmark::State &State) {
 }
 BENCHMARK(BM_OctetRdShFastPath);
 
+/// Log-append cost, parameterised over the storage path: range(0) == 0 is
+/// the default arena path (thread-local filter + chunked slots), 1 is the
+/// LegacyLog escape hatch (shared elision cells + per-transaction vector),
+/// so the two appends are separately attributable.
 void BM_IcdLogAppend(benchmark::State &State) {
   CheckerFixture F;
   analysis::DoubleCheckerOptions Opts;
   Opts.RunPcd = false;
+  Opts.LegacyLog = State.range(0) != 0;
   analysis::DoubleCheckerRuntime DC(F.P, Opts, F.Violations, F.Stats);
   rt::Runtime RT(F.P, &DC);
   DC.beginRun(RT);
   rt::ThreadContext TC = F.makeTc(RT, &DC, 0);
   DC.threadStarted(TC);
+  const ir::Method &Txn = F.P.Methods[F.P.findMethod("txn")];
   rt::AccessInfo Info;
-  Info.Obj = 0;
   Info.IsWrite = true;
   Info.Flags = ir::IF_OctetBarrier | ir::IF_LogAccess;
-  uint32_t Addr = 0;
+  uint32_t I = 0;
+  DC.txBegin(TC, Txn);
   for (auto _ : State) {
-    // Rotate the field so elision does not kick in: every access appends.
-    Info.Addr = RT.heap().fieldAddr(0, Addr++ & 3);
+    // 64 distinct fields per transaction, new transaction (= new elision
+    // epoch) every 64 accesses: every access appends, and the ~1.5% of
+    // iterations spent on transaction turnover amortizes away.
+    if (I % 64 == 0 && I != 0) {
+      DC.txEnd(TC, Txn);
+      DC.txBegin(TC, Txn);
+    }
+    Info.Obj = (I & 63) / 4;
+    Info.Addr = RT.heap().fieldAddr(Info.Obj, I & 3);
+    ++I;
     DC.instrumentedAccess(TC, Info, [] {});
   }
+  DC.txEnd(TC, Txn);
 }
-BENCHMARK(BM_IcdLogAppend);
+BENCHMARK(BM_IcdLogAppend)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("legacy");
 
 void BM_IcdLogElided(benchmark::State &State) {
   CheckerFixture F;
   analysis::DoubleCheckerOptions Opts;
   Opts.RunPcd = false;
+  Opts.LegacyLog = State.range(0) != 0;
   analysis::DoubleCheckerRuntime DC(F.P, Opts, F.Violations, F.Stats);
   rt::Runtime RT(F.P, &DC);
   DC.beginRun(RT);
@@ -136,7 +158,63 @@ void BM_IcdLogElided(benchmark::State &State) {
   for (auto _ : State)
     DC.instrumentedAccess(TC, Info, [] {}); // Duplicates elide.
 }
-BENCHMARK(BM_IcdLogElided);
+BENCHMARK(BM_IcdLogElided)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("legacy");
+
+/// Raw storage cost with the checker plumbing subtracted: one packed-slot
+/// arena append (recycled chunks via a pool-less cache) vs. one 32-byte
+/// vector push_back, fresh transaction every 256 records to expose the
+/// legacy path's per-transaction malloc/grow/free churn.
+void BM_ArenaRawAppend(benchmark::State &State) {
+  const bool Legacy = State.range(0) != 0;
+  analysis::LogChunkPool Pool;
+  analysis::LogChunkCache Cache;
+  Cache.attach(&Pool);
+  auto Tx = std::make_unique<analysis::Transaction>(1, 0, 0, ir::MethodId(0),
+                                                    true);
+  analysis::LogEntry E;
+  E.K = analysis::LogEntry::Kind::Write;
+  uint32_t I = 0;
+  for (auto _ : State) {
+    E.Obj = I & 63;
+    E.Addr = I;
+    if (Legacy)
+      Tx->appendLogLegacy(E);
+    else
+      Tx->appendLog(E, &Cache);
+    if (++I % 256 == 0) {
+      Tx->Log.releaseTo(Pool);
+      Tx = std::make_unique<analysis::Transaction>(1, 0, 0, ir::MethodId(0),
+                                                   true);
+    }
+  }
+}
+BENCHMARK(BM_ArenaRawAppend)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("legacy");
+
+/// The thread-local duplicate filter by itself: a hit (elidable repeat) and
+/// a miss that inserts (range(0) == 1 rotates keys so every probe misses).
+void BM_ElisionFilterProbe(benchmark::State &State) {
+  const bool Rotate = State.range(0) != 0;
+  analysis::ElisionFilter Filter;
+  uint64_t Key = 0;
+  for (auto _ : State) {
+    if (Rotate)
+      Key = (Key + 1) & 0xffff;
+    benchmark::DoNotOptimize(
+        Filter.testAndSet(analysis::ElisionFilter::key(
+                              static_cast<uint32_t>(Key), 7),
+                          /*Epoch=*/1, /*IsWrite=*/true));
+  }
+}
+BENCHMARK(BM_ElisionFilterProbe)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("rotate");
 
 void BM_VelodromeAccessLocal(benchmark::State &State) {
   CheckerFixture F;

@@ -68,11 +68,12 @@ struct SweepPoint {
 };
 
 SweepPoint runOnce(const ir::Program &P, uint32_t Threads,
-                   uint64_t TxPerThread, bool Serialized) {
+                   uint64_t TxPerThread, bool Serialized, bool LegacyLog) {
   StatisticRegistry Stats;
   analysis::ViolationLog Violations;
   analysis::DoubleCheckerOptions Opts;
   Opts.SerializedIdg = Serialized;
+  Opts.LegacyLog = LegacyLog;
   Opts.ParallelPcd = !Serialized;
   Opts.PcdWorkers = 2;
   Opts.CollectEveryTx = 1024; // Keep the live graph (and Tarjan) small.
@@ -138,11 +139,11 @@ SweepPoint runOnce(const ir::Program &P, uint32_t Threads,
 }
 
 SweepPoint sweep(uint32_t Threads, uint64_t TxPerThread, bool Serialized,
-                 unsigned Trials) {
+                 bool LegacyLog, unsigned Trials) {
   ir::Program P = benchProgram(Threads);
   std::vector<SweepPoint> Runs;
   for (unsigned R = 0; R < Trials; ++R)
-    Runs.push_back(runOnce(P, Threads, TxPerThread, Serialized));
+    Runs.push_back(runOnce(P, Threads, TxPerThread, Serialized, LegacyLog));
   std::sort(Runs.begin(), Runs.end(),
             [](const SweepPoint &A, const SweepPoint &B) {
               return A.Seconds < B.Seconds;
@@ -152,7 +153,8 @@ SweepPoint sweep(uint32_t Threads, uint64_t TxPerThread, bool Serialized,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  const char *OutPath = argc > 1 ? argv[1] : "BENCH_scaling.json";
   const double Scale = benchScale();
   const unsigned Trials = benchTrials();
   const uint64_t TxPerThread =
@@ -163,16 +165,25 @@ int main() {
               Scale, static_cast<unsigned long long>(TxPerThread));
 
   TextTable Table;
-  Table.setHeader({"threads", "old wall s", "new wall s", "old tx/s",
-                   "new tx/s", "new edges/s", "speedup"});
+  Table.setHeader({"threads", "old wall s", "legacy-log s", "new wall s",
+                   "old tx/s", "new tx/s", "new edges/s", "speedup"});
   JsonRows Json;
 
   for (uint32_t Threads : {1u, 2u, 4u, 8u}) {
-    SweepPoint Old = sweep(Threads, TxPerThread, /*Serialized=*/true, Trials);
-    SweepPoint New = sweep(Threads, TxPerThread, /*Serialized=*/false, Trials);
+    // Three configurations: the pre-sharding global lock, today's sharded
+    // path with the legacy logging escape hatch (shared elision cells +
+    // vector logs + LogRemoteMissPenalty), and the full default (sharded
+    // IDG + arena logging). The middle column attributes how much of the
+    // old-vs-new gap the logging rework alone accounts for.
+    SweepPoint Old = sweep(Threads, TxPerThread, /*Serialized=*/true,
+                           /*LegacyLog=*/true, Trials);
+    SweepPoint Leg = sweep(Threads, TxPerThread, /*Serialized=*/false,
+                           /*LegacyLog=*/true, Trials);
+    SweepPoint New = sweep(Threads, TxPerThread, /*Serialized=*/false,
+                           /*LegacyLog=*/false, Trials);
     double Speedup = Old.Seconds / New.Seconds;
     Table.addRow({std::to_string(Threads), formatDouble(Old.Seconds, 3),
-                  formatDouble(New.Seconds, 3),
+                  formatDouble(Leg.Seconds, 3), formatDouble(New.Seconds, 3),
                   formatWithCommas(static_cast<uint64_t>(Old.TxPerSec)),
                   formatWithCommas(static_cast<uint64_t>(New.TxPerSec)),
                   formatWithCommas(static_cast<uint64_t>(New.EdgesPerSec)),
@@ -181,8 +192,10 @@ int main() {
     Json.add("threads", static_cast<uint64_t>(Threads));
     Json.add("tx_per_thread", TxPerThread);
     Json.add("serialized_wall_s", Old.Seconds);
+    Json.add("sharded_legacylog_wall_s", Leg.Seconds);
     Json.add("sharded_wall_s", New.Seconds);
     Json.add("serialized_tx_per_s", Old.TxPerSec);
+    Json.add("sharded_legacylog_tx_per_s", Leg.TxPerSec);
     Json.add("sharded_tx_per_s", New.TxPerSec);
     Json.add("serialized_edges_per_s", Old.EdgesPerSec);
     Json.add("sharded_edges_per_s", New.EdgesPerSec);
@@ -194,9 +207,10 @@ int main() {
   }
 
   std::printf("%s\n", Table.render().c_str());
-  std::printf("(speedup = serialized wall / sharded wall; identical total "
+  std::printf("(speedup = serialized wall / sharded wall; legacy-log = "
+              "sharded IDG with the LegacyLog escape hatch; identical total "
               "work per row)\n");
-  if (Json.write("BENCH_scaling.json", "scaling_threads"))
-    std::printf("wrote BENCH_scaling.json\n");
+  if (Json.write(OutPath, "scaling_threads"))
+    std::printf("wrote %s\n", OutPath);
   return 0;
 }

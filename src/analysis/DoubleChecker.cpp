@@ -280,10 +280,15 @@ void DoubleCheckerRuntime::beginRun(rt::Runtime &RT) {
   if (!Opts.SerializedIdg && Opts.CollectEveryTx != ~0u)
     Collector = std::make_unique<TxCollector>(*this);
   if (Opts.LogAccesses) {
-    ElisionCells = std::vector<std::atomic<uint64_t>>(
-        RT.heap().numFieldAddrs());
-    CellContended = std::vector<std::atomic<uint8_t>>(
-        RT.heap().numFieldAddrs());
+    if (Opts.LegacyLog) {
+      ElisionCells = std::vector<std::atomic<uint64_t>>(
+          RT.heap().numFieldAddrs());
+      CellContended = std::vector<std::atomic<uint8_t>>(
+          RT.heap().numFieldAddrs());
+    } else {
+      for (uint32_t T = 0; T < NumThreads; ++T)
+        Threads[T].ChunkCache.attach(&ChunkPool);
+    }
   }
 }
 
@@ -298,6 +303,7 @@ void DoubleCheckerRuntime::endRun(rt::Runtime &RT) {
     Collector->drain();
   Octet->flushStatistics();
   uint64_t Regular = 0, Unary = 0, AccR = 0, AccU = 0, LogN = 0, LogE = 0;
+  uint64_t Bytes = 0;
   for (uint32_t T = 0; T < NumThreads; ++T) {
     const PerThread &PT = Threads[T];
     Regular += PT.RegularTxs;
@@ -306,6 +312,11 @@ void DoubleCheckerRuntime::endRun(rt::Runtime &RT) {
     AccU += PT.AccUnary;
     LogN += PT.LogEntries;
     LogE += PT.LogElided;
+    // On the arena path access appends don't bump BytesLogged inline (the
+    // hot path carries no byte accounting; one slot per entry is implied)
+    // — only EdgeIn markers do. The legacy path accounts every append.
+    Bytes += PT.BytesLogged +
+             (Opts.LegacyLog ? 0 : PT.LogEntries * sizeof(LogSlot));
   }
   Stats.get("icd.regular_transactions").add(Regular);
   Stats.get("icd.unary_transactions").add(Unary);
@@ -313,6 +324,12 @@ void DoubleCheckerRuntime::endRun(rt::Runtime &RT) {
   Stats.get("icd.instrumented_accesses_unary").add(AccU);
   Stats.get("icd.log_entries").add(LogN);
   Stats.get("icd.log_entries_elided").add(LogE);
+  Stats.get("logging.bytes_logged").add(Bytes);
+  if (!Opts.LegacyLog) {
+    Stats.get("logging.filter_hits").add(LogE);
+    Stats.get("logging.chunk_allocs").add(ChunkPool.chunkAllocs());
+    Stats.get("logging.chunk_recycles").add(ChunkPool.chunkRecycles());
+  }
   Stats.get("icd.idg_cross_edges")
       .add(CrossEdges.load(std::memory_order_relaxed));
   Stats.get("icd.sccs").add(SccCount.load(std::memory_order_relaxed));
@@ -416,8 +433,8 @@ void DoubleCheckerRuntime::txEnd(rt::ThreadContext &TC, const ir::Method &M) {
   unlockShard(S);
 }
 
-Transaction *DoubleCheckerRuntime::currentForAccess(rt::ThreadContext &TC) {
-  PerThread &PT = Threads[TC.Tid];
+Transaction *DoubleCheckerRuntime::currentForAccess(rt::ThreadContext &TC,
+                                                    PerThread &PT) {
   Transaction *Cur = PT.CurrTx.load(std::memory_order_relaxed);
   assert(Cur && "access outside any transaction context");
   if (Cur->Regular || !Cur->Interrupted.load(std::memory_order_relaxed))
@@ -438,7 +455,7 @@ void DoubleCheckerRuntime::instrumentedAccess(rt::ThreadContext &TC,
                                               function_ref<void()> Access) {
   TlsPhysTid = TC.Tid;
   PerThread &PT = Threads[TC.Tid];
-  Transaction *Cur = currentForAccess(TC);
+  Transaction *Cur = currentForAccess(TC, PT);
   if (Info.Flags & ir::IF_OctetBarrier) {
     if (Info.IsWrite)
       Octet->writeBarrier(TC, Info.Obj);
@@ -447,22 +464,43 @@ void DoubleCheckerRuntime::instrumentedAccess(rt::ThreadContext &TC,
   }
   Access();
   if (Opts.LogAccesses && (Info.Flags & ir::IF_LogAccess))
-    logAccess(TC, Cur, Info);
+    logAccess(TC, PT, Cur, Info);
   if (Cur->Regular)
     ++PT.AccRegular;
   else
     ++PT.AccUnary;
 }
 
-void DoubleCheckerRuntime::logAccess(rt::ThreadContext &TC, Transaction *Cur,
+void DoubleCheckerRuntime::logAccess(rt::ThreadContext &TC, PerThread &PT,
+                                     Transaction *Cur,
                                      const rt::AccessInfo &Info) {
-  PerThread &PT = Threads[TC.Tid];
+  const uint64_t MyTs = PT.CurTs.load(std::memory_order_relaxed);
+  if (!Opts.LegacyLog) {
+    // Default path (DESIGN.md §8): thread-local filter, chunked arena.
+    // The only shared-visible write is the LogLen publication, and chunks
+    // come from the thread's cache — zero shared writes beyond that, zero
+    // allocations in steady state.
+    if (Opts.ElideDuplicates &&
+        PT.Filter.testAndSet(ElisionFilter::key(Info.Obj, Info.Addr), MyTs,
+                             Info.IsWrite)) {
+      // Duplicate with no intervening edge or transaction boundary: elide.
+      ++PT.LogElided;
+      return;
+    }
+    Cur->LogLen.store(
+        Cur->Log.appendAccess(Info.Obj, Info.Addr, Info.IsWrite,
+                              &PT.ChunkCache),
+        std::memory_order_release);
+    ++PT.LogEntries; // Byte accounting is derived at flush: 1 slot/entry.
+    return;
+  }
+  // Legacy path (LegacyLog): globally shared elision cells and a
+  // reallocating vector log, with the remote-miss simulation the shared
+  // cells warrant.
   std::atomic<uint64_t> &CellA = ElisionCells[Info.Addr];
   uint64_t Cell = CellA.load(std::memory_order_relaxed);
-  uint64_t MyTs = PT.CurTs.load(std::memory_order_relaxed);
-  if (cellTid(Cell) == TC.Tid && cellTs(Cell) == MyTs &&
-      (cellWasWrite(Cell) || !Info.IsWrite)) {
-    // Duplicate with no intervening edge or transaction boundary: elide.
+  if (Opts.ElideDuplicates && cellTid(Cell) == TC.Tid &&
+      cellTs(Cell) == MyTs && (cellWasWrite(Cell) || !Info.IsWrite)) {
     ++PT.LogElided;
     return;
   }
@@ -470,8 +508,9 @@ void DoubleCheckerRuntime::logAccess(rt::ThreadContext &TC, Transaction *Cur,
   E.K = Info.IsWrite ? LogEntry::Kind::Write : LogEntry::Kind::Read;
   E.Obj = Info.Obj;
   E.Addr = Info.Addr;
-  Cur->appendLog(E);
+  Cur->appendLogLegacy(E);
   ++PT.LogEntries;
+  PT.BytesLogged += sizeof(LogEntry);
   if (Opts.LogRemoteMissPenalty != 0) {
     // Remote-miss simulation for the elision cell rewrite (see
     // DoubleCheckerOptions::LogRemoteMissPenalty).
@@ -528,7 +567,8 @@ void DoubleCheckerRuntime::onConflictingEdge(uint32_t RespTid,
   lockShards(Need, N, Phys);
   addCrossEdgeLocked(Threads[RespTid].CurrTx.load(std::memory_order_relaxed),
                      Threads[T.Requester].CurrTx.load(
-                         std::memory_order_relaxed));
+                         std::memory_order_relaxed),
+                     Phys);
   for (unsigned I = N; I-- > 0;)
     unlockShard(Need[I]);
 }
@@ -572,10 +612,10 @@ void DoubleCheckerRuntime::onUpgradeToRdSh(uint32_t Tid, uint32_t OldOwner,
   Transaction *Cur = Threads[Tid].CurrTx.load(std::memory_order_relaxed);
   // Edge from the old owner's last transition into RdEx (conservative
   // source for the write-read dependence being upgraded over).
-  addCrossEdgeLocked(Threads[OldOwner].LastRdEx, Cur);
+  addCrossEdgeLocked(Threads[OldOwner].LastRdEx, Cur, Phys);
   // Edge ordering all transitions to RdSh (needed so fence transitions
   // capture write-read dependences transitively, Fig. 3).
-  addCrossEdgeLocked(Rd, Cur);
+  addCrossEdgeLocked(Rd, Cur, Phys);
   GLastRdSh = Cur;
   for (unsigned I = N; I-- > 0;)
     unlockShard(Need[I]);
@@ -606,7 +646,8 @@ void DoubleCheckerRuntime::onFence(uint32_t Tid) {
     std::swap(Need[0], Need[1]);
   lockShards(Need, N, Phys);
   addCrossEdgeLocked(Rd,
-                     Threads[Tid].CurrTx.load(std::memory_order_relaxed));
+                     Threads[Tid].CurrTx.load(std::memory_order_relaxed),
+                     Phys);
   for (unsigned I = N; I-- > 0;)
     unlockShard(Need[I]);
   unlockShard(0);
@@ -674,7 +715,8 @@ void DoubleCheckerRuntime::endCurrentTx(uint32_t Tid) {
 }
 
 void DoubleCheckerRuntime::addCrossEdgeLocked(Transaction *Src,
-                                              Transaction *Dst) {
+                                              Transaction *Dst,
+                                              uint32_t Phys) {
   if (Src == nullptr || Dst == nullptr || Src == Dst)
     return;
   OutEdge E;
@@ -700,7 +742,19 @@ void DoubleCheckerRuntime::addCrossEdgeLocked(Transaction *Src,
     Marker.Addr = E.SrcPos;
     Marker.SrcSeq = Src->SeqInThread;
     Marker.Time = OrderClock.fetch_add(1, std::memory_order_relaxed) + 1;
-    Dst->appendLog(Marker);
+    if (Opts.LegacyLog) {
+      Dst->appendLogLegacy(Marker);
+      Threads[Phys].BytesLogged += sizeof(LogEntry);
+    } else {
+      // The physical thread executing this call supplies the chunks; it
+      // may differ from Dst's owner (requester-side edges), which is fine
+      // because chunks have no owner affinity once linked into a log.
+      Dst->appendLog(Marker, Phys < NumThreads
+                                 ? &Threads[Phys].ChunkCache
+                                 : nullptr);
+      Threads[Phys < NumThreads ? Phys : Dst->Tid].BytesLogged +=
+          2 * sizeof(LogSlot);
+    }
   }
   CrossEdges.fetch_add(1, std::memory_order_relaxed);
 }
@@ -935,8 +989,12 @@ void DoubleCheckerRuntime::collectNow(uint32_t Holder) {
   while (Live > PrevMax && !CollectorLiveMax.compare_exchange_weak(
                                PrevMax, Live, std::memory_order_relaxed))
     ;
-  for (Transaction *Tx : Doomed)
+  for (Transaction *Tx : Doomed) {
+    // Recycle the dead log's chunks before freeing the node; future logs
+    // then append into recycled storage instead of allocating.
+    Tx->Log.releaseTo(ChunkPool);
     delete Tx;
+  }
   TxsSwept.fetch_add(Doomed.size(), std::memory_order_relaxed);
   CollectorRuns.fetch_add(1, std::memory_order_relaxed);
   CollectorNs.fetch_add(

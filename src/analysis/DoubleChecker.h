@@ -109,13 +109,28 @@ struct DoubleCheckerOptions {
   uint32_t CollectEveryTx = 8192;
   /// Passed through to PCD.
   uint32_t MaxSccTxsForPcd = 1u << 20;
-  /// Remote-cache-miss simulation for the log-elision metadata, mirroring
-  /// VelodromeOptions::RemoteMissPenalty (see DESIGN.md §2): appending a
-  /// log entry rewrites the field's per-thread timestamp cell, which on a
-  /// real multicore ping-pongs for fields logged by several threads. One
-  /// cell write is half of Velodrome's two-word locked update, hence the
-  /// smaller default. 0 disables.
-  uint32_t LogRemoteMissPenalty = 15;
+  /// Escape hatch mirroring SerializedIdg: use the seed's logging path —
+  /// globally shared elision cells and a reallocating std::vector log with
+  /// 32-byte entries — instead of the per-thread filter + chunked arena
+  /// (DESIGN.md §8). Kept for one PR so the differential tests and
+  /// bench/logging_throughput can compare the two paths; both must produce
+  /// identical violations.
+  bool LegacyLog = false;
+  /// Log duplicate elision (paper §4). On by default; off is a
+  /// differential-testing mode that logs every access.
+  bool ElideDuplicates = true;
+  /// Remote-cache-miss simulation for the *legacy* log-elision metadata
+  /// (LegacyLog only), mirroring VelodromeOptions::RemoteMissPenalty (see
+  /// DESIGN.md §2): appending a log entry rewrites the field's globally
+  /// shared timestamp cell, which on a real multicore ping-pongs for
+  /// fields logged by several threads. Calibrated at the methodology's
+  /// per-line figure — one ping-ponged cache line costs 300, exactly
+  /// Velodrome's per-line RemoteMissPenalty and half the IDG stripes' two-
+  /// line 600 (an earlier default of 15 under-modelled the miss by an
+  /// order of magnitude relative to those two). The default logging path's
+  /// filter is thread-local and has no remote misses to simulate, so this
+  /// knob is ignored there. 0 disables.
+  uint32_t LogRemoteMissPenalty = 300;
   /// Remote-cache-miss simulation for IDG lock stripes (same methodology):
   /// when a stripe is acquired by a different thread than its last holder,
   /// two lines miss in the acquirer's cache — the stripe's lock word and
@@ -187,9 +202,15 @@ private:
     uint64_t AccUnary = 0;
     uint64_t LogEntries = 0;
     uint64_t LogElided = 0;
+    uint64_t BytesLogged = 0;
     /// Transactions allocated by this thread; pushed under own stripe,
     /// swept by the collector under all stripes.
     std::vector<Transaction *> Owned;
+    /// Thread-local duplicate-access filter (default logging path); epochs
+    /// are CurTs values, so the existing bumps invalidate it for free.
+    ElisionFilter Filter;
+    /// Chunk source for this thread's appends, refilled from ChunkPool.
+    LogChunkCache ChunkCache;
   };
 
   class PcdPool;
@@ -224,8 +245,9 @@ private:
   /// Caller must hold no stripe. CurrTx intentionally keeps pointing at
   /// the finished transaction until the next newTransactionLocked.
   void endCurrentTx(uint32_t Tid);
-  /// Requires shard(Src->Tid) and shard(Dst->Tid).
-  void addCrossEdgeLocked(Transaction *Src, Transaction *Dst);
+  /// Requires shard(Src->Tid) and shard(Dst->Tid). \p Phys is the physical
+  /// thread executing the call (its chunk cache feeds the EdgeIn append).
+  void addCrossEdgeLocked(Transaction *Src, Transaction *Dst, uint32_t Phys);
   /// Queues the just-finished, cross-edged \p V as a detection root and
   /// runs a batched pass once Opts.SccBatch roots are pending. Caller must
   /// hold no stripe.
@@ -242,9 +264,10 @@ private:
   /// runs it inline (SerializedIdg).
   void requestCollect(uint32_t Holder);
   /// Returns the transaction the next access belongs to, replacing an
-  /// interrupted unary transaction if needed.
-  Transaction *currentForAccess(rt::ThreadContext &TC);
-  void logAccess(rt::ThreadContext &TC, Transaction *Cur,
+  /// interrupted unary transaction if needed. \p PT must be TC's block
+  /// (hoisted by the caller so the hot path resolves it once).
+  Transaction *currentForAccess(rt::ThreadContext &TC, PerThread &PT);
+  void logAccess(rt::ThreadContext &TC, PerThread &PT, Transaction *Cur,
                  const rt::AccessInfo &Info);
 
   const ir::Program &P;
@@ -262,11 +285,16 @@ private:
   uint32_t NumShards = 0;
   std::unique_ptr<StripedLockSet> IdgShards;
 
-  /// Packed (tid | wasWrite | ts) cells for log duplicate elision, indexed
-  /// by field address.
+  /// Global free list backing every thread's chunk cache; the collector
+  /// splices swept transactions' chunks back into it.
+  LogChunkPool ChunkPool;
+
+  /// Legacy path (LegacyLog): packed (tid | wasWrite | ts) cells for log
+  /// duplicate elision, indexed by field address and shared by all threads.
   std::vector<std::atomic<uint64_t>> ElisionCells;
-  /// Sticky multi-thread-logged marker per field (remote-miss simulation).
-  /// Relaxed atomics: set/read racily by design, but data-race-free.
+  /// Sticky multi-thread-logged marker per field (remote-miss simulation;
+  /// LegacyLog only). Relaxed atomics: set/read racily by design, but
+  /// data-race-free.
   std::vector<std::atomic<uint8_t>> CellContended;
   /// Keeps the penalty spin from being optimized away.
   std::atomic<uint64_t> PenaltySink{0};

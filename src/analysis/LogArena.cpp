@@ -1,0 +1,75 @@
+//===- analysis/LogArena.cpp ----------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LogArena.h"
+
+using namespace dc;
+using namespace dc::analysis;
+
+LogChunkPool::~LogChunkPool() {
+  for (LogChunk *C = Free; C != nullptr;) {
+    LogChunk *Next = C->Next;
+    delete C;
+    C = Next;
+  }
+}
+
+LogChunk *LogChunkPool::popBatch(uint32_t Max) {
+  LogChunk *Chain = nullptr;
+  uint32_t Got = 0;
+  {
+    SpinLockGuard Guard(Lock);
+    while (Got < Max && Free != nullptr) {
+      LogChunk *C = Free;
+      Free = C->Next;
+      C->Next = Chain;
+      Chain = C;
+      ++Got;
+    }
+  }
+  if (Got != 0)
+    Reuses.fetch_add(Got, std::memory_order_relaxed);
+  if (Got < Max) {
+    Allocs.fetch_add(Max - Got, std::memory_order_relaxed);
+    for (; Got < Max; ++Got) {
+      LogChunk *C = new LogChunk();
+      C->Next = Chain;
+      Chain = C;
+    }
+  }
+  return Chain;
+}
+
+void LogChunkPool::recycle(LogChunk *Head, LogChunk *Tail, uint64_t N) {
+  if (Head == nullptr)
+    return;
+  (void)N;
+  SpinLockGuard Guard(Lock);
+  Tail->Next = Free;
+  Free = Head;
+}
+
+LogChunkCache::~LogChunkCache() {
+  for (LogChunk *C = Free; C != nullptr;) {
+    LogChunk *Next = C->Next;
+    delete C;
+    C = Next;
+  }
+}
+
+LogChunk *LogChunkCache::get() {
+  if (Free == nullptr) {
+    if (Pool == nullptr)
+      return new LogChunk();
+    Free = Pool->popBatch(RefillBatch);
+    Count = RefillBatch;
+  }
+  LogChunk *C = Free;
+  Free = C->Next;
+  --Count;
+  C->Next = nullptr;
+  return C;
+}

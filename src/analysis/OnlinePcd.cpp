@@ -20,7 +20,8 @@ void OnlinePcd::processTransaction(Transaction *Tx) {
     addEdge(It->second, Tx);
   LastOfThread[Tx->Tid] = Tx;
 
-  for (const LogEntry &E : Tx->Log) {
+  for (LogCursor C(*Tx); !C.atEnd(); C.advance()) {
+    const LogEntry E = C.current();
     switch (E.K) {
     case LogEntry::Kind::Read: {
       auto WIt = LastWrite.find(E.Addr);

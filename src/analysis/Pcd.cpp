@@ -54,7 +54,7 @@ private:
   /// SeqInThread of each thread's first not-fully-replayed member
   /// (~0ULL once the thread's queue drains).
   std::unordered_map<uint32_t, uint64_t> FrontSeq;
-  std::vector<uint32_t> Cursor;      ///< Next log index per node.
+  std::vector<LogCursor> Cursors;    ///< Replay position per node.
   std::vector<bool> Activated;       ///< Intra PDG edge added on activation.
   std::vector<bool> Done;            ///< Fully replayed.
   /// Members sorted by EndTime; DonePrefix advances over the done prefix.
@@ -98,7 +98,9 @@ void SccReplay::run() {
     FrontSeq[Entry.first] = Members[Entry.second.front()]->SeqInThread;
   }
 
-  Cursor.assign(N, 0);
+  Cursors.resize(N);
+  for (uint32_t I = 0; I < N; ++I)
+    Cursors[I] = LogCursor(*Members[I]);
   Activated.assign(N, false);
   Done.assign(N, false);
   PdgOut.assign(N, {});
@@ -132,7 +134,7 @@ void SccReplay::run() {
           LastOfThread[Tx->Tid] = Node;
           Progress = true;
         }
-        if (Cursor[Node] >= Tx->Log.size()) {
+        if (Cursors[Node].atEnd()) {
           Done[Node] = true;
           Queue.erase(Queue.begin());
           FrontSeq[Tx->Tid] =
@@ -141,10 +143,10 @@ void SccReplay::run() {
           Progress = true;
           continue;
         }
-        const LogEntry &E = Tx->Log[Cursor[Node]];
+        const LogEntry E = Cursors[Node].current();
         if (!entryEnabled(E))
           break; // This thread is stalled on a cross-thread constraint.
-        ++Cursor[Node];
+        Cursors[Node].advance();
         ++Entries;
         processEntry(Node, E);
         Progress = true;
@@ -165,13 +167,13 @@ void SccReplay::run() {
                    (unsigned long long)Tx->Id, Tx->Tid,
                    (unsigned long long)Tx->SeqInThread,
                    Tx->Regular ? "regular" : "unary", (int)Tx->Site);
-      for (size_t J = 0; J < Tx->Log.size(); ++J) {
-        const LogEntry &E = Tx->Log[J];
+      for (LogCursor C(*Tx); !C.atEnd(); C.advance()) {
+        const LogEntry E = C.current();
         if (E.K == LogEntry::Kind::EdgeIn)
-          std::fprintf(stderr, "  [%zu] edgein srcT%u srcSeq%llu srcPos%u\n",
-                       J, E.Obj, (unsigned long long)E.SrcSeq, E.Addr);
+          std::fprintf(stderr, "  [%u] edgein srcT%u srcSeq%llu srcPos%u\n",
+                       C.pos(), E.Obj, (unsigned long long)E.SrcSeq, E.Addr);
         else
-          std::fprintf(stderr, "  [%zu] %s obj%u addr%u\n", J,
+          std::fprintf(stderr, "  [%u] %s obj%u addr%u\n", C.pos(),
                        E.K == LogEntry::Kind::Write ? "wr" : "rd", E.Obj,
                        E.Addr);
       }
@@ -205,7 +207,7 @@ bool SccReplay::entryEnabled(const LogEntry &E) const {
     return false;
   auto It = MemberBySeq.find(memberKey(E.Obj, E.SrcSeq));
   if (It != MemberBySeq.end())
-    return Cursor[It->second] >= E.Addr;
+    return Cursors[It->second].pos() >= E.Addr;
   return true;
 }
 

@@ -22,6 +22,19 @@
 /// source entries are reads that commute with the sink's accesses, so the
 /// replay order PCD reconstructs is still a valid linearization.
 ///
+/// Log storage (DESIGN.md §8): the default path packs records into 16-byte
+/// slots chained through fixed-size arena chunks (LogArena.h) — appends
+/// never reallocate, move, or copy. The seed's std::vector<LogEntry> path
+/// is kept behind DoubleCheckerOptions::LegacyLog for differential testing;
+/// LogCursor reads either representation. Positions (SrcPos, LogLen) count
+/// *slots* on the packed path and *entries* on the legacy path — a run
+/// uses one path throughout, so comparisons are always same-unit.
+///
+/// LogLen publication contract: appendLog publishes the log's length with
+/// release order once per *record* (after both slots of an EdgeIn), so a
+/// lock-free SrcPos sample is always ≤ the owner's published length and
+/// always lands on a record boundary.
+///
 /// Field guards under the sharded IDG (DESIGN.md §7): mutable per-node
 /// state (Out, HasCrossEdge, EndTime, the Log) is guarded by the owning
 /// thread's IDG stripe; a cross-edge writer holds both endpoints' stripes.
@@ -39,6 +52,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/LogArena.h"
 #include "ir/Ir.h"
 #include "rt/Heap.h"
 
@@ -47,12 +61,13 @@ namespace analysis {
 
 class Transaction;
 
-/// One entry of a transaction's read/write log. EdgeIn markers record the
-/// edge's *source coordinates* — (source thread, source SeqInThread,
-/// sampled source log position) — so PCD can enforce the ordering even when
-/// the source transaction itself is outside the SCC being replayed: the
-/// constraint then falls back to "all same-thread transactions before the
-/// source must have replayed", which the source's thread order implies.
+/// One decoded entry of a transaction's read/write log (also the legacy
+/// path's stored representation). EdgeIn markers record the edge's *source
+/// coordinates* — (source thread, source SeqInThread, sampled source log
+/// position) — so PCD can enforce the ordering even when the source
+/// transaction itself is outside the SCC being replayed: the constraint
+/// then falls back to "all same-thread transactions before the source must
+/// have replayed", which the source's thread order implies.
 struct LogEntry {
   enum class Kind : uint8_t {
     Read,
@@ -126,13 +141,33 @@ public:
 
   /// Read/write log, appended by the owning thread (accesses) or by the
   /// edge-adding thread while the owner is provably quiescent (EdgeIn).
-  std::vector<LogEntry> Log;
-  /// Published length of Log, sampled lock-free for edge SrcPos.
+  /// Packed chunked storage; see LogArena.h.
+  ChunkedLog Log;
+  /// Legacy storage (DoubleCheckerOptions::LegacyLog): the seed's
+  /// reallocating vector of 32-byte entries. A transaction uses exactly
+  /// one representation, decided by which append method feeds it.
+  std::vector<LogEntry> VecLog;
+  /// Published length of the log (slots for Log, entries for VecLog),
+  /// sampled lock-free for edge SrcPos. Published once per record with
+  /// release order — this is the only shared-visible write an append
+  /// performs on the packed path.
   std::atomic<uint32_t> LogLen{0};
 
-  void appendLog(const LogEntry &E) {
-    Log.push_back(E);
-    LogLen.store(static_cast<uint32_t>(Log.size()),
+  /// Appends to the packed log. \p Cache supplies recycled chunks on the
+  /// runtime hot path; null (tests, hand-built SCCs) falls back to plain
+  /// allocation.
+  void appendLog(const LogEntry &E, LogChunkCache *Cache = nullptr) {
+    if (E.K == LogEntry::Kind::EdgeIn)
+      Log.appendEdgeIn(E.Obj, E.Addr, E.SrcSeq, E.Time, Cache);
+    else
+      Log.appendAccess(E.Obj, E.Addr, E.K == LogEntry::Kind::Write, Cache);
+    LogLen.store(Log.size(), std::memory_order_release);
+  }
+
+  /// Appends to the legacy vector log (DoubleCheckerOptions::LegacyLog).
+  void appendLogLegacy(const LogEntry &E) {
+    VecLog.push_back(E);
+    LogLen.store(static_cast<uint32_t>(VecLog.size()),
                  std::memory_order_release);
   }
 
@@ -155,6 +190,92 @@ public:
   /// after the replay; the collector's acquire read of a zero pin count
   /// therefore happens-after the last access to the member's log.
   std::atomic<uint32_t> Pins{0};
+};
+
+/// Sequential reader over a transaction's log, transparent to the storage
+/// representation. pos() is in the same units as LogLen/SrcPos (slots on
+/// the packed path, entries on the legacy path), so replay's "source has
+/// passed position P" checks compare like with like. Only valid while the
+/// log is stable (transaction Finished, or single-threaded tests).
+class LogCursor {
+public:
+  LogCursor() = default;
+
+  explicit LogCursor(const Transaction &Tx) {
+    if (!Tx.VecLog.empty()) {
+      Vec = &Tx.VecLog;
+      End = static_cast<uint32_t>(Tx.VecLog.size());
+    } else {
+      Chunk = Tx.Log.head();
+      End = Tx.Log.size();
+    }
+  }
+
+  bool atEnd() const { return Pos >= End; }
+  uint32_t pos() const { return Pos; }
+
+  /// Decodes the record at the cursor. Requires !atEnd().
+  LogEntry current() const {
+    if (Vec != nullptr)
+      return (*Vec)[Pos];
+    const LogSlot &S = slot(0);
+    LogEntry E;
+    switch (S.Meta & SlotTagMask) {
+    case SlotTagRead:
+      E.K = LogEntry::Kind::Read;
+      break;
+    case SlotTagWrite:
+      E.K = LogEntry::Kind::Write;
+      break;
+    default:
+      E.K = LogEntry::Kind::EdgeIn;
+      break;
+    }
+    E.Obj = S.A;
+    E.Addr = S.B;
+    if (E.K == LogEntry::Kind::EdgeIn) {
+      E.SrcSeq = S.Meta >> 2;
+      E.Time = slot(1).Meta; // Continuation slot.
+    }
+    return E;
+  }
+
+  /// Consumes the current record (1 slot; 2 for EdgeIn on the packed path).
+  void advance() {
+    if (Vec != nullptr) {
+      ++Pos;
+      return;
+    }
+    const uint32_t N =
+        (slot(0).Meta & SlotTagMask) == SlotTagEdgeIn ? 2 : 1;
+    for (uint32_t I = 0; I < N; ++I) {
+      ++Pos;
+      if (++InChunk == LogChunk::SlotsPerChunk && Pos < End) {
+        Chunk = Chunk->Next;
+        InChunk = 0;
+      }
+    }
+  }
+
+private:
+  /// Slot \p Ahead slots past the cursor (0 or 1; records may straddle a
+  /// chunk boundary).
+  const LogSlot &slot(uint32_t Ahead) const {
+    assert(Pos + Ahead < End && "reading past the published log");
+    uint32_t Idx = InChunk + Ahead;
+    const LogChunk *C = Chunk;
+    if (Idx >= LogChunk::SlotsPerChunk) {
+      Idx -= LogChunk::SlotsPerChunk;
+      C = C->Next;
+    }
+    return C->Slots[Idx];
+  }
+
+  const std::vector<LogEntry> *Vec = nullptr; ///< Legacy path; else chunks.
+  const LogChunk *Chunk = nullptr;
+  uint32_t InChunk = 0;
+  uint32_t Pos = 0;
+  uint32_t End = 0;
 };
 
 } // namespace analysis

@@ -122,6 +122,8 @@ RunOutcome core::runChecker(const ir::Program &Source,
     DOpts.ParallelPcd = Cfg.ParallelPcd;
     DOpts.PcdWorkers = Cfg.PcdWorkers;
     DOpts.SerializedIdg = Cfg.SerializedIdg;
+    DOpts.LegacyLog = Cfg.LegacyLog;
+    DOpts.ElideDuplicates = Cfg.ElideDuplicates;
     DOpts.PcdOnly = Cfg.M == Mode::PcdOnly;
     auto Owned = std::make_unique<analysis::DoubleCheckerRuntime>(
         Compiled, DOpts, Violations, Stats);

@@ -63,6 +63,13 @@ struct RunConfig {
   /// collection (the pre-sharding behaviour) instead of the sharded hot
   /// path. For old-vs-new comparisons; violations must be identical.
   bool SerializedIdg = false;
+  /// Escape hatch: use the pre-arena logging path (shared elision cells,
+  /// reallocating vector logs). For old-vs-new comparisons; violations
+  /// must be identical.
+  bool LegacyLog = false;
+  /// Log duplicate elision (paper §4); off logs every access — a
+  /// differential-testing mode that must not change violations.
+  bool ElideDuplicates = true;
   /// Required for SecondRun / SecondRunVelodrome.
   const analysis::StaticTransactionInfo *StaticInfo = nullptr;
 };

@@ -18,13 +18,24 @@ cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j 1
 
+echo "== Logging hot-path bench (smoke) =="
+# A tiny-scale run to catch regressions that only show up under the bench
+# harness (chunk recycling, the legacy escape hatch). The JSON goes to a
+# throwaway path so the checked-in BENCH_logging.json keeps the numbers
+# recorded on a quiet machine at full scale.
+DC_BENCH_SCALE=0.02 DC_BENCH_TRIALS=1 \
+  build-ci/bench/logging_throughput build-ci/bench_logging_smoke.json
+
 echo "== ThreadSanitizer build + concurrency stress tests =="
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDC_SANITIZE=thread >/dev/null
 cmake --build build-ci-tsan -j "$JOBS" --target idg_stress_test \
-  octet_stress_test
+  octet_stress_test log_elision_test log_srcpos_test
 # TSan slows execution ~5-15x; restrict to the tests whose whole point is
-# cross-thread synchronization rather than re-running the full suite.
-ctest --test-dir build-ci-tsan --output-on-failure -R "Idg|Octet"
+# cross-thread synchronization rather than re-running the full suite. The
+# logging tests are in that set: LogSrcPos races a lock-free LogLen
+# sampler against an appender, and LogElision stresses both log paths.
+ctest --test-dir build-ci-tsan --output-on-failure \
+  -R "Idg|Octet|ElisionFilter|LogDifferential|SrcPosSampling"
 
 echo "== CI gate passed =="

@@ -48,6 +48,7 @@ struct CliOptions {
   bool ParallelPcd = false;
   unsigned PcdWorkers = 2;
   bool SerializedIdg = false;
+  bool LegacyLog = false;
   bool Refine = false;
   bool DumpIr = false;
   bool DumpCompiledIr = false;
@@ -75,6 +76,8 @@ void printUsage() {
       "  --refine              iterative specification refinement (Fig. 6)\n"
       "  --parallel-pcd        replay PCD SCCs on a background worker pool\n"
       "  --pcd-workers <n>     pool size for --parallel-pcd (default 2)\n"
+      "  --legacy-log          pre-arena escape hatch: shared elision\n"
+      "                        cells + vector logs (for comparisons)\n"
       "  --serialized-idg      pre-sharding escape hatch: one global IDG\n"
       "                        lock, inline collection (for comparisons)\n"
       "  --static-info <path>  second-run input (from --emit-static)\n"
@@ -122,6 +125,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.PcdWorkers = static_cast<unsigned>(std::atoi(V.c_str()));
     else if (Arg == "--serialized-idg")
       Opts.SerializedIdg = true;
+    else if (Arg == "--legacy-log")
+      Opts.LegacyLog = true;
     else if (Arg == "--refine")
       Opts.Refine = true;
     else if (Arg == "--dump-ir")
@@ -282,6 +287,7 @@ int main(int Argc, char **Argv) {
   Cfg.ParallelPcd = Opts.ParallelPcd;
   Cfg.PcdWorkers = Opts.PcdWorkers;
   Cfg.SerializedIdg = Opts.SerializedIdg;
+  Cfg.LegacyLog = Opts.LegacyLog;
   if (!Opts.Deterministic)
     Cfg.RunOpts.PreemptEveryN = 1024;
   if (M == Mode::SecondRun || M == Mode::SecondRunVelodrome) {
