@@ -850,6 +850,8 @@ void DoubleCheckerRuntime::sccPass(uint32_t Holder) {
       }
       if (Members.size() < 2)
         continue;
+      if (Opts.TestOnlyUnsoundFilter && Members.size() == 2)
+        continue; // Injected unsoundness; see DoubleCheckerOptions.
       // Exactly-once across passes: a cycle is complete precisely when its
       // maximal-EndTime member finishes (edges only ever target unfinished
       // transactions, so no member edge postdates that end), and every

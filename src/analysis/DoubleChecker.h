@@ -119,6 +119,14 @@ struct DoubleCheckerOptions {
   /// Log duplicate elision (paper §4). On by default; off is a
   /// differential-testing mode that logs every access.
   bool ElideDuplicates = true;
+  /// Test-only fault injection (never set by real configurations):
+  /// deliberately break the ICD filter's soundness by dropping two-member
+  /// SCCs before they reach PCD or the multi-run static info. The schedule
+  /// fuzzer (tools/dcfuzz.cpp) must catch the resulting missed violations
+  /// as divergences from Velodrome and the trace oracle, and minimize them
+  /// to a small replayable witness — the standing proof that the harness
+  /// would notice a real unsound filter.
+  bool TestOnlyUnsoundFilter = false;
   /// Remote-cache-miss simulation for the *legacy* log-elision metadata
   /// (LegacyLog only), mirroring VelodromeOptions::RemoteMissPenalty (see
   /// DESIGN.md §2): appending a log entry rewrites the field's globally

@@ -124,6 +124,7 @@ RunOutcome core::runChecker(const ir::Program &Source,
     DOpts.SerializedIdg = Cfg.SerializedIdg;
     DOpts.LegacyLog = Cfg.LegacyLog;
     DOpts.ElideDuplicates = Cfg.ElideDuplicates;
+    DOpts.TestOnlyUnsoundFilter = Cfg.TestOnlyUnsoundIcdFilter;
     DOpts.PcdOnly = Cfg.M == Mode::PcdOnly;
     auto Owned = std::make_unique<analysis::DoubleCheckerRuntime>(
         Compiled, DOpts, Violations, Stats);

@@ -70,6 +70,10 @@ struct RunConfig {
   /// Log duplicate elision (paper §4); off logs every access — a
   /// differential-testing mode that must not change violations.
   bool ElideDuplicates = true;
+  /// Test-only fault injection: forwarded to
+  /// DoubleCheckerOptions::TestOnlyUnsoundFilter so the schedule fuzzer can
+  /// prove it catches a deliberately unsound ICD filter.
+  bool TestOnlyUnsoundIcdFilter = false;
   /// Required for SecondRun / SecondRunVelodrome.
   const analysis::StaticTransactionInfo *StaticInfo = nullptr;
 };

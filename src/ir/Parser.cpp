@@ -121,6 +121,11 @@ private:
       unsigned Indent = 0;
       while (Indent < Line.size() && Line[Indent] == ' ')
         ++Indent;
+      // '#'-comment lines are skipped wholesale, so annotated programs —
+      // e.g. dcfuzz witness files, whose header records the seed and
+      // schedule as comments — parse directly.
+      if (Indent < Line.size() && Line[Indent] == '#')
+        continue;
       Lines.push_back(RawLine{Number, Indent, Line.substr(Indent)});
     }
   }

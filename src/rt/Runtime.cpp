@@ -6,6 +6,7 @@
 
 #include "rt/Runtime.h"
 
+#include <algorithm>
 #include <cassert>
 #include <chrono>
 #include <condition_variable>
@@ -34,13 +35,29 @@ constexpr unsigned SpuriousWakeupRetries = 100000;
 /// blocks until the turn comes back. Threads blocked here are at safe points
 /// and are marked blocked for the checker, so Octet's implicit coordination
 /// protocol applies to them.
+///
+/// Decisions go: explicit schedule entries first, then the Scheduler
+/// strategy (RunOptions::CustomScheduler if set, else one built from
+/// Strategy/ScheduleSeed). The gate tracks which candidates are *spinning* —
+/// their last admission was a blocked retry and no other thread has executed
+/// a real instruction since — and hands that plus per-thread progress counts
+/// to the strategy (see rt/Scheduler.h).
 class Runtime::Gate {
 public:
-  Gate(Runtime &RT, uint32_t NumThreads, uint64_t Seed,
-       std::vector<uint32_t> Explicit)
-      : RT(RT), Candidate(NumThreads, false), Explicit(std::move(Explicit)),
-        Rng(Seed) {
+  Gate(Runtime &RT, uint32_t NumThreads, const RunOptions &Opts)
+      : RT(RT), Candidate(NumThreads, false), Spinning(NumThreads, false),
+        Progress(NumThreads, 0), Explicit(Opts.ExplicitSchedule),
+        Exhaust(Opts.OnScheduleExhausted), Record(Opts.ScheduleOut) {
     Candidate[0] = true; // Main thread starts holding the turn.
+    if (Opts.CustomScheduler) {
+      Sched = Opts.CustomScheduler;
+    } else {
+      Owned = makeScheduler(Opts.Strategy, Opts.ScheduleSeed, NumThreads,
+                            Opts.PctChangePoints, Opts.PctExpectedSteps);
+      Sched = Owned.get();
+    }
+    if (Record)
+      Record->clear();
   }
 
   /// Marks \p Tid schedulable (called by the forking thread, which holds
@@ -58,10 +75,13 @@ public:
     blockUntilTurn(TC, L);
   }
 
-  /// Ends this thread's turn and blocks until its next one.
-  void yieldTurn(ThreadContext &TC) {
+  /// Ends this thread's turn and blocks until its next one. \p Blocked
+  /// marks the admission just ending as a blocked retry (monitor enter,
+  /// wait, join) that made no progress.
+  void yieldTurn(ThreadContext &TC, bool Blocked = false) {
     std::unique_lock<std::mutex> L(M);
     assert(Turn == TC.Tid && "yielding a turn the thread does not hold");
+    noteOutcome(TC.Tid, Blocked);
     pickNext();
     if (Turn == TC.Tid)
       return;
@@ -73,10 +93,15 @@ public:
   void finishThread(ThreadContext &TC) {
     std::lock_guard<std::mutex> L(M);
     Candidate[TC.Tid] = false;
+    noteOutcome(TC.Tid, /*Blocked=*/false);
     if (Turn == TC.Tid) {
       pickNext();
       CV.notify_all();
     }
+  }
+
+  bool scheduleDiverged() const {
+    return Diverged.load(std::memory_order_relaxed);
   }
 
 private:
@@ -90,30 +115,68 @@ private:
       TC.Checker->unblocked(TC);
   }
 
-  /// Chooses the next candidate: explicit schedule entries first (skipping
-  /// non-candidates), then seeded random choice. Caller holds M.
+  /// Updates spinning flags when \p Tid ends an admission. A real
+  /// instruction may have changed what other blocked threads are waiting
+  /// on, so it clears every flag; a blocked retry changes nothing except
+  /// marking the retrier itself.
+  void noteOutcome(uint32_t Tid, bool Blocked) {
+    if (Blocked) {
+      Spinning[Tid] = true;
+      return;
+    }
+    std::fill(Spinning.begin(), Spinning.end(), false);
+    ++Progress[Tid];
+  }
+
+  /// Flags the explicit schedule as failing to describe this execution and
+  /// aborts the run (HardError policy only). Caller holds M.
+  void divergeSchedule() {
+    Diverged.store(true, std::memory_order_relaxed);
+    RT.requestAbort();
+    CV.notify_all();
+  }
+
+  /// Chooses the next candidate: explicit schedule entries first, then the
+  /// strategy. Caller holds M.
   void pickNext() {
     while (Pos < Explicit.size()) {
       uint32_t T = Explicit[Pos++];
       if (T < Candidate.size() && Candidate[T]) {
-        Turn = T;
+        admit(T);
         return;
       }
+      if (Exhaust == ScheduleExhaustPolicy::HardError) {
+        divergeSchedule();
+        return;
+      }
+      // Fallback: skip entries naming non-runnable threads.
     }
     uint32_t Live = 0;
     for (bool C : Candidate)
       Live += C;
     if (Live == 0)
       return; // Last thread finishing; nobody to hand to.
-    uint64_t Pick = Rng.nextBelow(Live);
-    for (uint32_t T = 0; T < Candidate.size(); ++T) {
-      if (!Candidate[T])
-        continue;
-      if (Pick-- == 0) {
-        Turn = T;
-        return;
-      }
+    if (!Explicit.empty() && Exhaust == ScheduleExhaustPolicy::HardError) {
+      // The schedule ran out while threads are still live: the replayed
+      // execution is longer than the recorded one.
+      divergeSchedule();
+      return;
     }
+    SchedulerView View{Candidate, Spinning, Progress, Picks};
+    uint32_t T = Sched->pick(View);
+    if (T >= Candidate.size() || !Candidate[T]) {
+      // Defensive: a buggy strategy must not wedge the gate.
+      for (T = 0; T < Candidate.size() && !Candidate[T]; ++T)
+        ;
+    }
+    admit(T);
+  }
+
+  void admit(uint32_t T) {
+    Turn = T;
+    ++Picks;
+    if (Record)
+      Record->push_back(T);
   }
 
   Runtime &RT;
@@ -121,9 +184,16 @@ private:
   std::condition_variable CV;
   uint32_t Turn = 0;
   std::vector<bool> Candidate;
+  std::vector<bool> Spinning;
+  std::vector<uint64_t> Progress;
   std::vector<uint32_t> Explicit;
   size_t Pos = 0;
-  SplitMix64 Rng;
+  uint64_t Picks = 0;
+  ScheduleExhaustPolicy Exhaust;
+  std::vector<uint32_t> *Record;
+  std::unique_ptr<Scheduler> Owned;
+  Scheduler *Sched = nullptr;
+  std::atomic<bool> Diverged{false};
 };
 
 //===----------------------------------------------------------------------===//
@@ -183,7 +253,7 @@ public:
       if (aborted())
         return;
       RT.countStep(TC);
-      RT.TheGate->yieldTurn(TC);
+      RT.TheGate->yieldTurn(TC, /*Blocked=*/true);
     }
   }
 
@@ -241,7 +311,7 @@ public:
       if (aborted())
         return;
       RT.countStep(TC);
-      RT.TheGate->yieldTurn(TC);
+      RT.TheGate->yieldTurn(TC, /*Blocked=*/true);
       std::lock_guard<std::mutex> L(Mutex);
       Monitor &Mon = monitor(Obj);
       if (Mon.Woken > 0 || Retries >= SpuriousWakeupRetries) {
@@ -264,7 +334,7 @@ public:
         }
       }
       RT.countStep(TC);
-      RT.TheGate->yieldTurn(TC);
+      RT.TheGate->yieldTurn(TC, /*Blocked=*/true);
     }
   }
 
@@ -305,7 +375,7 @@ public:
     }
     while (!isFinished(Tid) && !aborted()) {
       RT.countStep(TC);
-      RT.TheGate->yieldTurn(TC);
+      RT.TheGate->yieldTurn(TC, /*Blocked=*/true);
     }
   }
 
@@ -348,8 +418,7 @@ Runtime::Runtime(const ir::Program &P, CheckerRuntime *Checker,
   }
   Sync = std::make_unique<SyncLayer>(*this);
   if (Opts.Deterministic)
-    TheGate = std::make_unique<Gate>(*this, numThreads(), Opts.ScheduleSeed,
-                                     Opts.ExplicitSchedule);
+    TheGate = std::make_unique<Gate>(*this, numThreads(), Opts);
 }
 
 Runtime::~Runtime() {
@@ -382,6 +451,8 @@ RunResult Runtime::run() {
   for (const ThreadContext &TC : Contexts)
     R.Steps += TC.LocalSteps;
   R.Aborted = Aborted.load(std::memory_order_relaxed);
+  if (TheGate)
+    R.ScheduleDiverged = TheGate->scheduleDiverged();
   return R;
 }
 

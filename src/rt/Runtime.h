@@ -30,6 +30,7 @@
 #include "ir/Ir.h"
 #include "rt/CheckerRuntime.h"
 #include "rt/Heap.h"
+#include "rt/Scheduler.h"
 #include "rt/ThreadContext.h"
 
 namespace dc {
@@ -41,10 +42,31 @@ struct RunOptions {
   bool Deterministic = false;
   /// Seeds the deterministic scheduler's choices (after ExplicitSchedule).
   uint64_t ScheduleSeed = 0;
-  /// Deterministic mode: thread ids to run, consumed one per instruction;
-  /// entries naming non-runnable threads are skipped. After the list is
-  /// exhausted the seeded RNG takes over.
+  /// Deterministic mode: thread ids to run, consumed one per instruction.
+  /// What happens when an entry is unusable or the list runs short is
+  /// governed by OnScheduleExhausted.
   std::vector<uint32_t> ExplicitSchedule;
+  /// Deterministic mode: behaviour when ExplicitSchedule does not cover the
+  /// execution. Fallback (default) skips entries naming non-runnable
+  /// threads and hands over to the seeded strategy once the list is
+  /// exhausted; HardError aborts the run and sets
+  /// RunResult::ScheduleDiverged (what replay-based tooling wants).
+  ScheduleExhaustPolicy OnScheduleExhausted = ScheduleExhaustPolicy::Fallback;
+  /// Deterministic mode: strategy used after ExplicitSchedule (ignored when
+  /// CustomScheduler is set).
+  ScheduleStrategy Strategy = ScheduleStrategy::Random;
+  /// PCT only: number of priority change points (bug depth - 1).
+  uint32_t PctChangePoints = 3;
+  /// PCT only: admission-count horizon change points are sampled over
+  /// (0 = implementation default).
+  uint64_t PctExpectedSteps = 0;
+  /// Deterministic mode: non-owning scheduler override (the exhaustive
+  /// explorer plugs in here). Must outlive the run; takes precedence over
+  /// Strategy/ScheduleSeed.
+  Scheduler *CustomScheduler = nullptr;
+  /// Deterministic mode: when set, every admitted thread id is appended —
+  /// the executed schedule, replayable via ExplicitSchedule. Non-owning.
+  std::vector<uint32_t> *ScheduleOut = nullptr;
   /// Abort guard: total instructions (including blocked retries) across all
   /// threads before the run is forcibly aborted.
   uint64_t MaxSteps = 1ull << 33;
@@ -59,6 +81,9 @@ struct RunResult {
   double WallSeconds = 0;
   uint64_t Steps = 0;
   bool Aborted = false;
+  /// ExplicitSchedule failed to cover the execution under
+  /// ScheduleExhaustPolicy::HardError (implies Aborted).
+  bool ScheduleDiverged = false;
 };
 
 /// Owns the heap, program threads, and synchronization for one execution.

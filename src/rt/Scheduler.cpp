@@ -1,0 +1,297 @@
+//===- rt/Scheduler.cpp ---------------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <fstream>
+#include <sstream>
+
+using namespace dc;
+using namespace dc::rt;
+
+Scheduler::~Scheduler() = default;
+
+//===----------------------------------------------------------------------===//
+// RandomScheduler
+//===----------------------------------------------------------------------===//
+
+uint32_t RandomScheduler::pick(const SchedulerView &View) {
+  // Bit-exact with the historical in-gate logic: draw below the live count,
+  // take the nth candidate in ascending thread-id order. Spinning flags are
+  // deliberately ignored so old schedule seeds replay unchanged.
+  uint32_t Live = 0;
+  for (bool C : View.Candidates)
+    Live += C;
+  assert(Live > 0 && "pick() with no candidates");
+  uint64_t Pick = Rng.nextBelow(Live);
+  for (uint32_t T = 0; T < View.Candidates.size(); ++T) {
+    if (!View.Candidates[T])
+      continue;
+    if (Pick-- == 0)
+      return T;
+  }
+  return 0; // Unreachable.
+}
+
+//===----------------------------------------------------------------------===//
+// PctScheduler
+//===----------------------------------------------------------------------===//
+
+PctScheduler::PctScheduler(uint64_t Seed, uint32_t NumThreads,
+                           uint32_t ChangePoints, uint64_t ExpectedSteps)
+    : Rng(Seed), Priority(NumThreads), LowBand(ChangePoints) {
+  if (ExpectedSteps == 0)
+    ExpectedSteps = 2048;
+  // Distinct initial priorities in (ChangePoints, ChangePoints + N]: a
+  // random permutation via Fisher-Yates. Demotions at change points hand
+  // out ChangePoints, ChangePoints-1, ..., 1 — always below every initial
+  // priority and below earlier demotions, per the PCT paper.
+  std::vector<uint64_t> Perm(NumThreads);
+  for (uint32_t T = 0; T < NumThreads; ++T)
+    Perm[T] = ChangePoints + 1 + T;
+  for (uint32_t T = NumThreads; T > 1; --T)
+    std::swap(Perm[T - 1], Perm[Rng.nextBelow(T)]);
+  Priority = Perm;
+  ChangeSteps.reserve(ChangePoints);
+  for (uint32_t K = 0; K < ChangePoints; ++K)
+    ChangeSteps.push_back(1 + Rng.nextBelow(ExpectedSteps));
+  std::sort(ChangeSteps.begin(), ChangeSteps.end());
+}
+
+uint32_t PctScheduler::pick(const SchedulerView &View) {
+  while (NextChange < ChangeSteps.size() &&
+         View.Step >= ChangeSteps[NextChange]) {
+    if (Last != UINT32_MAX)
+      Priority[Last] = LowBand--;
+    ++NextChange;
+  }
+  // Highest-priority candidate, preferring threads that can make progress.
+  auto Best = [&](bool SkipSpinning) -> uint32_t {
+    uint32_t BestT = UINT32_MAX;
+    for (uint32_t T = 0; T < View.Candidates.size(); ++T) {
+      if (!View.Candidates[T])
+        continue;
+      if (SkipSpinning && View.Spinning[T])
+        continue;
+      if (BestT == UINT32_MAX || Priority[T] > Priority[BestT])
+        BestT = T;
+    }
+    return BestT;
+  };
+  uint32_t T = Best(/*SkipSpinning=*/true);
+  if (T == UINT32_MAX)
+    T = Best(/*SkipSpinning=*/false);
+  assert(T != UINT32_MAX && "pick() with no candidates");
+  Last = T;
+  return T;
+}
+
+//===----------------------------------------------------------------------===//
+// ExhaustiveExplorer
+//===----------------------------------------------------------------------===//
+
+bool ExhaustiveExplorer::contains(const std::vector<uint32_t> &V, uint32_t X) {
+  return std::find(V.begin(), V.end(), X) != V.end();
+}
+
+uint64_t ExhaustiveExplorer::stateHash(const SchedulerView &View) {
+  uint64_t H = 1469598103934665603ull; // FNV-1a offset basis.
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  for (uint32_t T = 0; T < View.Candidates.size(); ++T) {
+    Mix(View.Progress[T]);
+    Mix((View.Candidates[T] ? 2u : 0u) | (View.Spinning[T] ? 1u : 0u));
+  }
+  return H;
+}
+
+uint64_t ExhaustiveExplorer::transitionKey(uint64_t State, uint32_t BudgetLeft,
+                                           uint32_t Action) {
+  uint64_t Z = State + 0x9e3779b97f4a7c15ull * (BudgetLeft * 131u + Action + 1);
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+  return Z ^ (Z >> 31);
+}
+
+bool ExhaustiveExplorer::beginRun() {
+  assert(!InRun && "beginRun() without matching endRun()");
+  if (Exhausted || Runs >= Opts.MaxRuns)
+    return false;
+  Cursor = 0;
+  CumPreempts = 0;
+  PrevChosen = UINT32_MAX;
+  CurSchedule.clear();
+  InRun = true;
+  return true;
+}
+
+uint32_t ExhaustiveExplorer::pick(const SchedulerView &View) {
+  assert(InRun && "pick() outside beginRun()/endRun()");
+  // Preferred candidates: those that can make progress; fall back to the
+  // full candidate set if every runnable thread is spinning (which can only
+  // resolve via abort — the run is effectively deadlocked).
+  std::vector<uint32_t> Cands;
+  for (uint32_t T = 0; T < View.Candidates.size(); ++T)
+    if (View.Candidates[T] && !View.Spinning[T])
+      Cands.push_back(T);
+  if (Cands.empty())
+    for (uint32_t T = 0; T < View.Candidates.size(); ++T)
+      if (View.Candidates[T])
+        Cands.push_back(T);
+  assert(!Cands.empty() && "pick() with no candidates");
+
+  bool PrevPref = PrevChosen != UINT32_MAX &&
+                  PrevChosen < View.Candidates.size() &&
+                  View.Candidates[PrevChosen] && !View.Spinning[PrevChosen];
+  uint64_t State = stateHash(View);
+
+  uint32_t Chosen;
+  if (Cursor < Frames.size()) {
+    // Forced prefix: replay the DFS path's decision. Refresh the recorded
+    // context — the replay is deterministic, so it should be identical, but
+    // the re-observed values are authoritative for backtracking.
+    Frame &F = Frames[Cursor];
+    Chosen = F.Chosen;
+    if (Chosen >= View.Candidates.size() || !View.Candidates[Chosen]) {
+      Diverged = true;
+      Chosen = Cands.front();
+      F.Chosen = Chosen;
+    }
+    F.Cands = std::move(Cands);
+    F.Prev = PrevChosen;
+    F.PrevPreferred = PrevPref;
+    F.StateHash = State;
+    F.PreemptsBefore = CumPreempts;
+  } else {
+    // Default policy: stay on the previous thread when it can progress,
+    // else the lowest-id thread that can. Costs zero preemptions, so the
+    // suffix after any forced prefix never busts the bound.
+    Chosen = PrevPref && contains(Cands, PrevChosen) ? PrevChosen
+                                                     : Cands.front();
+    Frame F;
+    F.Cands = std::move(Cands);
+    F.Chosen = Chosen;
+    F.Prev = PrevChosen;
+    F.PrevPreferred = PrevPref;
+    F.StateHash = State;
+    F.PreemptsBefore = CumPreempts;
+    F.Tried.push_back(Chosen);
+    Frames.push_back(std::move(F));
+  }
+
+  if (PrevPref && Chosen != PrevChosen)
+    ++CumPreempts;
+  CurSchedule.push_back(Chosen);
+  PrevChosen = Chosen;
+  ++Cursor;
+  return Chosen;
+}
+
+void ExhaustiveExplorer::endRun() {
+  assert(InRun && "endRun() without beginRun()");
+  InRun = false;
+  ++Runs;
+  LastSchedule = CurSchedule;
+  // If the run ended before consuming the whole forced prefix (abort), the
+  // tail frames describe decisions that never happened; drop them.
+  Frames.resize(Cursor);
+
+  if (Opts.StateHashPruning) {
+    for (const Frame &F : Frames) {
+      uint32_t Cost = F.PrevPreferred && F.Chosen != F.Prev ? 1 : 0;
+      if (F.PreemptsBefore + Cost > Opts.PreemptionBound)
+        continue; // Divergence fallback can overshoot; don't poison the set.
+      Visited.insert(transitionKey(
+          F.StateHash, Opts.PreemptionBound - F.PreemptsBefore - Cost,
+          F.Chosen));
+    }
+  }
+
+  // Backtrack: deepest frame with a viable untried alternative becomes the
+  // new forced path. Over-budget and already-visited alternatives are
+  // marked tried so they are never reconsidered at this frame.
+  while (!Frames.empty()) {
+    Frame &F = Frames.back();
+    for (uint32_t A : F.Cands) {
+      if (contains(F.Tried, A))
+        continue;
+      F.Tried.push_back(A);
+      uint32_t Cost = F.PrevPreferred && A != F.Prev ? 1 : 0;
+      if (F.PreemptsBefore + Cost > Opts.PreemptionBound)
+        continue;
+      uint64_t Key = transitionKey(
+          F.StateHash, Opts.PreemptionBound - F.PreemptsBefore - Cost, A);
+      if (Opts.StateHashPruning && !Visited.insert(Key).second)
+        continue;
+      F.Chosen = A;
+      return;
+    }
+    Frames.pop_back();
+  }
+  Exhausted = true;
+}
+
+//===----------------------------------------------------------------------===//
+// Factory + schedule file I/O
+//===----------------------------------------------------------------------===//
+
+std::unique_ptr<Scheduler> rt::makeScheduler(ScheduleStrategy Strategy,
+                                             uint64_t Seed,
+                                             uint32_t NumThreads,
+                                             uint32_t PctChangePoints,
+                                             uint64_t PctExpectedSteps) {
+  switch (Strategy) {
+  case ScheduleStrategy::Random:
+    return std::make_unique<RandomScheduler>(Seed);
+  case ScheduleStrategy::Pct:
+    return std::make_unique<PctScheduler>(Seed, NumThreads, PctChangePoints,
+                                          PctExpectedSteps);
+  }
+  return std::make_unique<RandomScheduler>(Seed);
+}
+
+bool rt::writeScheduleFile(const std::string &Path,
+                           const std::vector<uint32_t> &Schedule) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << "# dcheck schedule v1: one thread id per gate admission\n";
+  Out << "# length: " << Schedule.size() << "\n";
+  size_t Col = 0;
+  for (uint32_t T : Schedule) {
+    Out << T;
+    if (++Col % 32 == 0)
+      Out << '\n';
+    else
+      Out << ' ';
+  }
+  if (Col % 32 != 0)
+    Out << '\n';
+  return static_cast<bool>(Out);
+}
+
+bool rt::readScheduleFile(const std::string &Path,
+                          std::vector<uint32_t> &Schedule) {
+  std::ifstream In(Path);
+  if (!In)
+    return false;
+  Schedule.clear();
+  std::string Line;
+  while (std::getline(In, Line)) {
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string::npos || Line[First] == '#')
+      continue;
+    std::istringstream LS(Line);
+    uint64_t T;
+    while (LS >> T)
+      Schedule.push_back(static_cast<uint32_t>(T));
+  }
+  return true;
+}

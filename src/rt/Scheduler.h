@@ -1,0 +1,235 @@
+//===- rt/Scheduler.h - Pluggable deterministic scheduling ------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Scheduling strategies for the deterministic gate in rt::Runtime. The gate
+/// serializes execution to one runnable thread per instruction boundary and
+/// asks a Scheduler which thread to admit next. Three strategies ship:
+///
+///  * RandomScheduler — the historical uniform-random walk (bit-exact with
+///    the pre-Scheduler gate, so every recorded schedule seed still replays).
+///  * PctScheduler — probabilistic concurrency testing: random distinct
+///    thread priorities plus k priority *change points* at random admission
+///    indices. Finds depth-(k+1) ordering bugs with probability ≥ 1/(n·L^k),
+///    far better than a uniform walk for small k.
+///  * ExhaustiveExplorer — bounded-exhaustive DFS over gate decisions across
+///    *many* runs: re-executes the program repeatedly, forcing a recorded
+///    prefix and then a deterministic default policy, and backtracks over
+///    untried candidates subject to a preemption bound and state-hash
+///    pruning. For tiny programs this enumerates every schedule with ≤ B
+///    preemptions.
+///
+/// The gate reports, per candidate, whether the thread is *spinning*: its
+/// last admission was a blocked retry (monitor enter, wait, join) and no
+/// other thread has executed a real instruction since. Re-admitting a
+/// spinning thread cannot change program state, so PCT and the explorer
+/// deprioritize/skip such candidates — this is what makes "keep running the
+/// same thread" policies livelock-free. RandomScheduler ignores the flag to
+/// preserve historical schedules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_RT_SCHEDULER_H
+#define DC_RT_SCHEDULER_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "support/Rng.h"
+
+namespace dc {
+namespace rt {
+
+/// Which strategy the gate uses once the explicit schedule is exhausted.
+enum class ScheduleStrategy : uint8_t {
+  Random, ///< Uniform random over runnable threads (seed-stable baseline).
+  Pct,    ///< Priority scheduling with random change points.
+};
+
+/// What the gate does when RunOptions::ExplicitSchedule runs out (or an
+/// entry names a thread that is not runnable) while threads are still live.
+enum class ScheduleExhaustPolicy : uint8_t {
+  /// Documented legacy behaviour: skip unusable entries; once the list is
+  /// exhausted the seeded strategy takes over. Right for interactive use
+  /// ("steer the first N decisions, then explore").
+  Fallback,
+  /// Abort the run and set RunResult::ScheduleDiverged. Right for replays:
+  /// a recorded schedule that no longer covers the execution, or whose
+  /// entries stop matching runnable threads, means the replay has diverged
+  /// from the recorded run and any result would describe some *other*
+  /// interleaving.
+  HardError,
+};
+
+/// The gate's view of one scheduling decision.
+struct SchedulerView {
+  /// Candidates[t] — thread t is runnable (live, not finished).
+  const std::vector<bool> &Candidates;
+  /// Spinning[t] — t's last admission was a blocked retry and nothing has
+  /// changed since; re-admitting it cannot make progress.
+  const std::vector<bool> &Spinning;
+  /// Progress[t] — admissions of t that executed a real instruction (i.e.
+  /// were not blocked retries). For this IR, whose control flow never
+  /// branches on shared data, the progress vector pins down each thread's
+  /// executed instruction prefix exactly.
+  const std::vector<uint64_t> &Progress;
+  /// Index of this decision (total admissions so far, including explicit
+  /// schedule entries).
+  uint64_t Step;
+};
+
+/// Strategy interface. pick() is called with at least one candidate set and
+/// must return a t with Candidates[t] true. Implementations are not
+/// thread-safe; the gate serializes calls.
+class Scheduler {
+public:
+  virtual ~Scheduler();
+  virtual uint32_t pick(const SchedulerView &View) = 0;
+};
+
+/// The historical uniform-random walk. Must stay bit-exact with the old
+/// in-gate logic (Rng.nextBelow(live), then the nth candidate in ascending
+/// thread id order): recorded seeds in tests and benchmarks depend on it.
+class RandomScheduler final : public Scheduler {
+public:
+  explicit RandomScheduler(uint64_t Seed) : Rng(Seed) {}
+  uint32_t pick(const SchedulerView &View) override;
+
+private:
+  SplitMix64 Rng;
+};
+
+/// PCT (Burckhardt et al., "A Randomized Scheduler with Probabilistic
+/// Guarantees of Finding Bugs"): each thread gets a distinct random
+/// priority; at k random admission indices the currently running thread's
+/// priority drops below everyone else's; the gate always admits the
+/// highest-priority runnable (non-spinning, see file comment) thread.
+class PctScheduler final : public Scheduler {
+public:
+  /// \p ChangePoints is PCT's k (bug depth d = k+1). \p ExpectedSteps is
+  /// the admission-count horizon change points are sampled over; 0 picks a
+  /// default suited to the tiny programs the fuzzer generates.
+  PctScheduler(uint64_t Seed, uint32_t NumThreads, uint32_t ChangePoints,
+               uint64_t ExpectedSteps);
+  uint32_t pick(const SchedulerView &View) override;
+
+private:
+  SplitMix64 Rng;
+  std::vector<uint64_t> Priority;    ///< Higher runs first.
+  std::vector<uint64_t> ChangeSteps; ///< Sorted admission indices.
+  size_t NextChange = 0;
+  uint64_t LowBand;            ///< Next demotion priority (counts down to 1).
+  uint32_t Last = UINT32_MAX;  ///< Thread admitted by the previous pick.
+};
+
+/// Bounded-exhaustive DFS over schedules, across repeated runs:
+///
+///   ExhaustiveExplorer Ex(Opts);
+///   while (Ex.beginRun()) {
+///     // execute a fresh Runtime with RunOptions::CustomScheduler = &Ex
+///     Ex.endRun();
+///     // Ex.lastSchedule() is the schedule the run just took
+///   }
+///
+/// Each run replays the forced prefix for the current DFS path, then follows
+/// a deterministic default ("stay on the previous thread if runnable and not
+/// spinning, else lowest non-spinning id"), recording every decision point
+/// and its candidate set. endRun() backtracks: the deepest decision with an
+/// untried alternative that (a) keeps the cumulative preemption count within
+/// PreemptionBound and (b) leads to a (state, remaining budget, action)
+/// triple not seen before becomes the new forced path. Preemptions are
+/// counted only when the previously running thread was still runnable and
+/// not spinning — forced switches at blocking points are free, matching the
+/// usual CHESS-style bound.
+///
+/// State hashing keys on the per-thread progress counts plus the runnable
+/// and spinning sets. For programs without wait/notify (everything the
+/// fuzzer generates) that is sound: blocked monitor/join retries do not
+/// mutate shared state, so the progress vector determines the global state
+/// regardless of which interleaving reached it.
+class ExhaustiveExplorer final : public Scheduler {
+public:
+  struct Options {
+    uint32_t PreemptionBound = 2;
+    /// Safety valve on total runs; the explorer also stops when the DFS
+    /// frontier is exhausted.
+    uint64_t MaxRuns = 1ull << 20;
+    bool StateHashPruning = true;
+  };
+
+  ExhaustiveExplorer() = default;
+  explicit ExhaustiveExplorer(Options O) : Opts(O) {}
+
+  /// Prepares the next run. Returns false when the search space (or the run
+  /// budget) is exhausted.
+  bool beginRun();
+  /// Commits the run just executed and computes the next DFS path.
+  void endRun();
+
+  uint32_t pick(const SchedulerView &View) override;
+
+  /// The schedule of the most recently completed run.
+  const std::vector<uint32_t> &lastSchedule() const { return LastSchedule; }
+  uint64_t runsCompleted() const { return Runs; }
+  /// True when the DFS frontier is empty (every within-bound, non-pruned
+  /// schedule has been executed).
+  bool exhausted() const { return Exhausted; }
+  /// True if a forced prefix entry was not a candidate when replayed (the
+  /// program is not behaving deterministically under the gate).
+  bool diverged() const { return Diverged; }
+
+private:
+  struct Frame {
+    std::vector<uint32_t> Cands; ///< Preferred candidate list at this point.
+    uint32_t Chosen = 0;
+    uint32_t Prev = UINT32_MAX;  ///< Thread admitted before this decision.
+    bool PrevPreferred = false;  ///< Prev was runnable and not spinning.
+    uint64_t StateHash = 0;
+    uint32_t PreemptsBefore = 0; ///< Cumulative preemptions before this pick.
+    std::vector<uint32_t> Tried; ///< Alternatives already explored (or cut).
+  };
+
+  static bool contains(const std::vector<uint32_t> &V, uint32_t X);
+  static uint64_t stateHash(const SchedulerView &View);
+  static uint64_t transitionKey(uint64_t State, uint32_t BudgetLeft,
+                                uint32_t Action);
+
+  Options Opts;
+  std::vector<Frame> Frames; ///< Forced prefix + frames this run appended.
+  size_t Cursor = 0;         ///< Next decision index within the run.
+  std::vector<uint32_t> CurSchedule;
+  std::vector<uint32_t> LastSchedule;
+  std::unordered_set<uint64_t> Visited;
+  uint32_t PrevChosen = UINT32_MAX;
+  uint32_t CumPreempts = 0;
+  uint64_t Runs = 0;
+  bool Exhausted = false;
+  bool Diverged = false;
+  bool InRun = false;
+};
+
+/// Builds the scheduler RunOptions selects (Random or Pct); the explorer is
+/// driven externally via RunOptions::CustomScheduler.
+std::unique_ptr<Scheduler> makeScheduler(ScheduleStrategy Strategy,
+                                         uint64_t Seed, uint32_t NumThreads,
+                                         uint32_t PctChangePoints,
+                                         uint64_t PctExpectedSteps);
+
+/// Writes a schedule as whitespace-separated thread ids (with a small
+/// comment header); readScheduleFile() accepts that format, ignoring
+/// '#'-comment lines. Returns false on I/O failure.
+bool writeScheduleFile(const std::string &Path,
+                       const std::vector<uint32_t> &Schedule);
+bool readScheduleFile(const std::string &Path,
+                      std::vector<uint32_t> &Schedule);
+
+} // namespace rt
+} // namespace dc
+
+#endif // DC_RT_SCHEDULER_H

@@ -107,6 +107,24 @@ TEST(ParserTest, ExpressionForms) {
   EXPECT_EQ(Inner.Body[0].Obj.Index.LoopDepth, 1);
 }
 
+TEST(ParserTest, SkipsCommentLines) {
+  // dcfuzz witness files prepend a '#' header (divergence description +
+  // schedule) to the textual IR; the parser must ignore such lines
+  // wherever they appear.
+  ParseResult R = parseProgram("# dcfuzz witness v1\n"
+                               "# schedule: 0 1 0 1\n"
+                               "program x (seed 1)\n"
+                               "  pool p x1 fields=1\n"
+                               "# comment between declarations\n"
+                               "  thread 0 -> @main\n"
+                               "method @main\n"
+                               "   # indented comment\n"
+                               "  read p[0] .0\n");
+  ASSERT_TRUE(R.Ok) << R.Error << " at line " << R.ErrorLine;
+  ASSERT_EQ(R.P.Methods.size(), 1u);
+  EXPECT_EQ(R.P.Methods[0].Body.size(), 1u);
+}
+
 TEST(ParserTest, ReportsUnknownPool) {
   ParseResult R = parseProgram("program x (seed 1)\n"
                                "  pool p x1 fields=1\n"

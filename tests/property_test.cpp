@@ -119,7 +119,10 @@ TEST_P(EquivalenceProperty, SingleRunMatchesVelodromeOnSameSchedule) {
   Program P = randomProgram(GetParam(), /*SerializableOnly=*/false);
   AtomicitySpec Spec = AtomicitySpec::initial(P);
   for (uint64_t Schedule = 0; Schedule < 2; ++Schedule) {
-    RunOutcome DC = runChecker(P, Spec, detCfg(Mode::SingleRun, Schedule));
+    std::vector<uint32_t> Recorded;
+    RunConfig SingleCfg = detCfg(Mode::SingleRun, Schedule);
+    SingleCfg.RunOpts.ScheduleOut = &Recorded;
+    RunOutcome DC = runChecker(P, Spec, SingleCfg);
     RunOutcome Velo = runChecker(P, Spec, detCfg(Mode::Velodrome, Schedule));
     ASSERT_FALSE(DC.Result.Aborted);
     ASSERT_FALSE(Velo.Result.Aborted);
@@ -129,6 +132,26 @@ TEST_P(EquivalenceProperty, SingleRunMatchesVelodromeOnSameSchedule) {
     if (DC.stat("icd.sccs") == 0) {
       EXPECT_TRUE(DC.Violations.empty());
     }
+
+    // Multi-run on the *identical* schedule (first run feeds the second
+    // run's selective instrumentation; every config executes the same
+    // instruction stream, so one recorded schedule replays in all of
+    // them) must blame exactly what single-run blames.
+    RunConfig FirstCfg = detCfg(Mode::FirstRun, Schedule);
+    FirstCfg.RunOpts.ExplicitSchedule = Recorded;
+    FirstCfg.RunOpts.OnScheduleExhausted = rt::ScheduleExhaustPolicy::HardError;
+    RunOutcome First = runChecker(P, Spec, FirstCfg);
+    ASSERT_FALSE(First.Result.ScheduleDiverged);
+    RunConfig SecondCfg = detCfg(Mode::SecondRun, Schedule);
+    SecondCfg.RunOpts.ExplicitSchedule = Recorded;
+    SecondCfg.RunOpts.OnScheduleExhausted =
+        rt::ScheduleExhaustPolicy::HardError;
+    SecondCfg.StaticInfo = &First.StaticInfo;
+    RunOutcome Second = runChecker(P, Spec, SecondCfg);
+    ASSERT_FALSE(Second.Result.ScheduleDiverged);
+    EXPECT_EQ(DC.BlamedMethods, Second.BlamedMethods)
+        << "single-run vs multi-run on one schedule, program seed "
+        << GetParam() << ", schedule " << Schedule;
   }
 }
 

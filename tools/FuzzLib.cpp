@@ -1,0 +1,585 @@
+//===- tools/FuzzLib.cpp --------------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "tools/FuzzLib.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/Checker.h"
+#include "ir/Builder.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "rt/Scheduler.h"
+#include "support/Rng.h"
+
+// The oracle is header + .inc by design (it lives with the tests); this TU
+// is its single definition site for every binary linking dc_fuzzlib.
+#include "tests/oracle.inc"
+
+using namespace dc;
+using namespace dc::fuzz;
+
+//===----------------------------------------------------------------------===//
+// Program generator
+//===----------------------------------------------------------------------===//
+
+ir::Program ProgSpec::build() const {
+  ir::ProgramBuilder B("fuzz" + std::to_string(Seed), Seed);
+  const uint32_t NumObjs = std::max(1u, Objects);
+  const uint32_t NumFields = std::max(1u, Fields);
+  ir::PoolId Shared = B.addPool("shared", NumObjs, NumFields);
+  ir::PoolId Lock = B.addPool("lock", 1, 1);
+
+  std::vector<ir::MethodId> Ids;
+  for (size_t M = 0; M < Methods.size(); ++M) {
+    auto &BB = B.beginMethod("m" + std::to_string(M), Methods[M].Atomic);
+    if (Methods[M].Locked)
+      BB.acquire(Lock, ir::idxConst(0));
+    for (const SpecAccess &A : Methods[M].Body) {
+      if (A.IsWrite)
+        BB.write(Shared, ir::idxConst(A.Obj % NumObjs),
+                 static_cast<uint32_t>(A.Field % NumFields));
+      else
+        BB.read(Shared, ir::idxConst(A.Obj % NumObjs),
+                static_cast<uint32_t>(A.Field % NumFields));
+      if (A.WorkAfter)
+        BB.work(A.WorkAfter);
+    }
+    if (Methods[M].Locked)
+      BB.release(Lock, ir::idxConst(0));
+    Ids.push_back(BB.endMethod());
+  }
+
+  std::vector<ir::MethodId> WorkerIds;
+  for (size_t W = 0; W < Workers.size(); ++W) {
+    auto &BB = B.beginMethod("w" + std::to_string(W), false);
+    if (!Ids.empty())
+      for (uint32_t C : Workers[W].Calls)
+        BB.call(Ids[C % Ids.size()]);
+    WorkerIds.push_back(BB.endMethod());
+  }
+
+  auto &Main = B.beginMethod("main", false);
+  for (uint32_t W = 1; W <= Workers.size(); ++W)
+    Main.forkThread(ir::idxConst(W));
+  for (uint32_t W = 1; W <= Workers.size(); ++W)
+    Main.joinThread(ir::idxConst(W));
+  ir::MethodId MainId = Main.endMethod();
+  B.addThread(MainId);
+  for (ir::MethodId W : WorkerIds)
+    B.addThread(W);
+  return B.build();
+}
+
+uint64_t ProgSpec::staticAccesses() const {
+  uint64_t N = 0;
+  for (const SpecThread &W : Workers)
+    for (uint32_t C : W.Calls)
+      if (!Methods.empty())
+        N += Methods[C % Methods.size()].Body.size();
+  return N;
+}
+
+ProgSpec fuzz::randomSpec(uint64_t Seed) {
+  SplitMix64 Rng(Seed * 0x9E3779B97F4A7C15ull + 0xD1B54A32D192ED03ull);
+  ProgSpec S;
+  S.Seed = Seed;
+  S.Objects = 1 + static_cast<uint32_t>(Rng.nextBelow(2));
+  S.Fields = 1 + static_cast<uint32_t>(Rng.nextBelow(2));
+  const uint32_t NumMethods = 2 + static_cast<uint32_t>(Rng.nextBelow(3));
+  for (uint32_t M = 0; M < NumMethods; ++M) {
+    SpecMethod SM;
+    SM.Atomic = Rng.nextBelow(10) < 8;
+    SM.Locked = Rng.nextBelow(10) < 3;
+    const uint32_t Accesses = 1 + static_cast<uint32_t>(Rng.nextBelow(3));
+    for (uint32_t A = 0; A < Accesses; ++A) {
+      SpecAccess SA;
+      SA.IsWrite = Rng.nextBelow(2) == 0;
+      SA.Obj = static_cast<uint8_t>(Rng.nextBelow(S.Objects));
+      SA.Field = static_cast<uint8_t>(Rng.nextBelow(S.Fields));
+      SA.WorkAfter = static_cast<uint8_t>(Rng.nextBelow(3));
+      SM.Body.push_back(SA);
+    }
+    S.Methods.push_back(std::move(SM));
+  }
+  const uint32_t NumWorkers = 2 + static_cast<uint32_t>(Rng.nextBelow(2));
+  for (uint32_t W = 0; W < NumWorkers; ++W) {
+    SpecThread ST;
+    const uint32_t Calls = 1 + static_cast<uint32_t>(Rng.nextBelow(3));
+    for (uint32_t C = 0; C < Calls; ++C)
+      ST.Calls.push_back(static_cast<uint32_t>(Rng.nextBelow(NumMethods)));
+    S.Workers.push_back(std::move(ST));
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Config-matrix sweep
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct ConfigOutcome {
+  std::string Name;
+  std::set<std::string> Blamed;
+  bool Records = false;
+};
+
+rt::RunOptions replayOpts(const std::vector<uint32_t> &Schedule) {
+  rt::RunOptions RO;
+  RO.Deterministic = true;
+  RO.ExplicitSchedule = Schedule;
+  // The recorded schedule must cover the whole replayed execution; since
+  // every config compiles to the same instruction stream, anything else is
+  // itself a divergence worth reporting.
+  RO.OnScheduleExhausted = rt::ScheduleExhaustPolicy::HardError;
+  RO.MaxSteps = 1ull << 22;
+  return RO;
+}
+
+std::string describeSet(const std::set<std::string> &S) {
+  if (S.empty())
+    return "{}";
+  std::string Out = "{";
+  for (const std::string &M : S)
+    Out += M + ",";
+  Out.back() = '}';
+  return Out;
+}
+
+std::string describeOutcome(const ConfigOutcome &C) {
+  return C.Name + ": blamed=" + describeSet(C.Blamed) +
+         (C.Records ? " records=yes" : " records=no");
+}
+
+bool isSubset(const std::set<std::string> &A, const std::set<std::string> &B) {
+  for (const std::string &X : A)
+    if (!B.count(X))
+      return false;
+  return true;
+}
+
+} // namespace
+
+PairResult fuzz::checkPair(const ir::Program &Source,
+                           const oracle::RecordedTrace &Trace,
+                           bool InjectIcdBug) {
+  PairResult R;
+  oracle::OracleVerdict V = oracle::decideSerializability(Source, Trace);
+  R.OracleViolation = !V.Serializable;
+  core::AtomicitySpec Spec = core::AtomicitySpec::initial(Source);
+
+  std::vector<ConfigOutcome> Outcomes;
+  auto Fail = [&](const std::string &Msg) {
+    std::string D = Msg + "\n  oracle: " +
+                    (V.Serializable ? "serializable" : "NOT serializable") +
+                    " cycle-methods=" + describeSet(V.CycleMethods);
+    for (const ConfigOutcome &C : Outcomes)
+      D += "\n  " + describeOutcome(C);
+    R.Divergence = D;
+  };
+
+  // Checks one config's outcome against the oracle and the first config;
+  // returns false (with R.Divergence set) on the first mismatch so callers
+  // can stop sweeping early.
+  auto Admit = [&](const std::string &Name,
+                   const core::RunOutcome &O) -> bool {
+    if (O.Result.ScheduleDiverged) {
+      Fail(Name + ": recorded schedule did not replay (gate divergence)");
+      return false;
+    }
+    if (O.Result.Aborted) {
+      Fail(Name + ": replay aborted");
+      return false;
+    }
+    ConfigOutcome C{Name, O.BlamedMethods, !O.Violations.empty()};
+    Outcomes.push_back(C);
+    if (C.Records != !V.Serializable) {
+      Fail(Name + (C.Records ? ": reports a violation on a serializable trace"
+                             : ": misses a violation the oracle proves"));
+      return false;
+    }
+    if (!isSubset(C.Blamed, V.CycleMethods)) {
+      Fail(Name + ": blames methods outside the oracle's dependence cycles");
+      return false;
+    }
+    if (Outcomes.size() > 1 && (C.Blamed != Outcomes[0].Blamed ||
+                                C.Records != Outcomes[0].Records)) {
+      Fail(Name + ": disagrees with " + Outcomes[0].Name);
+      return false;
+    }
+    return true;
+  };
+
+  auto BaseCfg = [&](core::Mode M, bool SerIdg, bool Legacy) {
+    core::RunConfig Cfg;
+    Cfg.M = M;
+    Cfg.RunOpts = replayOpts(Trace.Schedule);
+    Cfg.SerializedIdg = SerIdg;
+    Cfg.LegacyLog = Legacy;
+    Cfg.TestOnlyUnsoundIcdFilter = InjectIcdBug;
+    return Cfg;
+  };
+  auto KnobName = [](bool SerIdg, bool Legacy) {
+    return std::string(SerIdg ? "serialized-idg" : "sharded-idg") + "/" +
+           (Legacy ? "legacy-log" : "arena-log");
+  };
+
+  // Single-run DoubleChecker across the 2×2 knob grid.
+  for (bool SerIdg : {false, true})
+    for (bool Legacy : {false, true}) {
+      core::RunOutcome O = core::runChecker(
+          Source, Spec, BaseCfg(core::Mode::SingleRun, SerIdg, Legacy));
+      if (!Admit("single/" + KnobName(SerIdg, Legacy), O))
+        return R;
+    }
+
+  // Velodrome baseline (its own instrumentation; no DC knobs, no injected
+  // bug — it is one of the two references the bug must diverge from).
+  {
+    core::RunConfig Cfg;
+    Cfg.M = core::Mode::Velodrome;
+    Cfg.RunOpts = replayOpts(Trace.Schedule);
+    core::RunOutcome O = core::runChecker(Source, Spec, Cfg);
+    if (!Admit("velodrome", O))
+      return R;
+  }
+
+  // Multi-run DoubleChecker: first run (ICD only, same schedule) feeding
+  // the second run's selective instrumentation, replayed on the same
+  // schedule again.
+  for (bool SerIdg : {false, true})
+    for (bool Legacy : {false, true}) {
+      core::RunOutcome First = core::runChecker(
+          Source, Spec, BaseCfg(core::Mode::FirstRun, SerIdg, Legacy));
+      if (First.Result.ScheduleDiverged || First.Result.Aborted) {
+        Fail("multi(first)/" + KnobName(SerIdg, Legacy) +
+             ": recorded schedule did not replay");
+        return R;
+      }
+      core::RunConfig Cfg = BaseCfg(core::Mode::SecondRun, SerIdg, Legacy);
+      Cfg.StaticInfo = &First.StaticInfo;
+      core::RunOutcome Second = core::runChecker(Source, Spec, Cfg);
+      if (!Admit("multi/" + KnobName(SerIdg, Legacy), Second))
+        return R;
+    }
+
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Divergence search + witness minimization
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct SearchBudget {
+  uint32_t ExhaustiveRuns = 150;
+  uint32_t PctSeeds = 16;
+  uint32_t RandomSeeds = 16;
+  uint32_t PreemptionBound = 2;
+  uint32_t PctChangePoints = 3;
+};
+
+/// Looks for *any* divergent schedule of \p Spec: bounded-exhaustive DFS
+/// first (systematic, finds shallow interleaving bugs fast on tiny
+/// programs), then PCT, then uniform random.
+std::optional<Divergence> searchDivergence(const ProgSpec &Spec, bool Inject,
+                                           const SearchBudget &B) {
+  ir::Program P = Spec.build();
+  core::AtomicitySpec AS = core::AtomicitySpec::initial(P);
+
+  auto TryTrace = [&](const oracle::RecordedTrace &T)
+      -> std::optional<Divergence> {
+    if (T.Result.Aborted)
+      return std::nullopt;
+    PairResult PR = checkPair(P, T, Inject);
+    if (!PR.Divergence)
+      return std::nullopt;
+    Divergence D;
+    D.Description = *PR.Divergence;
+    D.Spec = Spec;
+    D.Schedule = T.Schedule;
+    D.DataAccesses = T.dataAccesses();
+    return D;
+  };
+
+  rt::ExhaustiveExplorer::Options ExOpts;
+  ExOpts.PreemptionBound = B.PreemptionBound;
+  ExOpts.MaxRuns = B.ExhaustiveRuns;
+  rt::ExhaustiveExplorer Ex(ExOpts);
+  while (Ex.beginRun()) {
+    rt::RunOptions RO;
+    RO.Deterministic = true;
+    RO.CustomScheduler = &Ex;
+    RO.MaxSteps = 1ull << 20;
+    oracle::RecordedTrace T = oracle::recordTrace(P, AS, RO);
+    Ex.endRun();
+    if (auto D = TryTrace(T))
+      return D;
+  }
+  for (uint32_t S = 0; S < B.PctSeeds; ++S) {
+    rt::RunOptions RO;
+    RO.Deterministic = true;
+    RO.Strategy = rt::ScheduleStrategy::Pct;
+    RO.PctChangePoints = B.PctChangePoints;
+    // Tiny programs run for ~40-200 admissions; sample change points over a
+    // matching horizon or PCT degenerates to plain priority order.
+    RO.PctExpectedSteps = 128;
+    RO.ScheduleSeed = Spec.Seed * 977u + S;
+    RO.MaxSteps = 1ull << 20;
+    if (auto D = TryTrace(oracle::recordTrace(P, AS, RO)))
+      return D;
+  }
+  for (uint32_t S = 0; S < B.RandomSeeds; ++S) {
+    rt::RunOptions RO;
+    RO.Deterministic = true;
+    RO.ScheduleSeed = Spec.Seed * 1987u + S;
+    RO.MaxSteps = 1ull << 20;
+    if (auto D = TryTrace(oracle::recordTrace(P, AS, RO)))
+      return D;
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+Divergence fuzz::minimizeWitness(const Divergence &Seed, bool InjectIcdBug) {
+  Divergence Best = Seed;
+  ProgSpec Cur = Seed.Spec;
+  SearchBudget B;
+
+  auto Try = [&](ProgSpec Cand) {
+    if (Cand.Workers.size() < 2)
+      return false; // A divergence needs two conflicting threads.
+    std::optional<Divergence> D = searchDivergence(Cand, InjectIcdBug, B);
+    if (!D)
+      return false;
+    Cur = std::move(Cand);
+    Best = std::move(*D);
+    return true;
+  };
+
+  // Greedy single-element reductions to fixpoint: each successful step
+  // restarts the scan, classic delta debugging over the generator spec
+  // (reducing the spec, not the IR, keeps fork/join numbering and method
+  // references valid by construction).
+  bool Improved = true;
+  while (Improved) {
+    Improved = false;
+    for (size_t W = 0; W < Cur.Workers.size() && !Improved; ++W) {
+      ProgSpec C = Cur;
+      C.Workers.erase(C.Workers.begin() + W);
+      Improved = Try(std::move(C));
+    }
+    for (size_t W = 0; W < Cur.Workers.size() && !Improved; ++W)
+      for (size_t I = 0; I < Cur.Workers[W].Calls.size() && !Improved; ++I) {
+        ProgSpec C = Cur;
+        C.Workers[W].Calls.erase(C.Workers[W].Calls.begin() + I);
+        Improved = Try(std::move(C));
+      }
+    for (size_t M = 0; M < Cur.Methods.size() && !Improved; ++M)
+      for (size_t A = 0; A < Cur.Methods[M].Body.size() && !Improved; ++A) {
+        ProgSpec C = Cur;
+        C.Methods[M].Body.erase(C.Methods[M].Body.begin() + A);
+        Improved = Try(std::move(C));
+      }
+    for (size_t M = 0; M < Cur.Methods.size() && !Improved; ++M) {
+      if (!Cur.Methods[M].Locked)
+        continue;
+      ProgSpec C = Cur;
+      C.Methods[M].Locked = false;
+      Improved = Try(std::move(C));
+    }
+  }
+  return Best;
+}
+
+//===----------------------------------------------------------------------===//
+// Witness files
+//===----------------------------------------------------------------------===//
+
+bool fuzz::writeWitness(const std::string &Path, const Divergence &D,
+                        bool InjectIcdBug) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << "# dcfuzz witness v1\n";
+  std::istringstream Desc(D.Description);
+  std::string Line;
+  while (std::getline(Desc, Line))
+    Out << "# " << Line << "\n";
+  Out << "# spec-seed: " << D.Spec.Seed << "\n";
+  Out << "# data-accesses: " << D.DataAccesses << "\n";
+  Out << "# inject-icd-bug: " << (InjectIcdBug ? 1 : 0) << "\n";
+  Out << "# schedule:";
+  for (uint32_t T : D.Schedule)
+    Out << ' ' << T;
+  Out << "\n";
+  Out << ir::toString(D.Spec.build());
+  return static_cast<bool>(Out);
+}
+
+bool fuzz::readWitness(const std::string &Path, Witness &W,
+                       std::string &Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    Error = "cannot open " + Path;
+    return false;
+  }
+  std::ostringstream All;
+  All << In.rdbuf();
+  std::string Text = All.str();
+
+  W.Schedule.clear();
+  W.InjectIcdBug = false;
+  std::istringstream IS(Text);
+  std::string Line;
+  while (std::getline(IS, Line)) {
+    size_t First = Line.find_first_not_of(" \t\r");
+    if (First == std::string::npos || Line[First] != '#')
+      continue;
+    std::istringstream LS(Line.substr(First + 1));
+    std::string Tag;
+    LS >> Tag;
+    if (Tag == "schedule:") {
+      uint64_t T;
+      while (LS >> T)
+        W.Schedule.push_back(static_cast<uint32_t>(T));
+    } else if (Tag == "inject-icd-bug:") {
+      int V = 0;
+      LS >> V;
+      W.InjectIcdBug = V != 0;
+    }
+  }
+
+  ir::ParseResult PR = ir::parseProgram(Text);
+  if (!PR.Ok) {
+    Error = "parse error at line " + std::to_string(PR.ErrorLine) + ": " +
+            PR.Error;
+    return false;
+  }
+  if (W.Schedule.empty()) {
+    Error = "witness has no '# schedule:' line";
+    return false;
+  }
+  W.P = std::move(PR.P);
+  return true;
+}
+
+std::optional<std::string> fuzz::replayWitness(const Witness &W) {
+  core::AtomicitySpec AS = core::AtomicitySpec::initial(W.P);
+  rt::RunOptions RO = replayOpts(W.Schedule);
+  oracle::RecordedTrace T = oracle::recordTrace(W.P, AS, RO);
+  if (T.Result.ScheduleDiverged)
+    return std::string(
+        "witness schedule does not cover this program's execution");
+  if (T.Result.Aborted)
+    return std::string("witness replay aborted");
+  return checkPair(W.P, T, W.InjectIcdBug).Divergence;
+}
+
+//===----------------------------------------------------------------------===//
+// Campaign driver
+//===----------------------------------------------------------------------===//
+
+FuzzReport fuzz::runFuzz(const FuzzOptions &O) {
+  using Clock = std::chrono::steady_clock;
+  const auto Start = Clock::now();
+  FuzzReport Report;
+
+  auto Elapsed = [&] {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  };
+  auto OutOfBudget = [&] {
+    if (Report.Pairs >= O.MaxPairs)
+      return true;
+    return O.BudgetSeconds > 0 && Elapsed() >= O.BudgetSeconds;
+  };
+  auto Progress = [&] {
+    if (O.ProgressEvery && Report.Pairs && Report.Pairs % O.ProgressEvery == 0)
+      std::fprintf(stderr,
+                   "dcfuzz: %llu pairs (%llu programs, %llu oracle "
+                   "violations) in %.1fs\n",
+                   static_cast<unsigned long long>(Report.Pairs),
+                   static_cast<unsigned long long>(Report.Programs),
+                   static_cast<unsigned long long>(Report.OracleViolations),
+                   Elapsed());
+  };
+
+  for (uint64_t PI = 0; !OutOfBudget() && !Report.Div; ++PI) {
+    ProgSpec Spec = randomSpec(O.Seed + PI);
+    ir::Program P = Spec.build();
+    core::AtomicitySpec AS = core::AtomicitySpec::initial(P);
+    ++Report.Programs;
+
+    auto TryTrace = [&](const oracle::RecordedTrace &T, uint64_t &Counter) {
+      if (T.Result.Aborted)
+        return;
+      PairResult PR = checkPair(P, T, O.InjectIcdBug);
+      ++Report.Pairs;
+      ++Counter;
+      Report.OracleViolations += PR.OracleViolation;
+      if (PR.Divergence) {
+        Divergence D;
+        D.Description = *PR.Divergence;
+        D.Spec = Spec;
+        D.Schedule = T.Schedule;
+        D.DataAccesses = T.dataAccesses();
+        Report.Div = std::move(D);
+      }
+      Progress();
+    };
+
+    const bool WantSeeded = O.Strat != FuzzOptions::Strategy::Exhaustive;
+    const bool WantExhaustive = O.Strat == FuzzOptions::Strategy::Exhaustive ||
+                                O.Strat == FuzzOptions::Strategy::Mixed;
+
+    if (WantSeeded)
+      for (uint32_t S = 0;
+           S < O.SchedulesPerProgram && !OutOfBudget() && !Report.Div; ++S) {
+        bool UsePct = O.Strat == FuzzOptions::Strategy::Pct ||
+                      (O.Strat == FuzzOptions::Strategy::Mixed && S % 2 == 0);
+        rt::RunOptions RO;
+        RO.Deterministic = true;
+        RO.ScheduleSeed = (O.Seed + PI) * 0x9E3779B9u + S * 2654435761u + 1;
+        RO.MaxSteps = 1ull << 20;
+        if (UsePct) {
+          RO.Strategy = rt::ScheduleStrategy::Pct;
+          RO.PctChangePoints = O.PctChangePoints;
+          RO.PctExpectedSteps = 128; // Matches the tiny generated programs.
+        }
+        TryTrace(oracle::recordTrace(P, AS, RO),
+                 UsePct ? Report.PctPairs : Report.RandomPairs);
+      }
+
+    if (WantExhaustive && !OutOfBudget() && !Report.Div) {
+      rt::ExhaustiveExplorer::Options ExOpts;
+      ExOpts.PreemptionBound = O.PreemptionBound;
+      ExOpts.MaxRuns = O.ExhaustiveRunsPerProgram;
+      rt::ExhaustiveExplorer Ex(ExOpts);
+      while (Ex.beginRun()) {
+        rt::RunOptions RO;
+        RO.Deterministic = true;
+        RO.CustomScheduler = &Ex;
+        RO.MaxSteps = 1ull << 20;
+        oracle::RecordedTrace T = oracle::recordTrace(P, AS, RO);
+        Ex.endRun();
+        TryTrace(T, Report.ExhaustivePairs);
+        if (OutOfBudget() || Report.Div)
+          break;
+      }
+    }
+  }
+
+  if (Report.Div && O.Minimize)
+    Report.Div = minimizeWitness(*Report.Div, O.InjectIcdBug);
+  Report.Seconds = Elapsed();
+  return Report;
+}

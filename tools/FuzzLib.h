@@ -1,0 +1,161 @@
+//===- tools/FuzzLib.h - Config-matrix differential fuzzer ------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The schedule fuzzer behind tools/dcfuzz.cpp and tests/schedule_fuzz_test:
+/// generate a tiny program, drive it through an adversarial schedule (PCT,
+/// bounded-exhaustive, or uniform random), record the trace, and run the
+/// same (program, schedule) pair through the full checker config matrix —
+///
+///   {ShardedIdg, SerializedIdg} × {ArenaLog, LegacyLog} ×
+///   {single-run, multi-run}   +   Velodrome
+///
+/// — asserting that all nine agree with each other and with the ground-
+/// truth serializability oracle (tests/oracle.h). On divergence, the
+/// (program, schedule) witness is delta-debugged down: drop workers, calls,
+/// accesses, and locks while a bounded re-search keeps finding a divergent
+/// schedule for the reduced program. The minimal witness is written as a
+/// single file — '#'-comment header with the divergence and schedule,
+/// followed by the textual IR — that dcfuzz --replay re-executes
+/// deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_TOOLS_FUZZLIB_H
+#define DC_TOOLS_FUZZLIB_H
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/Ir.h"
+#include "tests/oracle.h"
+
+namespace dc {
+namespace fuzz {
+
+/// Generator-level program description. The fuzzer mutates and minimizes
+/// this (not ir::Program directly): reductions stay structurally valid by
+/// construction — fork/join bookkeeping, method references, and lock
+/// pairing are re-emitted by build().
+struct SpecAccess {
+  bool IsWrite = false;
+  uint8_t Obj = 0;   ///< Shared-pool object index.
+  uint8_t Field = 0; ///< Field index.
+  uint8_t WorkAfter = 0;
+};
+
+struct SpecMethod {
+  bool Atomic = true;
+  bool Locked = false; ///< Wrap the body in the global lock.
+  std::vector<SpecAccess> Body;
+};
+
+struct SpecThread {
+  std::vector<uint32_t> Calls; ///< Method indices, invoked in order.
+};
+
+struct ProgSpec {
+  uint64_t Seed = 1;
+  uint32_t Objects = 2;
+  uint32_t Fields = 1;
+  std::vector<SpecMethod> Methods;
+  std::vector<SpecThread> Workers;
+
+  ir::Program build() const;
+  /// Static count of shared data accesses the program performs (each body
+  /// access runs once per call).
+  uint64_t staticAccesses() const;
+};
+
+/// Tiny random program: 2-3 workers, 1-3 calls each, methods of 1-3
+/// accesses over ≤ 4 shared objects, some under a global lock — always
+/// ≤ ~40 shared data accesses so the oracle's trace stays small.
+ProgSpec randomSpec(uint64_t Seed);
+
+/// What one (program, schedule) comparison produced.
+struct PairResult {
+  /// Oracle called the recorded trace non-serializable.
+  bool OracleViolation = false;
+  /// Set when some config disagreed with another or with the oracle.
+  std::optional<std::string> Divergence;
+};
+
+/// Runs the recorded pair through the config matrix (stopping at the first
+/// mismatch) and compares against the oracle. \p InjectIcdBug forwards the
+/// test-only unsound-filter fault to every DoubleChecker config.
+PairResult checkPair(const ir::Program &Source,
+                     const oracle::RecordedTrace &Trace, bool InjectIcdBug);
+
+/// A divergence, packaged for minimization and replay.
+struct Divergence {
+  std::string Description;
+  ProgSpec Spec;
+  std::vector<uint32_t> Schedule;
+  uint64_t DataAccesses = 0;
+};
+
+/// Delta-debugs \p Seed: applies program reductions, re-searching divergent
+/// schedules (bounded exhaustive, then PCT, then random) after each, until
+/// no reduction reproduces. Returns the smallest divergence found.
+Divergence minimizeWitness(const Divergence &Seed, bool InjectIcdBug);
+
+/// Witness file: '#' header (description, seed, schedule, inject flag) +
+/// textual IR. Parses back via ir::parseProgram, which skips '#' lines.
+bool writeWitness(const std::string &Path, const Divergence &D,
+                  bool InjectIcdBug);
+
+struct Witness {
+  ir::Program P;
+  std::vector<uint32_t> Schedule;
+  bool InjectIcdBug = false;
+};
+/// Returns false (with \p Error set) on I/O or parse failure.
+bool readWitness(const std::string &Path, Witness &W, std::string &Error);
+
+/// Re-executes a witness deterministically through the matrix. Returns the
+/// divergence description, or nullopt if every config agrees (witness no
+/// longer reproduces).
+std::optional<std::string> replayWitness(const Witness &W);
+
+/// Campaign driver.
+struct FuzzOptions {
+  uint64_t Seed = 1;
+  uint64_t MaxPairs = 1000;
+  double BudgetSeconds = 0; ///< 0 = no wall-clock budget.
+  enum class Strategy { Random, Pct, Exhaustive, Mixed };
+  Strategy Strat = Strategy::Mixed;
+  uint32_t PctChangePoints = 3;
+  uint32_t PreemptionBound = 2;
+  uint32_t SchedulesPerProgram = 6;
+  uint32_t ExhaustiveRunsPerProgram = 24;
+  bool InjectIcdBug = false;
+  bool Minimize = true;
+  /// Progress lines on stderr every this many pairs (0 = quiet).
+  uint64_t ProgressEvery = 0;
+};
+
+struct FuzzReport {
+  uint64_t Programs = 0;
+  uint64_t Pairs = 0;
+  uint64_t RandomPairs = 0;
+  uint64_t PctPairs = 0;
+  uint64_t ExhaustivePairs = 0;
+  /// Pairs whose trace the oracle called non-serializable (schedule-quality
+  /// signal: an adversarial strategy should score higher than random).
+  uint64_t OracleViolations = 0;
+  double Seconds = 0;
+  /// First divergence hit (minimized when FuzzOptions::Minimize).
+  std::optional<Divergence> Div;
+};
+
+FuzzReport runFuzz(const FuzzOptions &O);
+
+} // namespace fuzz
+} // namespace dc
+
+#endif // DC_TOOLS_FUZZLIB_H

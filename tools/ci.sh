@@ -25,12 +25,46 @@ echo "== Logging hot-path bench (smoke) =="
 # recorded on a quiet machine at full scale.
 DC_BENCH_SCALE=0.02 DC_BENCH_TRIALS=1 \
   build-ci/bench/logging_throughput build-ci/bench_logging_smoke.json
+DC_BENCH_SCALE=0.02 DC_BENCH_TRIALS=1 \
+  build-ci/bench/schedule_coverage build-ci/bench_schedule_smoke.json
+
+echo "== Differential schedule fuzz (bounded) =="
+# Fixed seed set, wall-clock bounded: PCT + bounded-exhaustive schedules on
+# tiny generated programs, every pair swept through the full config matrix
+# against the ground-truth oracle. DC_FUZZ_BUDGET_SECONDS=600 (or more) is
+# the nightly setting; the default keeps the gate fast.
+FUZZ_BUDGET="${DC_FUZZ_BUDGET_SECONDS:-30}"
+build-ci/tools/dcfuzz --seed 1 --budget-seconds "$FUZZ_BUDGET" \
+  --pairs 1000000 --strategy mixed --progress 5000
+# The gate must also prove the harness *can* catch an unsound checker:
+# the injected ICD-filter bug has to be found, minimized, and replayed
+# (both commands are expected to exit 1 = divergence).
+set +e
+build-ci/tools/dcfuzz --seed 1 --inject-icd-bug --pairs 20000 \
+  --witness-out build-ci/injected_witness.dcw >/dev/null
+RC=$?
+set -e
+if [ "$RC" -ne 1 ]; then
+  echo "error: injected ICD bug was NOT detected (exit $RC)"; exit 1
+fi
+set +e
+build-ci/tools/dcfuzz --replay build-ci/injected_witness.dcw >/dev/null
+RC=$?
+set -e
+if [ "$RC" -ne 1 ]; then
+  echo "error: injected-bug witness did not replay (exit $RC)"; exit 1
+fi
 
 echo "== ThreadSanitizer build + concurrency stress tests =="
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDC_SANITIZE=thread >/dev/null
 cmake --build build-ci-tsan -j "$JOBS" --target idg_stress_test \
-  octet_stress_test log_elision_test log_srcpos_test
+  octet_stress_test log_elision_test log_srcpos_test dcfuzz
+
+echo "== Differential schedule fuzz under TSan (smoke) =="
+# Much slower per pair under TSan; a short fixed-seed slice is enough to
+# catch data races in the scheduler/gate/oracle plumbing itself.
+build-ci-tsan/tools/dcfuzz --seed 7 --pairs 40 --strategy mixed
 # TSan slows execution ~5-15x; restrict to the tests whose whole point is
 # cross-thread synchronization rather than re-running the full suite. The
 # logging tests are in that set: LogSrcPos races a lock-free LogLen

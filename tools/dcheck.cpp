@@ -41,6 +41,10 @@ struct CliOptions {
   std::string ModeName = "single-run";
   std::string StaticInfoFile;
   std::string EmitStaticFile;
+  std::string ScheduleOutFile;
+  std::string ScheduleInFile;
+  std::string SchedName = "random";
+  unsigned PctDepth = 3;
   double Scale = 1.0;
   uint64_t Seed = 1;
   unsigned Trials = 1;
@@ -72,6 +76,14 @@ void printUsage() {
       "                        | multi-run | pcd-only\n"
       "  --det                 deterministic scheduler (replayable)\n"
       "  --seed <n>            schedule seed (default 1)\n"
+      "  --sched <s>           random (default) | pct; needs --det\n"
+      "  --pct-depth <n>       PCT priority change points (default 3)\n"
+      "  --schedule-out <path> dump the executed schedule (first trial;\n"
+      "                        needs --det) for later --schedule-in replay\n"
+      "  --schedule-in <path>  replay a recorded schedule (needs --det);\n"
+      "                        when the file runs short, remaining picks\n"
+      "                        fall back to the seeded strategy (the\n"
+      "                        documented exhaustion behaviour)\n"
       "  --trials <n>          repeat with seed, seed+1, ... (default 1)\n"
       "  --refine              iterative specification refinement (Fig. 6)\n"
       "  --parallel-pcd        replay PCD SCCs on a background worker pool\n"
@@ -119,6 +131,14 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.EmitStaticFile = V;
     else if (Arg == "--det")
       Opts.Deterministic = true;
+    else if (Arg == "--sched" && Value(V))
+      Opts.SchedName = V;
+    else if (Arg == "--pct-depth" && Value(V))
+      Opts.PctDepth = static_cast<unsigned>(std::atoi(V.c_str()));
+    else if (Arg == "--schedule-out" && Value(V))
+      Opts.ScheduleOutFile = V;
+    else if (Arg == "--schedule-in" && Value(V))
+      Opts.ScheduleInFile = V;
     else if (Arg == "--parallel-pcd")
       Opts.ParallelPcd = true;
     else if (Arg == "--pcd-workers" && Value(V))
@@ -284,6 +304,28 @@ int main(int Argc, char **Argv) {
   RunConfig Cfg;
   Cfg.M = M;
   Cfg.RunOpts.Deterministic = Opts.Deterministic;
+  if (Opts.SchedName == "pct") {
+    Cfg.RunOpts.Strategy = rt::ScheduleStrategy::Pct;
+    Cfg.RunOpts.PctChangePoints = Opts.PctDepth;
+  } else if (Opts.SchedName != "random") {
+    std::fprintf(stderr, "error: unknown scheduler '%s'\n",
+                 Opts.SchedName.c_str());
+    return 2;
+  }
+  if ((!Opts.ScheduleOutFile.empty() || !Opts.ScheduleInFile.empty() ||
+       Opts.SchedName != "random") &&
+      !Opts.Deterministic) {
+    std::fprintf(stderr, "error: --sched/--schedule-out/--schedule-in need "
+                         "--det\n");
+    return 2;
+  }
+  if (!Opts.ScheduleInFile.empty() &&
+      !rt::readScheduleFile(Opts.ScheduleInFile,
+                            Cfg.RunOpts.ExplicitSchedule)) {
+    std::fprintf(stderr, "error: cannot read schedule file '%s'\n",
+                 Opts.ScheduleInFile.c_str());
+    return 2;
+  }
   Cfg.ParallelPcd = Opts.ParallelPcd;
   Cfg.PcdWorkers = Opts.PcdWorkers;
   Cfg.SerializedIdg = Opts.SerializedIdg;
@@ -311,9 +353,22 @@ int main(int Argc, char **Argv) {
   }
 
   bool AnyBlame = false;
+  std::vector<uint32_t> ExecutedSchedule;
   for (unsigned T = 0; T < std::max(1u, Opts.Trials); ++T) {
     Cfg.RunOpts.ScheduleSeed = Opts.Seed + T;
+    // Only the first trial's schedule is recorded; one file, one replay.
+    Cfg.RunOpts.ScheduleOut =
+        (T == 0 && !Opts.ScheduleOutFile.empty()) ? &ExecutedSchedule
+                                                  : nullptr;
     RunOutcome O = runChecker(P, Spec, Cfg);
+    if (Cfg.RunOpts.ScheduleOut) {
+      if (rt::writeScheduleFile(Opts.ScheduleOutFile, ExecutedSchedule))
+        std::printf("schedule (%zu picks) written to %s\n",
+                    ExecutedSchedule.size(), Opts.ScheduleOutFile.c_str());
+      else
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     Opts.ScheduleOutFile.c_str());
+    }
     if (Opts.Trials > 1)
       std::printf("--- trial %u (seed %llu) ---\n", T,
                   (unsigned long long)Cfg.RunOpts.ScheduleSeed);
