@@ -12,6 +12,8 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 using namespace dc;
@@ -61,107 +63,314 @@ uint64_t cellTs(uint64_t Cell) { return Cell & ((1ULL << 47) - 1); }
 /// (immutable logs) and pinned by the detecting thread before enqueue; the
 /// worker that replays an SCC releases its members' pins. processScc keeps
 /// no state across calls, so workers replay distinct SCCs concurrently.
+///
+/// Overload/fault behaviour (DESIGN.md §10): enqueue and drain are *timed*
+/// — a detecting thread blocked past the stall timeout degrades its SCCs
+/// to potential violations instead of waiting forever; workers heartbeat a
+/// watchdog slot and survive exceptions by degrading the SCC they held.
+/// Teardown is bounded: workers that do not exit within the timeout are
+/// detached (they share ownership of State, so a straggler never touches
+/// freed pool memory), and on Stop leftover queue items are degraded, not
+/// replayed.
 class DoubleCheckerRuntime::PcdPool {
 public:
-  PcdPool(PreciseCycleDetector &Pcd, StatisticRegistry &Stats,
-          uint32_t NumWorkers, uint32_t MaxDepth)
-      : Pcd(Pcd), MaxDepth(std::max(1u, MaxDepth)),
+  PcdPool(DoubleCheckerRuntime &DC, PreciseCycleDetector &Pcd,
+          StatisticRegistry &Stats, uint32_t NumWorkers, uint32_t MaxDepth)
+      : DC(DC), Pcd(Pcd), MaxDepth(std::max(1u, MaxDepth)),
+        StallTimeoutMs(std::max(1u, DC.Opts.PcdStallTimeoutMs)),
         SccsQueued(Stats.get("pcd.sccs_queued")),
         QueueWaitNs(Stats.get("pcd.queue_wait_ns")),
-        MaxQueueDepth(Stats.get("pcd.max_queue_depth")) {
-    Workers.reserve(std::max(1u, NumWorkers));
-    for (uint32_t I = 0; I < std::max(1u, NumWorkers); ++I)
-      Workers.emplace_back([this] { run(); });
+        MaxQueueDepth(Stats.get("pcd.max_queue_depth")),
+        WorkerExceptions(Stats.get("pcd.worker_exceptions")),
+        WorkersDetached(Stats.get("pcd.workers_detached")),
+        EnqueueTimeouts(Stats.get("pcd.enqueue_timeouts")),
+        S(std::make_shared<State>()) {
+    const uint32_t N = std::max(1u, NumWorkers);
+    S->HoldUntil = DC.Opts.Faults.QueueHoldUntil;
+    S->ExitedFlags = std::make_unique<std::atomic<bool>[]>(N);
+    Workers.reserve(N);
+    Slots.reserve(N);
+    for (uint32_t I = 0; I < N; ++I)
+      Slots.push_back(DC.Dog ? DC.Dog->addComponent("pcd-worker-" +
+                                                    std::to_string(I))
+                             : 0u);
+    // Threads start only after every watchdog slot exists (addComponent
+    // must not race Watchdog::start, which the caller invokes after us).
+    for (uint32_t I = 0; I < N; ++I)
+      Workers.emplace_back([this, I] { run(I); });
   }
 
   ~PcdPool() {
     {
-      std::lock_guard<std::mutex> L(M);
-      Stop = true;
+      std::lock_guard<std::mutex> L(S->M);
+      S->Stop.store(true, std::memory_order_release);
     }
-    HasWork.notify_all();
-    NotFull.notify_all();
-    for (std::thread &W : Workers)
-      W.join(); // Workers drain the remaining queue before exiting.
+    S->HasWork.notify_all();
+    S->NotFull.notify_all();
+    // Bounded teardown: wait up to the stall timeout for workers to exit
+    // (they degrade — never replay — whatever is still queued), then
+    // detach stragglers. A detached worker only ever touches State, which
+    // it co-owns, so this cannot use-after-free even if it outlives the
+    // checker.
+    {
+      std::unique_lock<std::mutex> L(S->M);
+      S->ExitCv.wait_for(L, std::chrono::milliseconds(StallTimeoutMs),
+                         [this] { return S->Exited == Workers.size(); });
+    }
+    for (size_t I = 0; I < Workers.size(); ++I) {
+      // Workers that signalled exit finish immediately; the rest are
+      // stragglers (a genuinely wedged replay) and get detached.
+      if (S->ExitedFlags[I].load(std::memory_order_acquire)) {
+        Workers[I].join();
+      } else {
+        WorkersDetached.add(1);
+        Workers[I].detach();
+      }
+    }
   }
 
-  /// Enqueues one detection pass's SCCs (members already pinned by the
-  /// caller; a worker releases the pins after replay). Blocks while the
-  /// queue is at its bound (backpressure on the detecting thread). Safe to
-  /// block here: callers hold no IDG stripe and workers never take one.
-  /// One notify per woken worker for the whole batch, not one per SCC:
-  /// a woken worker drains everything it can see, so per-SCC signalling
-  /// only adds futex traffic and wake/sleep churn.
+  /// Hands one detection pass's SCCs to the workers (members already
+  /// pinned by the caller; whoever replays or degrades an SCC releases its
+  /// pins). Backpressure is *timed*: an SCC that cannot be queued within
+  /// the stall timeout is degraded to potential violations and a
+  /// PcdQueueStall fault is recorded — the detecting thread is never
+  /// blocked forever. Safe to wait here: callers hold no IDG stripe and
+  /// workers never take one. One notify per woken worker for the whole
+  /// batch, not one per SCC: a woken worker drains everything it can see.
   void enqueueBatch(std::vector<std::vector<Transaction *>> Sccs) {
     const auto Now = std::chrono::steady_clock::now();
     size_t Queued = 0;
+    bool ReleasedHold = false;
+    std::vector<std::vector<Transaction *>> TimedOut;
     {
-      std::unique_lock<std::mutex> L(M);
+      std::unique_lock<std::mutex> L(S->M);
       for (std::vector<Transaction *> &Members : Sccs) {
-        NotFull.wait(L, [this] { return Queue.size() < MaxDepth || Stop; });
-        Queue.push_back(Item{std::move(Members), Now});
+        // The enqueue-attempt counter keys the injected faults: attempts
+        // happen in detection order, which a fixed schedule reproduces
+        // bit-exactly (dequeue order would not).
+        const uint64_t Seq = ++S->EnqueueAttempts;
+        if (S->HoldUntil != 0 && Seq >= S->HoldUntil && !S->HoldReleased) {
+          S->HoldReleased = true;
+          ReleasedHold = true;
+        }
+        uint8_t Inject = 0;
+        if (Seq == DC.Opts.Faults.WorkerStallAt)
+          Inject = InjectStall;
+        else if (Seq == DC.Opts.Faults.WorkerDieAt)
+          Inject = InjectDie;
+        const auto Deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(StallTimeoutMs);
+        bool Admitted = true;
+        while (S->Queue.size() >= MaxDepth &&
+               !S->Stop.load(std::memory_order_relaxed)) {
+          if (std::chrono::steady_clock::now() >= Deadline) {
+            Admitted = false;
+            break;
+          }
+          S->NotFull.wait_for(L, std::chrono::milliseconds(5));
+          // The caller is the gate-admitted program thread: while it waits
+          // here no instruction retires, so beat the gate slot to keep the
+          // watchdog pointed at the real culprit (the queue), not the gate.
+          if (DC.Dog)
+            DC.Dog->heartbeat(DC.DogGateSlot);
+        }
+        if (!Admitted) {
+          EnqueueTimeouts.add(1);
+          TimedOut.push_back(std::move(Members));
+          continue;
+        }
+        S->Queue.push_back(Item{std::move(Members), Now, Inject});
         ++Queued;
         SccsQueued.add(1);
-        MaxQueueDepth.updateMax(Queue.size());
+        MaxQueueDepth.updateMax(S->Queue.size());
+        DC.Governor.queueDepth(+1);
       }
     }
     for (size_t I = std::min(Queued, Workers.size()); I-- > 0;)
-      HasWork.notify_one();
+      S->HasWork.notify_one();
+    if (ReleasedHold)
+      S->HasWork.notify_all();
+    if (!TimedOut.empty()) {
+      DC.recordFault(rt::CheckerFault::PcdQueueStall,
+                     "pcd enqueue found the queue saturated for " +
+                         std::to_string(StallTimeoutMs) +
+                         " ms with no worker progress");
+      for (std::vector<Transaction *> &Members : TimedOut)
+        degradeAndUnpin(Members);
+    }
   }
 
-  /// Blocks until every queued SCC has been fully replayed.
+  /// Waits until every queued SCC has been replayed or degraded, bounded
+  /// by the stall timeout: if workers make no progress, the remaining
+  /// queue is stolen and degraded on the calling thread so endRun always
+  /// terminates (the watchdog supplies the fault diagnosis).
   void drain() {
-    std::unique_lock<std::mutex> L(M);
-    Idle.wait(L, [this] { return Queue.empty() && Active == 0; });
+    std::unique_lock<std::mutex> L(S->M);
+    const auto Deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(StallTimeoutMs);
+    for (;;) {
+      if (S->Queue.empty() && S->Active == 0)
+        return;
+      if (std::chrono::steady_clock::now() >= Deadline)
+        break;
+      S->Idle.wait_for(L, std::chrono::milliseconds(5));
+    }
+    std::deque<Item> Stolen;
+    Stolen.swap(S->Queue);
+    L.unlock();
+    for (Item &It : Stolen) {
+      DC.Governor.queueDepth(-1);
+      degradeAndUnpin(It.Members);
+    }
+    L.lock();
+    // Give in-flight replays one more timeout, then give up — the fault
+    // is (or will be) recorded; correctness does not depend on them.
+    S->Idle.wait_for(L, std::chrono::milliseconds(StallTimeoutMs),
+                     [this] { return S->Active == 0; });
+  }
+
+  /// True once an injected worker stall has actually parked a worker
+  /// (endRun then waits for the watchdog to convert it into a fault).
+  bool stallParked() const {
+    return S->StallParked.load(std::memory_order_acquire);
   }
 
 private:
+  enum : uint8_t { InjectNone = 0, InjectStall = 1, InjectDie = 2 };
+
   struct Item {
     std::vector<Transaction *> Members;
     std::chrono::steady_clock::time_point Enqueued;
+    uint8_t Inject = InjectNone;
   };
 
-  void run() {
-    std::unique_lock<std::mutex> L(M);
+  /// Everything a worker may touch after Stop — co-owned via shared_ptr so
+  /// a detached straggler can never use freed pool memory.
+  struct State {
+    std::mutex M;
+    std::condition_variable HasWork;
+    std::condition_variable NotFull;
+    std::condition_variable Idle;
+    std::condition_variable ExitCv;
+    std::deque<Item> Queue;
+    uint32_t Active = 0;
+    size_t Exited = 0;
+    std::unique_ptr<std::atomic<bool>[]> ExitedFlags;
+    std::atomic<bool> Stop{false};
+    std::atomic<bool> StallParked{false};
+    /// Injected queue saturation: workers refuse to dequeue until this
+    /// many enqueue attempts happened (0 = off).
+    uint64_t HoldUntil = 0;
+    bool HoldReleased = false;
+    uint64_t EnqueueAttempts = 0;
+  };
+
+  /// Sound fallback shared by every fault path: the SCC's members' static
+  /// sites become a Potential violation record, then the pins drop.
+  void degradeAndUnpin(std::vector<Transaction *> &Members) {
+    uint64_t Stamp = 0;
+    for (const Transaction *Tx : Members)
+      Stamp = std::max(Stamp, Tx->EndTime);
+    DC.degradeScc(Members, Stamp);
+    for (Transaction *Tx : Members)
+      Tx->Pins.fetch_sub(1, std::memory_order_release);
+  }
+
+  void run(uint32_t WorkerIdx) {
+    // Keep State alive even if the pool detaches this thread.
+    std::shared_ptr<State> St = S;
+    std::unique_lock<std::mutex> L(St->M);
     for (;;) {
-      HasWork.wait(L, [this] { return Stop || !Queue.empty(); });
-      if (Queue.empty()) {
-        if (Stop)
-          return;
-        continue;
+      St->HasWork.wait(L, [&] {
+        return St->Stop.load(std::memory_order_relaxed) ||
+               (!St->Queue.empty() &&
+                (St->HoldUntil == 0 || St->HoldReleased));
+      });
+      if (St->Stop.load(std::memory_order_relaxed)) {
+        // Teardown: degrade — never replay — what is left, so shutdown
+        // latency is bounded and still sound.
+        while (!St->Queue.empty()) {
+          Item It = std::move(St->Queue.front());
+          St->Queue.pop_front();
+          L.unlock();
+          DC.Governor.queueDepth(-1);
+          degradeAndUnpin(It.Members);
+          L.lock();
+        }
+        St->ExitedFlags[WorkerIdx].store(true, std::memory_order_release);
+        ++St->Exited;
+        St->ExitCv.notify_all();
+        return;
       }
-      Item It = std::move(Queue.front());
-      Queue.pop_front();
-      ++Active;
+      Item It = std::move(St->Queue.front());
+      St->Queue.pop_front();
+      ++St->Active;
       L.unlock();
-      NotFull.notify_one();
+      DC.Governor.queueDepth(-1);
+      St->NotFull.notify_one();
       QueueWaitNs.add(static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - It.Enqueued)
               .count()));
-      Pcd.processScc(It.Members);
+      if (DC.Dog)
+        DC.Dog->beginWork(Slots[WorkerIdx]);
+      if (It.Inject == InjectStall) {
+        // Injected permanent stall. Degrade the SCC *first* (soundness
+        // does not depend on this worker ever waking), then park busy and
+        // silent: the watchdog sees a beating-less busy slot and converts
+        // the hang into CheckerFault::PcdWorkerStall. Active is released
+        // so drain() does not wait on a worker that will never finish.
+        degradeAndUnpin(It.Members);
+        L.lock();
+        --St->Active;
+        if (St->Queue.empty() && St->Active == 0)
+          St->Idle.notify_all();
+        L.unlock();
+        St->StallParked.store(true, std::memory_order_release);
+        while (!St->Stop.load(std::memory_order_acquire))
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        std::lock_guard<std::mutex> G(St->M);
+        ++St->Exited;
+        St->ExitCv.notify_all();
+        return;
+      }
+      try {
+        if (It.Inject == InjectDie)
+          throw std::runtime_error("injected pcd worker death");
+        Pcd.processScc(It.Members);
+      } catch (...) {
+        // A dying replay degrades its SCC and the worker lives on.
+        WorkerExceptions.add(1);
+        uint64_t Stamp = 0;
+        for (const Transaction *Tx : It.Members)
+          Stamp = std::max(Stamp, Tx->EndTime);
+        DC.degradeScc(It.Members, Stamp);
+      }
       for (Transaction *Tx : It.Members)
         Tx->Pins.fetch_sub(1, std::memory_order_release);
+      if (DC.Dog)
+        DC.Dog->endWork(Slots[WorkerIdx]);
       L.lock();
-      --Active;
-      if (Queue.empty() && Active == 0)
-        Idle.notify_all();
+      --St->Active;
+      if (St->Queue.empty() && St->Active == 0)
+        St->Idle.notify_all();
     }
   }
 
+  DoubleCheckerRuntime &DC;
   PreciseCycleDetector &Pcd;
   const uint32_t MaxDepth;
+  const uint32_t StallTimeoutMs;
   Statistic &SccsQueued;
   Statistic &QueueWaitNs;
   Statistic &MaxQueueDepth;
+  Statistic &WorkerExceptions;
+  Statistic &WorkersDetached;
+  Statistic &EnqueueTimeouts;
 
-  std::mutex M;
-  std::condition_variable HasWork;
-  std::condition_variable NotFull;
-  std::condition_variable Idle;
-  std::deque<Item> Queue;
-  uint32_t Active = 0;
-  bool Stop = false;
+  std::shared_ptr<State> S;
+  std::vector<uint32_t> Slots;
   std::vector<std::thread> Workers;
 };
 
@@ -196,11 +405,21 @@ public:
     CV.notify_one();
   }
 
-  /// Blocks until every request made before the call has been served.
+  /// Waits until every request made before the call has been served,
+  /// bounded by the stall timeout: a wedged (or fault-delayed) collector
+  /// becomes a structured CollectorStall fault instead of hanging endRun.
+  /// Skipping the sweep is always safe — collection only frees memory.
   void drain() {
     std::unique_lock<std::mutex> L(M);
     const uint64_t Target = Requested;
-    Done.wait(L, [&] { return Completed >= Target; });
+    const uint32_t TimeoutMs = std::max(1u, DC.Opts.PcdStallTimeoutMs);
+    if (!Done.wait_for(L, std::chrono::milliseconds(TimeoutMs),
+                       [&] { return Completed >= Target; })) {
+      L.unlock();
+      DC.recordFault(rt::CheckerFault::CollectorStall,
+                     "collector drain timed out after " +
+                         std::to_string(TimeoutMs) + " ms");
+    }
   }
 
 private:
@@ -212,7 +431,17 @@ private:
         return;
       const uint64_t Target = Requested; // Coalesce pending requests.
       L.unlock();
+      // beginWork before the injected delay: the fault plan models a
+      // collector that accepted work and then made no progress, which is
+      // exactly what the watchdog's busy-and-silent detection covers.
+      if (DC.Dog)
+        DC.Dog->beginWork(DC.DogCollectorSlot);
+      if (DC.Opts.Faults.CollectorDelayMs != 0)
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(DC.Opts.Faults.CollectorDelayMs));
       DC.collectNow(HolderCollector);
+      if (DC.Dog)
+        DC.Dog->endWork(DC.DogCollectorSlot);
       L.lock();
       Completed = Target;
       Done.notify_all();
@@ -255,15 +484,18 @@ DoubleCheckerRuntime::DoubleCheckerRuntime(const ir::Program &P,
 
 DoubleCheckerRuntime::~DoubleCheckerRuntime() {
   // Stop the PCD pool before freeing the transactions it may still be
-  // replaying, and the collector before tearing down the stripes it locks.
+  // replaying, the collector before tearing down the stripes it locks, and
+  // the watchdog last (both components beat slots it owns until they stop).
   AsyncPcd.reset();
   Collector.reset();
+  Dog.reset();
   for (uint32_t T = 0; T < NumThreads; ++T)
     for (Transaction *Tx : Threads[T].Owned)
       delete Tx;
 }
 
 void DoubleCheckerRuntime::beginRun(rt::Runtime &RT) {
+  TheRT = &RT;
   NumThreads = RT.numThreads();
   Threads = std::make_unique<PerThread[]>(NumThreads);
   // Stripe 0 is the global stripe (gLastRdSh); Tid+1 is thread Tid's.
@@ -271,14 +503,44 @@ void DoubleCheckerRuntime::beginRun(rt::Runtime &RT) {
   IdgShards = std::make_unique<StripedLockSet>(NumShards);
   Octet = std::make_unique<octet::OctetManager>(
       RT.heap(), NumThreads, this, Stats, &RT.abortFlag());
-  if (Opts.ParallelPcd && Pcd)
-    AsyncPcd = std::make_unique<PcdPool>(*Pcd, Stats, Opts.PcdWorkers,
+  // Resource governor: budgets come straight from the options; the chunk
+  // pool charges log bytes against it and consults it on refills.
+  ResourceBudgets B;
+  B.MaxLiveTxs = Opts.MaxLiveTxs;
+  B.MaxLogBytes = Opts.MaxLogBytes;
+  Governor.configure(B);
+  ChunkPool.setGovernor(&Governor);
+  ChunkPool.failRefillAt(Opts.Faults.AllocFailAt);
+  // The watchdog only exists when there are background components to
+  // monitor. SerializedIdg keeps the pre-sharding behaviour: collection
+  // runs inline on the triggering thread. CollectEveryTx == ~0u (PcdOnly)
+  // never triggers, so the collector thread would sit idle.
+  const bool WantPool = Opts.ParallelPcd && Pcd != nullptr;
+  const bool WantCollector =
+      !Opts.SerializedIdg && Opts.CollectEveryTx != ~0u;
+  if (WantPool || WantCollector) {
+    rt::Watchdog::Options WOpts;
+    WOpts.TimeoutMs = std::max(1u, Opts.PcdStallTimeoutMs);
+    WOpts.PollMs = std::max(1u, Opts.WatchdogPollMs);
+    Dog = std::make_unique<rt::Watchdog>(
+        WOpts, [this](const std::string &Component, uint64_t SilentMs) {
+          onComponentStall(Component, SilentMs);
+        });
+    DogGateSlot = Dog->addComponent("gate");
+    if (WantCollector)
+      DogCollectorSlot = Dog->addComponent("collector");
+  }
+  if (WantPool)
+    AsyncPcd = std::make_unique<PcdPool>(*this, *Pcd, Stats, Opts.PcdWorkers,
                                          Opts.PcdQueueDepth);
-  // SerializedIdg keeps the pre-sharding behaviour: collection runs inline
-  // on the triggering thread. CollectEveryTx == ~0u (PcdOnly) never
-  // triggers, so the collector thread would sit idle.
-  if (!Opts.SerializedIdg && Opts.CollectEveryTx != ~0u)
+  if (WantCollector)
     Collector = std::make_unique<TxCollector>(*this);
+  if (Dog) {
+    Dog->start();
+    // The gate slot is busy for the whole run: program threads beat it
+    // from safePoint, so a wedged scheduler gate surfaces as GateStall.
+    Dog->beginWork(DogGateSlot);
+  }
   if (Opts.LogAccesses) {
     if (Opts.LegacyLog) {
       ElisionCells = std::vector<std::atomic<uint64_t>>(
@@ -293,6 +555,10 @@ void DoubleCheckerRuntime::beginRun(rt::Runtime &RT) {
 }
 
 void DoubleCheckerRuntime::endRun(rt::Runtime &RT) {
+  // The run is over: no program thread will beat the gate slot again, so
+  // retire it before the (possibly long) drains below can trip GateStall.
+  if (Dog)
+    Dog->endWork(DogGateSlot);
   // Flush detection roots still short of a full batch (every transaction
   // is finished now, so this finds any remaining cycles), then drain the
   // deferred machinery that pass may have fed.
@@ -301,9 +567,31 @@ void DoubleCheckerRuntime::endRun(rt::Runtime &RT) {
     AsyncPcd->drain();
   if (Collector)
     Collector->drain();
+  // An injected worker stall parks a worker busy-and-silent; give the
+  // watchdog time to convert it into a structured fault before disarming,
+  // so the fault reliably lands in this run's RunResult.
+  if (Dog && AsyncPcd && AsyncPcd->stallParked()) {
+    const auto Deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(Opts.PcdStallTimeoutMs +
+                                  50u * std::max(1u, Opts.WatchdogPollMs) +
+                                  200u);
+    for (;;) {
+      {
+        SpinLockGuard Guard(HealthLock);
+        if (Fault != rt::CheckerFault::None)
+          break;
+      }
+      if (std::chrono::steady_clock::now() >= Deadline)
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+  }
+  if (Dog)
+    Dog->disarm();
   Octet->flushStatistics();
   uint64_t Regular = 0, Unary = 0, AccR = 0, AccU = 0, LogN = 0, LogE = 0;
-  uint64_t Bytes = 0;
+  uint64_t Bytes = 0, Dropped = 0, Sheds = 0;
   for (uint32_t T = 0; T < NumThreads; ++T) {
     const PerThread &PT = Threads[T];
     Regular += PT.RegularTxs;
@@ -312,6 +600,8 @@ void DoubleCheckerRuntime::endRun(rt::Runtime &RT) {
     AccU += PT.AccUnary;
     LogN += PT.LogEntries;
     LogE += PT.LogElided;
+    Dropped += PT.LogDropped;
+    Sheds += PT.ShedCount;
     // On the arena path access appends don't bump BytesLogged inline (the
     // hot path carries no byte accounting; one slot per entry is implied)
     // — only EdgeIn markers do. The legacy path accounts every append.
@@ -329,7 +619,12 @@ void DoubleCheckerRuntime::endRun(rt::Runtime &RT) {
     Stats.get("logging.filter_hits").add(LogE);
     Stats.get("logging.chunk_allocs").add(ChunkPool.chunkAllocs());
     Stats.get("logging.chunk_recycles").add(ChunkPool.chunkRecycles());
+    Stats.get("logging.refill_requests").add(ChunkPool.refillRequests());
+    Stats.get("logging.refills_refused").add(ChunkPool.refillsRefused());
   }
+  Stats.get("degradation.log_dropped").add(Dropped);
+  Stats.get("degradation.sheds").add(Sheds);
+  Governor.flush(Stats);
   Stats.get("icd.idg_cross_edges")
       .add(CrossEdges.load(std::memory_order_relaxed));
   Stats.get("icd.sccs").add(SccCount.load(std::memory_order_relaxed));
@@ -480,12 +775,38 @@ void DoubleCheckerRuntime::logAccess(rt::ThreadContext &TC, PerThread &PT,
     // The only shared-visible write is the LogLen publication, and chunks
     // come from the thread's cache — zero shared writes beyond that, zero
     // allocations in steady state.
+    if (PT.LogShedActive) {
+      // Degradation ladder (DESIGN.md §10): this thread is shedding.
+      // Drop the entry but mark the transaction, so any SCC it joins is
+      // degraded to a potential violation instead of replayed from an
+      // incomplete log (which would be unsound).
+      Cur->LogShed.store(true, std::memory_order_relaxed);
+      ++PT.LogDropped;
+      return;
+    }
     if (Opts.ElideDuplicates &&
         PT.Filter.testAndSet(ElisionFilter::key(Info.Obj, Info.Addr), MyTs,
                              Info.IsWrite)) {
       // Duplicate with no intervening edge or transaction boundary: elide.
       ++PT.LogElided;
       return;
+    }
+    if (Cur->Log.tailFull()) {
+      // Chunk boundary: the refill is the ladder's decision point. A
+      // refused refill (governor log-byte pressure or an injected
+      // allocation failure) starts shedding on this thread — except under
+      // PcdOnly, whose online analysis needs complete logs to stay
+      // meaningful, so it falls back to a direct allocation.
+      LogChunk *C = PT.ChunkCache.tryGet();
+      if (C == nullptr) {
+        if (PcdOnlyAnalysis) {
+          C = new LogChunk();
+        } else {
+          beginShed(PT, TC.Tid, Cur);
+          return;
+        }
+      }
+      Cur->Log.adoptChunk(C);
     }
     Cur->LogLen.store(
         Cur->Log.appendAccess(Info.Obj, Info.Addr, Info.IsWrite,
@@ -535,6 +856,14 @@ void DoubleCheckerRuntime::syncOp(rt::ThreadContext &TC,
 
 void DoubleCheckerRuntime::safePoint(rt::ThreadContext &TC) {
   TlsPhysTid = TC.Tid;
+  if (Dog != nullptr) {
+    // Program threads collectively beat the gate slot: as long as any
+    // thread keeps retiring instructions the scheduler gate is healthy.
+    // Throttled — an atomic store per safe point would be hot-path noise.
+    PerThread &PT = Threads[TC.Tid];
+    if ((++PT.SafePointBeats & 63u) == 0)
+      Dog->heartbeat(DogGateSlot);
+  }
   Octet->pollSafePoint(TC.Tid);
 }
 
@@ -681,6 +1010,25 @@ Transaction *DoubleCheckerRuntime::newTransactionLocked(uint32_t Tid,
     ++PT.RegularTxs;
   else
     ++PT.UnaryTxs;
+  Governor.txCreated();
+  if (PT.LogShedActive) {
+    // Re-arm ladder: after RearmAfterTxs boundaries, resume logging iff
+    // every governed gauge has fallen under half budget (hysteresis, so a
+    // system hovering at the budget does not thrash shed/re-arm).
+    if (PT.RearmCountdown > 0 && --PT.RearmCountdown == 0) {
+      if (Governor.underLowWater()) {
+        PT.LogShedActive = false;
+        recordDegradation(
+            {rt::DegradationEvent::Action::Rearm, Tid,
+             OrderClock.load(std::memory_order_relaxed)});
+      } else {
+        PT.RearmCountdown = std::max(1u, Opts.RearmAfterTxs);
+      }
+    }
+    // Still shedding: the new transaction's log is incomplete from birth.
+    if (PT.LogShedActive)
+      Tx->LogShed.store(true, std::memory_order_relaxed);
+  }
   return Tx;
 }
 
@@ -711,6 +1059,12 @@ void DoubleCheckerRuntime::endCurrentTx(uint32_t Tid) {
   if ((FinishedTxs.fetch_add(1, std::memory_order_relaxed) + 1) %
           Opts.CollectEveryTx ==
       0)
+    requestCollect(Tid);
+  else if (Opts.CollectEveryTx != ~0u &&
+           (Governor.pressure() & PressureLiveTxs) != 0)
+    // Live-transaction budget breached: collect now instead of waiting for
+    // the periodic trigger. Collection is the correct relief valve here —
+    // shedding would not free a single finished transaction.
     requestCollect(Tid);
 }
 
@@ -878,11 +1232,23 @@ void DoubleCheckerRuntime::sccPass(uint32_t Holder) {
         }
       }
       if (Pcd) {
-        // Pin before releasing the stripes so the collector cannot sweep
-        // members while the replay (inline or pooled) is in flight.
-        for (Transaction *M : Members)
-          M->Pins.fetch_add(1, std::memory_order_relaxed);
-        Detected.push_back(std::move(Members));
+        // Degradation ladder: SCCs the replay cannot handle precisely —
+        // oversized (the paper's PCD ran out of memory on such
+        // transactions) or containing a member whose log was shed — are
+        // degraded here, under the stripes, to potential violations.
+        // Sound because every true PDG cycle lies within an ICD SCC.
+        bool Degrade = Members.size() > Opts.MaxSccTxsForPcd;
+        for (size_t I = 0; !Degrade && I < Members.size(); ++I)
+          Degrade = Members[I]->LogShed.load(std::memory_order_relaxed);
+        if (Degrade) {
+          degradeScc(Members, MaxEnd);
+        } else {
+          // Pin before releasing the stripes so the collector cannot sweep
+          // members while the replay (inline or pooled) is in flight.
+          for (Transaction *M : Members)
+            M->Pins.fetch_add(1, std::memory_order_relaxed);
+          Detected.push_back(std::move(Members));
+        }
       }
     }
   }
@@ -998,6 +1364,7 @@ void DoubleCheckerRuntime::collectNow(uint32_t Holder) {
     delete Tx;
   }
   TxsSwept.fetch_add(Doomed.size(), std::memory_order_relaxed);
+  Governor.txsFreed(Doomed.size());
   CollectorRuns.fetch_add(1, std::memory_order_relaxed);
   CollectorNs.fetch_add(
       static_cast<uint64_t>(
@@ -1005,6 +1372,82 @@ void DoubleCheckerRuntime::collectNow(uint32_t Holder) {
               std::chrono::steady_clock::now() - Start)
               .count()),
       std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Overload and fault health (DESIGN.md §10)
+//===----------------------------------------------------------------------===//
+
+void DoubleCheckerRuntime::recordFault(rt::CheckerFault F,
+                                       std::string Diagnosis) {
+  Stats.get("faults.detected").add(1);
+  SpinLockGuard Guard(HealthLock);
+  // First fault wins: the earliest diagnosis names the root cause; later
+  // faults are usually its downstream symptoms.
+  if (Fault == rt::CheckerFault::None) {
+    Fault = F;
+    FaultDiagnosis = std::move(Diagnosis);
+  }
+}
+
+void DoubleCheckerRuntime::recordDegradation(rt::DegradationEvent E) {
+  SpinLockGuard Guard(HealthLock);
+  DegEvents.push_back(E);
+}
+
+void DoubleCheckerRuntime::beginShed(PerThread &PT, uint32_t Tid,
+                                     Transaction *Cur) {
+  PT.LogShedActive = true;
+  PT.RearmCountdown = std::max(1u, Opts.RearmAfterTxs);
+  ++PT.ShedCount;
+  ++PT.LogDropped; // The access that hit the refused refill is dropped too.
+  Cur->LogShed.store(true, std::memory_order_relaxed);
+  recordDegradation({rt::DegradationEvent::Action::ShedLogging, Tid,
+                     OrderClock.load(std::memory_order_relaxed)});
+}
+
+void DoubleCheckerRuntime::degradeScc(
+    const std::vector<Transaction *> &Members, uint64_t Stamp) {
+  // Pcd always exists on these paths: degradation is only reachable from
+  // sccPass (guarded by Pcd) and the pool (which holds a Pcd reference).
+  Pcd->reportPotential(Members);
+  recordDegradation(
+      {rt::DegradationEvent::Action::PotentialOnly, 0, Stamp});
+}
+
+void DoubleCheckerRuntime::onComponentStall(const std::string &Component,
+                                            uint64_t SilentMs) {
+  rt::CheckerFault F = rt::CheckerFault::GateStall;
+  if (Component.rfind("pcd-worker", 0) == 0)
+    F = rt::CheckerFault::PcdWorkerStall;
+  else if (Component == "collector")
+    F = rt::CheckerFault::CollectorStall;
+  recordFault(F, Component + " made no progress for " +
+                     std::to_string(SilentMs) + " ms");
+  // A stalled PCD worker or collector only delays analysis — the run can
+  // finish and the drains are timed. A stalled gate means no program
+  // thread is retiring instructions: the run itself is wedged, so convert
+  // the hang into a structured abort.
+  if (F == rt::CheckerFault::GateStall && TheRT != nullptr)
+    TheRT->requestAbort();
+}
+
+void DoubleCheckerRuntime::reportHealth(rt::RunResult &R) {
+  SpinLockGuard Guard(HealthLock);
+  R.Fault = Fault;
+  R.FaultDiagnosis = FaultDiagnosis;
+  R.Degradation = DegEvents;
+  // Deterministic order for cross-config comparison: events are stamped
+  // with OrderClock values (shed/re-arm) or max member EndTime (degrade),
+  // both schedule-determined, but the recording order is not.
+  std::sort(R.Degradation.begin(), R.Degradation.end(),
+            [](const rt::DegradationEvent &A, const rt::DegradationEvent &B) {
+              if (A.Stamp != B.Stamp)
+                return A.Stamp < B.Stamp;
+              if (A.A != B.A)
+                return static_cast<uint8_t>(A.A) < static_cast<uint8_t>(B.A);
+              return A.Tid < B.Tid;
+            });
 }
 
 StaticTransactionInfo DoubleCheckerRuntime::staticInfo() {

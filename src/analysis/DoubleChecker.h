@@ -52,6 +52,9 @@
 #include "octet/OctetManager.h"
 #include "rt/CheckerRuntime.h"
 #include "rt/Runtime.h"
+#include "rt/Watchdog.h"
+#include "support/FaultPlan.h"
+#include "support/ResourceGovernor.h"
 #include "support/SpinLock.h"
 #include "support/Statistic.h"
 #include "support/StripedLock.h"
@@ -149,6 +152,28 @@ struct DoubleCheckerOptions {
   /// a handoff; with per-thread stripes only genuine cross-thread events
   /// are. 0 disables.
   uint32_t IdgRemoteMissPenalty = 600;
+
+  // --- Overload / fault tolerance (DESIGN.md §10) -------------------------
+
+  /// Deterministic counter-keyed fault injection (tests / fuzzing only).
+  FaultPlan Faults;
+  /// ResourceGovernor budget: live (uncollected) transactions. 0 = off.
+  /// A breach triggers extra collections and sheds logging at the next
+  /// chunk refill (sound: shed threads degrade to ICD-only).
+  uint64_t MaxLiveTxs = 0;
+  /// ResourceGovernor budget: bytes of log chunks out of the pool. 0 = off.
+  uint64_t MaxLogBytes = 0;
+  /// Watchdog/stall timeout: a busy component (PCD worker, collector,
+  /// scheduler gate) silent for longer trips a CheckerFault; a PCD enqueue
+  /// or drain blocked for longer degrades its SCCs to potential violations
+  /// instead of waiting forever.
+  uint32_t PcdStallTimeoutMs = 10000;
+  /// Watchdog poll interval.
+  uint32_t WatchdogPollMs = 10;
+  /// After shedding, a thread attempts to re-arm full logging once this
+  /// many of its transactions have started and the governor reports
+  /// pressure subsided (hysteresis at half-budget).
+  uint32_t RearmAfterTxs = 64;
 };
 
 /// The DoubleChecker analysis for one run. Implements the interpreter's
@@ -177,6 +202,7 @@ public:
   void safePoint(rt::ThreadContext &TC) override;
   void aboutToBlock(rt::ThreadContext &TC) override;
   void unblocked(rt::ThreadContext &TC) override;
+  void reportHealth(rt::RunResult &R) override;
 
   // -- octet::OctetListener -------------------------------------------------
   void onConflictingEdge(uint32_t RespTid, const octet::Transition &T)
@@ -211,6 +237,15 @@ private:
     uint64_t LogEntries = 0;
     uint64_t LogElided = 0;
     uint64_t BytesLogged = 0;
+    uint64_t LogDropped = 0; ///< Accesses not logged while shedding.
+    /// Degradation ladder (owner thread only): true while this thread has
+    /// shed logging (ICD-only). Entered when a chunk refill is refused;
+    /// re-armed after RearmAfterTxs new transactions if pressure subsided.
+    bool LogShedActive = false;
+    uint32_t RearmCountdown = 0;
+    uint64_t ShedCount = 0;
+    /// Gate-heartbeat throttle (owner thread only).
+    uint32_t SafePointBeats = 0;
     /// Transactions allocated by this thread; pushed under own stripe,
     /// swept by the collector under all stripes.
     std::vector<Transaction *> Owned;
@@ -278,6 +313,22 @@ private:
   void logAccess(rt::ThreadContext &TC, PerThread &PT, Transaction *Cur,
                  const rt::AccessInfo &Info);
 
+  // -- Overload / fault tolerance (DESIGN.md §10) --------------------------
+  /// Records the first checker-internal fault (later ones only count).
+  void recordFault(rt::CheckerFault F, std::string Diagnosis);
+  /// Appends one ladder transition to the structured report.
+  void recordDegradation(rt::DegradationEvent E);
+  /// Enters shed mode for \p PT's thread: the current transaction's log is
+  /// marked incomplete, further accesses are dropped (ICD-only), and a
+  /// ShedLogging event is recorded with a deterministic OrderClock stamp.
+  void beginShed(PerThread &PT, uint32_t Tid, Transaction *Cur);
+  /// Degrades one detected SCC to a Potential violation record instead of
+  /// a precise replay (members need not be pinned). \p Stamp is the SCC's
+  /// max member EndTime — deterministic across configs.
+  void degradeScc(const std::vector<Transaction *> &Members, uint64_t Stamp);
+  /// Watchdog handler (monitor thread): map component -> CheckerFault.
+  void onComponentStall(const std::string &Component, uint64_t SilentMs);
+
   const ir::Program &P;
   DoubleCheckerOptions Opts;
   ViolationLog &Violations;
@@ -285,6 +336,9 @@ private:
 
   std::unique_ptr<octet::OctetManager> Octet;
   std::unique_ptr<PreciseCycleDetector> Pcd;
+  /// Declared before the pool/collector: workers beat its slots, so it is
+  /// destroyed after them (the dtor also resets explicitly in that order).
+  std::unique_ptr<rt::Watchdog> Dog;
   std::unique_ptr<PcdPool> AsyncPcd;
   std::unique_ptr<OnlinePcd> PcdOnlyAnalysis;
   std::unique_ptr<TxCollector> Collector;
@@ -339,6 +393,21 @@ private:
   bool SccAnyUnary = false;
   /// Serializes the PCD-only straw man's persistent analysis (innermost).
   SpinLock PcdOnlyLock;
+
+  // -- Overload / fault tolerance (DESIGN.md §10) --------------------------
+  /// Unified resource accounting (live txs, log bytes, PCD queue depth).
+  ResourceGovernor Governor;
+  /// The runtime of the current run (gate-stall aborts); beginRun..endRun.
+  rt::Runtime *TheRT = nullptr;
+  /// Watchdog slot ids (valid while Dog is set).
+  uint32_t DogGateSlot = 0;
+  uint32_t DogCollectorSlot = 0;
+  /// Guards the health report below (innermost; never held while taking
+  /// any other checker lock).
+  mutable SpinLock HealthLock;
+  rt::CheckerFault Fault = rt::CheckerFault::None;
+  std::string FaultDiagnosis;
+  std::vector<rt::DegradationEvent> DegEvents;
 };
 
 } // namespace analysis

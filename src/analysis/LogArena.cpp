@@ -40,16 +40,33 @@ LogChunk *LogChunkPool::popBatch(uint32_t Max) {
       Chain = C;
     }
   }
+  if (Gov != nullptr)
+    Gov->logBytes(static_cast<int64_t>(Max) * sizeof(LogChunk));
   return Chain;
 }
 
 void LogChunkPool::recycle(LogChunk *Head, LogChunk *Tail, uint64_t N) {
   if (Head == nullptr)
     return;
-  (void)N;
+  if (Gov != nullptr)
+    Gov->logBytes(-static_cast<int64_t>(N) * sizeof(LogChunk));
   SpinLockGuard Guard(Lock);
   Tail->Next = Free;
   Free = Head;
+}
+
+bool LogChunkPool::admitRefill() {
+  uint64_t N = RefillCalls.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (FailAt != 0 && N == FailAt) {
+    Refusals.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (Gov != nullptr && (Gov->pressure() & PressureLogBytes) != 0) {
+    Refusals.fetch_add(1, std::memory_order_relaxed);
+    Gov->countBreach();
+    return false;
+  }
+  return true;
 }
 
 LogChunkCache::~LogChunkCache() {
@@ -60,10 +77,12 @@ LogChunkCache::~LogChunkCache() {
   }
 }
 
-LogChunk *LogChunkCache::get() {
+LogChunk *LogChunkCache::tryGet() {
   if (Free == nullptr) {
     if (Pool == nullptr)
       return new LogChunk();
+    if (!Pool->admitRefill())
+      return nullptr;
     Free = Pool->popBatch(RefillBatch);
     Count = RefillBatch;
   }
@@ -72,4 +91,11 @@ LogChunk *LogChunkCache::get() {
   --Count;
   C->Next = nullptr;
   return C;
+}
+
+LogChunk *LogChunkCache::get() {
+  LogChunk *C = tryGet();
+  // Never-fail contract: EdgeIn markers must land even when the pool is
+  // refusing refills (the shed decision belongs to access logging only).
+  return C != nullptr ? C : new LogChunk();
 }

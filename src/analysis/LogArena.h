@@ -42,6 +42,7 @@
 #include <cassert>
 #include <cstdint>
 
+#include "support/ResourceGovernor.h"
 #include "support/SpinLock.h"
 
 namespace dc {
@@ -183,6 +184,21 @@ public:
   /// to the free list.
   void recycle(LogChunk *Head, LogChunk *Tail, uint64_t N);
 
+  /// Deterministic fault injection: the Nth admitRefill() call (1-based)
+  /// against this pool is refused as if allocation returned null. 0 = off.
+  void failRefillAt(uint64_t N) { FailAt = N; }
+
+  /// Charges chunk bytes leaving/re-entering the pool to \p G (may be
+  /// null). Refills are refused while G's log-byte budget is breached.
+  void setGovernor(ResourceGovernor *G) { Gov = G; }
+
+  /// Counts a cache refill request and decides it. False — injected
+  /// allocation failure or log-byte budget breach — means the caller must
+  /// shed instead of calling popBatch. The request count is deterministic
+  /// for a fixed schedule: caches refill every RefillBatch chunks consumed,
+  /// and appends are schedule-determined.
+  bool admitRefill();
+
   /// Chunks created with operator new (pool misses).
   uint64_t chunkAllocs() const {
     return Allocs.load(std::memory_order_relaxed);
@@ -191,12 +207,24 @@ public:
   uint64_t chunkRecycles() const {
     return Reuses.load(std::memory_order_relaxed);
   }
+  /// Cache refill requests (admitted or refused).
+  uint64_t refillRequests() const {
+    return RefillCalls.load(std::memory_order_relaxed);
+  }
+  /// Refill requests refused (injected fault or budget breach).
+  uint64_t refillsRefused() const {
+    return Refusals.load(std::memory_order_relaxed);
+  }
 
 private:
   SpinLock Lock;
   LogChunk *Free = nullptr;
   std::atomic<uint64_t> Allocs{0};
   std::atomic<uint64_t> Reuses{0};
+  std::atomic<uint64_t> RefillCalls{0};
+  std::atomic<uint64_t> Refusals{0};
+  uint64_t FailAt = 0;
+  ResourceGovernor *Gov = nullptr;
 };
 
 /// Per-thread chunk cache: the mutator-facing face of LogChunkPool. Not
@@ -217,6 +245,12 @@ public:
   /// Returns a chunk ready for use (Next == nullptr). Allocation-free
   /// whenever the cache or the pool's free list can serve it.
   LogChunk *get();
+
+  /// Like get(), but returns null when the pool refuses the refill
+  /// (injected allocation failure or log-byte budget breach) — the
+  /// degradation ladder's shed trigger. get() keeps the never-fail
+  /// contract for callers that cannot shed (EdgeIn markers).
+  LogChunk *tryGet();
 
 private:
   LogChunkPool *Pool = nullptr;
@@ -282,6 +316,21 @@ public:
     NumChunks = 0;
   }
 
+  /// True when the next append needs a fresh chunk — the only point where
+  /// allocation (and thus shedding, via LogChunkCache::tryGet) can happen.
+  bool tailFull() const { return TailUsed == LogChunk::SlotsPerChunk; }
+
+  /// Links \p C (Next == nullptr, e.g. from tryGet) as the new tail.
+  void adoptChunk(LogChunk *C) {
+    if (Tail == nullptr)
+      Head = C;
+    else
+      Tail->Next = C;
+    Tail = C;
+    TailUsed = 0;
+    ++NumChunks;
+  }
+
 private:
   /// One compare on the fast path: TailUsed doubles as the "no chunk yet"
   /// sentinel (it starts at SlotsPerChunk, and releaseTo restores that),
@@ -293,14 +342,7 @@ private:
   }
 
   void refillTail(LogChunkCache *Cache) {
-    LogChunk *C = Cache != nullptr ? Cache->get() : new LogChunk();
-    if (Tail == nullptr)
-      Head = C;
-    else
-      Tail->Next = C;
-    Tail = C;
-    TailUsed = 0;
-    ++NumChunks;
+    adoptChunk(Cache != nullptr ? Cache->get() : new LogChunk());
   }
 
   void freeChunks() {

@@ -357,9 +357,25 @@ void PreciseCycleDetector::processScc(
     const std::vector<Transaction *> &Members) {
   Stats.get("pcd.sccs_processed").add(1);
   if (Members.size() > Opts.MaxSccTxs) {
+    // Sound degradation, not a silent skip: every true PDG cycle in this
+    // SCC runs through its members, so reporting their static sites as
+    // potential violations (multi-run run 1 semantics) over-approximates
+    // but never misses (DESIGN.md §10).
     Stats.get("pcd.sccs_skipped").add(1);
+    reportPotential(Members);
     return;
   }
   SccReplay Replay(Members, Sink, Stats);
   Replay.run();
+}
+
+void PreciseCycleDetector::reportPotential(
+    const std::vector<Transaction *> &Members) {
+  Stats.get("pcd.sccs_degraded").add(1);
+  ViolationRecord R;
+  R.K = ViolationRecord::Kind::Potential;
+  R.Cycle.reserve(Members.size());
+  for (const Transaction *Tx : Members)
+    R.Cycle.push_back(CycleMember{Tx->Tid, Tx->Site, Tx->Id});
+  Sink.report(std::move(R));
 }

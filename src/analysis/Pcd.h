@@ -39,8 +39,10 @@ namespace analysis {
 class PreciseCycleDetector {
 public:
   struct Options {
-    /// SCCs larger than this are skipped (counted in pcd.sccs_skipped);
-    /// the paper's PCD ran out of memory on such transactions.
+    /// SCCs larger than this are not replayed (the paper's PCD ran out of
+    /// memory on such transactions). They are *degraded*, not dropped:
+    /// counted in pcd.sccs_skipped and reported as potential violations
+    /// via reportPotential, so soundness survives the cap.
     uint32_t MaxSccTxs = 1u << 20;
   };
 
@@ -61,6 +63,12 @@ public:
   /// from overlapping detections may even share members, which is still
   /// safe because the replay never writes to a Transaction.
   void processScc(const std::vector<Transaction *> &Members);
+
+  /// Reports \p Members' static sites as one Potential ViolationRecord
+  /// (multi-run run 1 semantics) — the sound fallback when an SCC cannot
+  /// be replayed precisely: oversized, incomplete logs after shedding, or
+  /// a PCD-side fault. Thread-safe like processScc.
+  void reportPotential(const std::vector<Transaction *> &Members);
 
 private:
   ViolationLog &Sink;

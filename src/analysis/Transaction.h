@@ -136,6 +136,13 @@ public:
   /// the next non-transactional access starts a fresh unary transaction.
   std::atomic<bool> Interrupted{false};
 
+  /// The owning thread shed logging while this transaction was live, so its
+  /// log is incomplete and precise replay of any SCC containing it would be
+  /// unsound — such SCCs are degraded to potential violations instead.
+  /// Written by the owner (relaxed, outside stripes); read during SCC
+  /// passes under all stripes.
+  std::atomic<bool> LogShed{false};
+
   /// Outgoing edges (guarded by the owner's IDG stripe).
   std::vector<OutEdge> Out;
 

@@ -33,22 +33,36 @@ struct CycleMember {
   uint64_t TxId = 0;
 };
 
-/// One detected atomicity violation (a precise PDG cycle).
+/// One detected atomicity violation. Precise records are PDG cycles proven
+/// by log replay; Potential records are sound over-approximations — the
+/// static sites of an ICD SCC the checker degraded instead of replaying
+/// (oversized SCC, shed logging, or an injected/real PCD fault). Potential
+/// semantics match multi-run mode's run 1: every true violation in the SCC
+/// is covered by its members' sites, so degrading never under-reports.
 struct ViolationRecord {
+  enum class Kind : uint8_t { Precise, Potential };
+  Kind K = Kind::Precise;
   /// Original method blamed for completing the cycle; InvalidMethodId when
-  /// the cycle contained no regular transaction (degenerate).
+  /// the cycle contained no regular transaction (degenerate) or for
+  /// Potential records (no replay, so no blame assignment).
   ir::MethodId Blamed = ir::InvalidMethodId;
   std::vector<CycleMember> Cycle;
 };
 
 /// Thread-safe sink for violations. Distinct blamed methods form the
-/// "static violations" the paper counts in Table 2.
+/// "static violations" the paper counts in Table 2; potential methods are
+/// the degraded over-approximation (what a later precise run would check).
 class ViolationLog {
 public:
   void report(ViolationRecord R) {
     SpinLockGuard Guard(Lock);
-    if (R.Blamed != ir::InvalidMethodId)
+    if (R.K == ViolationRecord::Kind::Potential) {
+      for (const CycleMember &M : R.Cycle)
+        if (M.Site != ir::InvalidMethodId)
+          Potential.insert(M.Site);
+    } else if (R.Blamed != ir::InvalidMethodId) {
       Blamed.insert(R.Blamed);
+    }
     Records.push_back(std::move(R));
   }
 
@@ -62,6 +76,12 @@ public:
     return Blamed;
   }
 
+  /// Static sites of degraded SCC members (sound over-approximation).
+  std::set<ir::MethodId> potentialMethods() const {
+    SpinLockGuard Guard(Lock);
+    return Potential;
+  }
+
   size_t count() const {
     SpinLockGuard Guard(Lock);
     return Records.size();
@@ -71,6 +91,7 @@ private:
   mutable SpinLock Lock;
   std::vector<ViolationRecord> Records;
   std::set<ir::MethodId> Blamed;
+  std::set<ir::MethodId> Potential;
 };
 
 } // namespace analysis

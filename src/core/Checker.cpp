@@ -121,11 +121,20 @@ RunOutcome core::runChecker(const ir::Program &Source,
     DOpts.DetectIcdCycles = Cfg.DetectCycles;
     DOpts.ParallelPcd = Cfg.ParallelPcd;
     DOpts.PcdWorkers = Cfg.PcdWorkers;
+    if (Cfg.PcdQueueDepth != 0)
+      DOpts.PcdQueueDepth = Cfg.PcdQueueDepth;
     DOpts.SerializedIdg = Cfg.SerializedIdg;
     DOpts.LegacyLog = Cfg.LegacyLog;
     DOpts.ElideDuplicates = Cfg.ElideDuplicates;
     DOpts.TestOnlyUnsoundFilter = Cfg.TestOnlyUnsoundIcdFilter;
     DOpts.PcdOnly = Cfg.M == Mode::PcdOnly;
+    DOpts.Faults = Cfg.Faults;
+    DOpts.MaxLogBytes = Cfg.MemBudgetMB << 20;
+    DOpts.MaxLiveTxs = Cfg.MaxLiveTxs;
+    if (Cfg.PcdTimeoutMs != 0)
+      DOpts.PcdStallTimeoutMs = Cfg.PcdTimeoutMs;
+    if (Cfg.MaxSccTxs != 0)
+      DOpts.MaxSccTxsForPcd = Cfg.MaxSccTxs;
     auto Owned = std::make_unique<analysis::DoubleCheckerRuntime>(
         Compiled, DOpts, Violations, Stats);
     DC = Owned.get();
@@ -142,6 +151,8 @@ RunOutcome core::runChecker(const ir::Program &Source,
   Outcome.Violations = Violations.records();
   for (ir::MethodId Site : Violations.blamedMethods())
     Outcome.BlamedMethods.insert(Source.Methods[Site].Name);
+  for (ir::MethodId Site : Violations.potentialMethods())
+    Outcome.PotentialMethods.insert(Source.Methods[Site].Name);
   if (DC != nullptr)
     Outcome.StaticInfo = DC->staticInfo();
   for (const Statistic *S : Stats.all())

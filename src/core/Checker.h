@@ -25,6 +25,7 @@
 #include "core/AtomicitySpec.h"
 #include "ir/Ir.h"
 #include "rt/Runtime.h"
+#include "support/FaultPlan.h"
 
 namespace dc {
 namespace core {
@@ -59,6 +60,9 @@ struct RunConfig {
   bool ParallelPcd = false;
   /// Workers in the parallel-PCD pool (ParallelPcd only).
   uint32_t PcdWorkers = 2;
+  /// Bound on the parallel-PCD queue (0 = keep the DoubleCheckerOptions
+  /// default). Tiny values exercise the timed-backpressure path.
+  uint32_t PcdQueueDepth = 0;
   /// Escape hatch: run the IDG behind one global lock with inline
   /// collection (the pre-sharding behaviour) instead of the sharded hot
   /// path. For old-vs-new comparisons; violations must be identical.
@@ -74,6 +78,22 @@ struct RunConfig {
   /// DoubleCheckerOptions::TestOnlyUnsoundFilter so the schedule fuzzer can
   /// prove it catches a deliberately unsound ICD filter.
   bool TestOnlyUnsoundIcdFilter = false;
+  /// Deterministic fault plan (DESIGN.md §10): counter-keyed injections
+  /// the fuzzer sweeps to prove degradation stays sound.
+  FaultPlan Faults;
+  /// Log-arena budget in MiB (0 = unlimited). Breaching it starts the
+  /// degradation ladder: shed logging, degrade affected SCCs to potential
+  /// violations.
+  uint64_t MemBudgetMB = 0;
+  /// Live-transaction budget (0 = unlimited). Breaching it forces eager
+  /// collection.
+  uint64_t MaxLiveTxs = 0;
+  /// Watchdog/stall timeout in ms (0 = keep the DoubleCheckerOptions
+  /// default).
+  uint32_t PcdTimeoutMs = 0;
+  /// Cap on SCC size handed to PCD (0 = keep the DoubleCheckerOptions
+  /// default). Oversized SCCs degrade to potential violations.
+  uint32_t MaxSccTxs = 0;
   /// Required for SecondRun / SecondRunVelodrome.
   const analysis::StaticTransactionInfo *StaticInfo = nullptr;
 };
@@ -84,6 +104,10 @@ struct RunOutcome {
   std::vector<analysis::ViolationRecord> Violations;
   /// Names of blamed (original) methods — the unit Table 2 counts.
   std::set<std::string> BlamedMethods;
+  /// Names of methods reported only as *potential* violations (degraded
+  /// SCCs: oversized, shed logs, or PCD faults — DESIGN.md §10). A sound
+  /// run's BlamedMethods ∪ PotentialMethods covers every true violation.
+  std::set<std::string> PotentialMethods;
   /// ICD SCC static sites (multi-run first-run output; filled for every
   /// DoubleChecker mode).
   analysis::StaticTransactionInfo StaticInfo;

@@ -11,3 +11,31 @@ using namespace dc::rt;
 
 // Out-of-line vtable anchor.
 CheckerRuntime::~CheckerRuntime() = default;
+
+const char *dc::rt::toString(CheckerFault F) {
+  switch (F) {
+  case CheckerFault::None:
+    return "none";
+  case CheckerFault::PcdWorkerStall:
+    return "pcd-worker-stall";
+  case CheckerFault::PcdQueueStall:
+    return "pcd-queue-stall";
+  case CheckerFault::CollectorStall:
+    return "collector-stall";
+  case CheckerFault::GateStall:
+    return "gate-stall";
+  }
+  return "unknown";
+}
+
+const char *dc::rt::toString(DegradationEvent::Action A) {
+  switch (A) {
+  case DegradationEvent::Action::PotentialOnly:
+    return "potential-only";
+  case DegradationEvent::Action::ShedLogging:
+    return "shed-logging";
+  case DegradationEvent::Action::Rearm:
+    return "rearm";
+  }
+  return "unknown";
+}

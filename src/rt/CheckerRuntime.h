@@ -24,6 +24,7 @@
 #define DC_RT_CHECKERRUNTIME_H
 
 #include <cstdint>
+#include <string>
 
 #include "ir/Ir.h"
 #include "rt/Heap.h"
@@ -34,6 +35,45 @@ namespace rt {
 
 class Runtime;
 struct ThreadContext;
+struct RunResult;
+
+/// Structured checker-internal failure classification. A stalled or dead
+/// component never hangs the run or calls abort(): the watchdog diagnoses
+/// which component went silent and the run terminates with this code in
+/// RunResult::Fault plus a human-readable diagnosis string.
+enum class CheckerFault : uint8_t {
+  None = 0,
+  PcdWorkerStall,  ///< A PCD worker stopped heartbeating mid-replay.
+  PcdQueueStall,   ///< enqueue() could not hand off an SCC within the
+                   ///< timeout (queue saturated and no worker progress).
+  CollectorStall,  ///< The transaction collector stopped heartbeating.
+  GateStall,       ///< The scheduler gate made no progress (wedged run).
+};
+
+const char *toString(CheckerFault F);
+
+/// One step of the sound degradation ladder (DESIGN.md §10), recorded in
+/// RunResult::Degradation. Stamps are deterministic logical times (the
+/// checker's order clock or an SCC's max member end time), never
+/// wall-clock, so the same schedule + FaultPlan yields the same report.
+struct DegradationEvent {
+  enum class Action : uint8_t {
+    PotentialOnly, ///< An SCC was reported as potential violations instead
+                   ///< of being precisely replayed (oversized, shed member,
+                   ///< queue timeout, or worker fault).
+    ShedLogging,   ///< A thread dropped from single-run to ICD-only.
+    Rearm,         ///< The thread resumed full logging.
+  };
+  Action A = Action::PotentialOnly;
+  uint32_t Tid = 0;    ///< Logical thread (ShedLogging/Rearm) or 0.
+  uint64_t Stamp = 0;  ///< Deterministic logical time of the transition.
+
+  bool operator==(const DegradationEvent &O) const {
+    return A == O.A && Tid == O.Tid && Stamp == O.Stamp;
+  }
+};
+
+const char *toString(DegradationEvent::Action A);
 
 /// Kinds of synchronization events routed through syncOp().
 enum class SyncKind : uint8_t {
@@ -105,6 +145,10 @@ public:
   /// use the implicit coordination protocol on blocked threads.
   virtual void aboutToBlock(ThreadContext &TC) {}
   virtual void unblocked(ThreadContext &TC) {}
+
+  /// Called once after endRun(), with the assembled RunResult: checkers
+  /// fill in Fault / FaultDiagnosis / Degradation (rt/Runtime.h).
+  virtual void reportHealth(RunResult &R) {}
 };
 
 } // namespace rt

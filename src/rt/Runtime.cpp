@@ -453,6 +453,8 @@ RunResult Runtime::run() {
   R.Aborted = Aborted.load(std::memory_order_relaxed);
   if (TheGate)
     R.ScheduleDiverged = TheGate->scheduleDiverged();
+  if (Checker)
+    Checker->reportHealth(R);
   return R;
 }
 

@@ -84,6 +84,14 @@ struct RunResult {
   /// ExplicitSchedule failed to cover the execution under
   /// ScheduleExhaustPolicy::HardError (implies Aborted).
   bool ScheduleDiverged = false;
+  /// First checker-internal fault (watchdog diagnosis); None on a healthy
+  /// run. Filled by CheckerRuntime::reportHealth.
+  CheckerFault Fault = CheckerFault::None;
+  /// Human-readable component/phase diagnosis for Fault.
+  std::string FaultDiagnosis;
+  /// The degradation ladder's structured transition report, in
+  /// deterministic-stamp order (see DegradationEvent).
+  std::vector<DegradationEvent> Degradation;
 };
 
 /// Owns the heap, program threads, and synchronization for one execution.

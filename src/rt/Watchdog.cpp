@@ -1,0 +1,87 @@
+//===- rt/Watchdog.cpp ----------------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "rt/Watchdog.h"
+
+#include <chrono>
+
+using namespace dc;
+using namespace dc::rt;
+
+uint64_t Watchdog::nowMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Watchdog::Watchdog(Options Opts, Handler OnStall)
+    : Opts(Opts), OnStall(std::move(OnStall)) {}
+
+Watchdog::~Watchdog() {
+  {
+    std::lock_guard<std::mutex> L(StopLock);
+    StopRequested = true;
+  }
+  StopCv.notify_all();
+  if (Monitor.joinable())
+    Monitor.join();
+}
+
+uint32_t Watchdog::addComponent(std::string Name) {
+  Slots.emplace_back();
+  Slots.back().Name = std::move(Name);
+  Slots.back().LastBeatMs.store(nowMs(), std::memory_order_relaxed);
+  return static_cast<uint32_t>(Slots.size() - 1);
+}
+
+void Watchdog::start() {
+  if (Slots.empty() || Monitor.joinable())
+    return;
+  Monitor = std::thread([this] { monitorLoop(); });
+}
+
+void Watchdog::beginWork(uint32_t Id) {
+  Slot &S = Slots[Id];
+  S.LastBeatMs.store(nowMs(), std::memory_order_relaxed);
+  S.Busy.store(true, std::memory_order_release);
+}
+
+void Watchdog::heartbeat(uint32_t Id) {
+  Slots[Id].LastBeatMs.store(nowMs(), std::memory_order_relaxed);
+}
+
+void Watchdog::endWork(uint32_t Id) {
+  Slots[Id].Busy.store(false, std::memory_order_release);
+}
+
+void Watchdog::disarm() { Armed.store(false, std::memory_order_release); }
+
+void Watchdog::monitorLoop() {
+  std::unique_lock<std::mutex> L(StopLock);
+  while (!StopRequested) {
+    StopCv.wait_for(L, std::chrono::milliseconds(Opts.PollMs),
+                    [this] { return StopRequested; });
+    if (StopRequested || !Armed.load(std::memory_order_acquire))
+      continue;
+    uint64_t Now = nowMs();
+    for (Slot &S : Slots) {
+      if (!S.Busy.load(std::memory_order_acquire))
+        continue;
+      if (S.Fired.load(std::memory_order_relaxed))
+        continue;
+      uint64_t Last = S.LastBeatMs.load(std::memory_order_relaxed);
+      if (Now >= Last && Now - Last > Opts.TimeoutMs) {
+        S.Fired.store(true, std::memory_order_relaxed);
+        // Run the handler outside the stop lock: it may take checker locks
+        // and must never be able to deadlock against the destructor.
+        L.unlock();
+        OnStall(S.Name, Now - Last);
+        L.lock();
+      }
+    }
+  }
+}

@@ -264,11 +264,14 @@ TEST(PcdTest, SameThreadMembersReplayInSequenceOrder) {
   EXPECT_EQ(H.Sink.count(), 0u);
 }
 
-TEST(PcdTest, OversizedSccSkipped) {
+TEST(PcdTest, OversizedSccDegradesToPotential) {
+  // Regression: an SCC above MaxSccTxs must not vanish silently — its
+  // members' static sites surface as a Potential violation record (sound
+  // multi-run run-1 semantics), while the replay itself is skipped.
   SccBuilder B;
   std::vector<Transaction *> Members;
   for (int I = 0; I < 10; ++I)
-    Members.push_back(B.tx(I % 2, I / 2));
+    Members.push_back(B.tx(I % 2, I / 2, /*Regular=*/true, /*Site=*/7));
   StatisticRegistry Stats;
   ViolationLog Sink;
   PreciseCycleDetector::Options Opts;
@@ -276,7 +279,16 @@ TEST(PcdTest, OversizedSccSkipped) {
   PreciseCycleDetector Pcd(Sink, Stats, Opts);
   Pcd.processScc(Members);
   EXPECT_EQ(Stats.value("pcd.sccs_skipped"), 1u);
+  EXPECT_EQ(Stats.value("pcd.sccs_degraded"), 1u);
   EXPECT_EQ(Stats.value("pcd.txs_replayed"), 0u);
+  ASSERT_EQ(Sink.count(), 1u);
+  const std::vector<ViolationRecord> Records = Sink.records();
+  const ViolationRecord &R = Records.front();
+  EXPECT_EQ(R.K, ViolationRecord::Kind::Potential);
+  EXPECT_EQ(R.Cycle.size(), Members.size());
+  EXPECT_TRUE(Sink.blamedMethods().empty())
+      << "potential records must not pollute precise blame";
+  EXPECT_EQ(Sink.potentialMethods(), std::set<ir::MethodId>{7u});
 }
 
 TEST(OnlinePcdTest, DetectsCycleAcrossTransactions) {

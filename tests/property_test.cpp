@@ -202,4 +202,52 @@ TEST_P(MultiRunProperty, SecondRunBlamesOnlyRealMethods) {
 INSTANTIATE_TEST_SUITE_P(RandomPrograms, MultiRunProperty,
                          ::testing::Range<uint64_t>(200, 206));
 
+class DegradationProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DegradationProperty, ShardedAndSerializedDegradeIdentically) {
+  // Degradation determinism (DESIGN.md §10): the ladder's triggers are
+  // keyed to schedule-determined counters (chunk-refill requests, SCC
+  // batch flushes on the detecting thread, transaction boundaries), so on
+  // one recorded schedule the sharded hot path and the SerializedIdg
+  // escape hatch must produce the *same structured degradation report*
+  // and the same violation sets — and both must still cover everything
+  // the fault-free run blames.
+  Program P = randomProgram(GetParam(), /*SerializableOnly=*/false);
+  AtomicitySpec Spec = AtomicitySpec::initial(P);
+  for (uint64_t Schedule = 0; Schedule < 2; ++Schedule) {
+    std::vector<uint32_t> Recorded;
+    RunConfig RecCfg = detCfg(Mode::SingleRun, Schedule);
+    RecCfg.RunOpts.ScheduleOut = &Recorded;
+    RunOutcome Baseline = runChecker(P, Spec, RecCfg);
+    ASSERT_FALSE(Baseline.Result.Aborted);
+
+    auto degradedCfg = [&](bool Serialized) {
+      RunConfig Cfg = detCfg(Mode::SingleRun, Schedule);
+      Cfg.RunOpts.ExplicitSchedule = Recorded;
+      Cfg.RunOpts.OnScheduleExhausted =
+          rt::ScheduleExhaustPolicy::HardError;
+      Cfg.SerializedIdg = Serialized;
+      Cfg.Faults.AllocFailAt = 1 + GetParam() % 3;
+      Cfg.MaxSccTxs = 2;
+      return Cfg;
+    };
+    RunOutcome Sharded = runChecker(P, Spec, degradedCfg(false));
+    RunOutcome Serialized = runChecker(P, Spec, degradedCfg(true));
+    ASSERT_FALSE(Sharded.Result.ScheduleDiverged);
+    ASSERT_FALSE(Serialized.Result.ScheduleDiverged);
+    EXPECT_EQ(Sharded.Result.Degradation, Serialized.Result.Degradation)
+        << "program seed " << GetParam() << ", schedule " << Schedule;
+    EXPECT_EQ(Sharded.BlamedMethods, Serialized.BlamedMethods);
+    EXPECT_EQ(Sharded.PotentialMethods, Serialized.PotentialMethods);
+    for (const std::string &M : Baseline.BlamedMethods)
+      EXPECT_TRUE(Sharded.BlamedMethods.count(M) != 0 ||
+                  Sharded.PotentialMethods.count(M) != 0)
+          << "degraded run lost '" << M << "', program seed " << GetParam()
+          << ", schedule " << Schedule;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, DegradationProperty,
+                         ::testing::Range<uint64_t>(300, 312));
+
 } // namespace

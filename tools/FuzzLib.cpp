@@ -274,6 +274,154 @@ PairResult fuzz::checkPair(const ir::Program &Source,
 }
 
 //===----------------------------------------------------------------------===//
+// Fault-plan sweep (degradation soundness, DESIGN.md §10)
+//===----------------------------------------------------------------------===//
+
+std::string FaultCase::name() const {
+  std::string N = "fault[" + Plan.spec();
+  if (ParallelPcd)
+    N += " parallel-pcd";
+  if (PcdQueueDepth != 0)
+    N += " queue-depth=" + std::to_string(PcdQueueDepth);
+  if (MaxSccTxs != 0)
+    N += " max-scc-txs=" + std::to_string(MaxSccTxs);
+  if (PcdTimeoutMs != 0)
+    N += " timeout-ms=" + std::to_string(PcdTimeoutMs);
+  return N + "]";
+}
+
+std::vector<FaultCase> fuzz::faultSweepCases() {
+  std::vector<FaultCase> Cases;
+  // Allocation failure at the first and a later refill: the thread sheds
+  // logging and its SCCs degrade to potential violations.
+  {
+    FaultCase C;
+    C.Plan.AllocFailAt = 1;
+    Cases.push_back(C);
+  }
+  {
+    FaultCase C;
+    C.Plan.AllocFailAt = 3;
+    Cases.push_back(C);
+  }
+  // Permanent worker stall: the SCC degrades immediately and the watchdog
+  // converts the busy-and-silent worker into PcdWorkerStall. A short
+  // timeout keeps the sweep fast.
+  {
+    FaultCase C;
+    C.Plan.WorkerStallAt = 1;
+    C.ParallelPcd = true;
+    C.PcdTimeoutMs = 100;
+    Cases.push_back(C);
+  }
+  // Worker death mid-replay: caught, degraded, worker survives.
+  {
+    FaultCase C;
+    C.Plan.WorkerDieAt = 1;
+    C.ParallelPcd = true;
+    Cases.push_back(C);
+  }
+  // Queue saturation: workers refuse to dequeue until the hold releases,
+  // so with depth 1 the second enqueue exercises timed backpressure.
+  {
+    FaultCase C;
+    C.Plan.QueueHoldUntil = 2;
+    C.ParallelPcd = true;
+    C.PcdQueueDepth = 1;
+    C.PcdTimeoutMs = 100;
+    Cases.push_back(C);
+  }
+  // Delayed collector passes (below the timeout: exercises the path
+  // without tripping CollectorStall).
+  {
+    FaultCase C;
+    C.Plan.CollectorDelayMs = 5;
+    Cases.push_back(C);
+  }
+  // Oversized-SCC cap: every real SCC (≥ 2 members) exceeds the cap and
+  // must surface as potential violations, never vanish.
+  {
+    FaultCase C;
+    C.MaxSccTxs = 1;
+    Cases.push_back(C);
+  }
+  // Combination: shedding and a dying worker in the same run.
+  {
+    FaultCase C;
+    C.Plan.AllocFailAt = 1;
+    C.Plan.WorkerDieAt = 1;
+    C.ParallelPcd = true;
+    Cases.push_back(C);
+  }
+  return Cases;
+}
+
+std::optional<std::string>
+fuzz::checkFaultCase(const ir::Program &Source,
+                     const oracle::RecordedTrace &Trace,
+                     const FaultCase &Case) {
+  oracle::OracleVerdict V = oracle::decideSerializability(Source, Trace);
+  core::AtomicitySpec Spec = core::AtomicitySpec::initial(Source);
+
+  // Fault-free baseline on the same schedule: the reference for what the
+  // checker reports when nothing degrades. Blame assignment names one
+  // method per cycle (not every method the oracle's cycles touch), so the
+  // soundness bar for a degraded run is "reports at least what the
+  // healthy checker reports", not "reports every oracle cycle method".
+  core::RunConfig Base;
+  Base.M = core::Mode::SingleRun;
+  Base.RunOpts = replayOpts(Trace.Schedule);
+  core::RunOutcome BO = core::runChecker(Source, Spec, Base);
+  if (BO.Result.ScheduleDiverged || BO.Result.Aborted)
+    return std::nullopt; // Baseline itself unusable; checkPair owns that.
+
+  core::RunConfig Cfg = Base;
+  Cfg.Faults = Case.Plan;
+  Cfg.ParallelPcd = Case.ParallelPcd;
+  Cfg.PcdQueueDepth = Case.PcdQueueDepth;
+  Cfg.MaxSccTxs = Case.MaxSccTxs;
+  Cfg.PcdTimeoutMs = Case.PcdTimeoutMs;
+  core::RunOutcome O = core::runChecker(Source, Spec, Cfg);
+  const std::string Name = Case.name();
+
+  // Structured termination: the gate must still replay the schedule and
+  // the run must end normally — faults may degrade results, never the
+  // execution itself.
+  if (O.Result.ScheduleDiverged)
+    return Name + ": recorded schedule did not replay under injected faults";
+  if (O.Result.Aborted)
+    return Name + ": run aborted instead of degrading (fault=" +
+           std::string(rt::toString(O.Result.Fault)) + " " +
+           O.Result.FaultDiagnosis + ")";
+
+  std::set<std::string> Reported = O.BlamedMethods;
+  Reported.insert(O.PotentialMethods.begin(), O.PotentialMethods.end());
+
+  // Soundness under degradation, part 1: a truly non-serializable trace
+  // must still surface *something* — a precise record or a potential one.
+  if (!V.Serializable && Reported.empty() && O.Violations.empty())
+    return Name + ": reports nothing on a trace the oracle proves "
+                  "non-serializable";
+
+  // Part 2: degradation may convert precise blame into potential reports
+  // but must never lose coverage — everything the healthy run blamed must
+  // still be reported, precisely or potentially.
+  for (const std::string &M : BO.BlamedMethods)
+    if (!Reported.count(M))
+      return Name + ": lost '" + M +
+             "' that the fault-free run blames (blamed=" +
+             describeSet(O.BlamedMethods) +
+             " potential=" + describeSet(O.PotentialMethods) + ")";
+
+  // Part 3: the *precise* tier stays precise under faults — blamed
+  // methods come only from fully replayed, complete-log SCCs.
+  if (!isSubset(O.BlamedMethods, V.CycleMethods))
+    return Name + ": blames methods outside the oracle's dependence cycles";
+
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
 // Divergence search + witness minimization
 //===----------------------------------------------------------------------===//
 
@@ -418,6 +566,17 @@ bool fuzz::writeWitness(const std::string &Path, const Divergence &D,
   Out << "# spec-seed: " << D.Spec.Seed << "\n";
   Out << "# data-accesses: " << D.DataAccesses << "\n";
   Out << "# inject-icd-bug: " << (InjectIcdBug ? 1 : 0) << "\n";
+  if (D.Fault.any()) {
+    Out << "# fault-plan: " << D.Fault.Plan.spec() << "\n";
+    if (D.Fault.ParallelPcd)
+      Out << "# fault-parallel-pcd: 1\n";
+    if (D.Fault.PcdQueueDepth != 0)
+      Out << "# fault-queue-depth: " << D.Fault.PcdQueueDepth << "\n";
+    if (D.Fault.MaxSccTxs != 0)
+      Out << "# fault-max-scc-txs: " << D.Fault.MaxSccTxs << "\n";
+    if (D.Fault.PcdTimeoutMs != 0)
+      Out << "# fault-timeout-ms: " << D.Fault.PcdTimeoutMs << "\n";
+  }
   Out << "# schedule:";
   for (uint32_t T : D.Schedule)
     Out << ' ' << T;
@@ -439,6 +598,7 @@ bool fuzz::readWitness(const std::string &Path, Witness &W,
 
   W.Schedule.clear();
   W.InjectIcdBug = false;
+  W.Fault = FaultCase();
   std::istringstream IS(Text);
   std::string Line;
   while (std::getline(IS, Line)) {
@@ -456,6 +616,24 @@ bool fuzz::readWitness(const std::string &Path, Witness &W,
       int V = 0;
       LS >> V;
       W.InjectIcdBug = V != 0;
+    } else if (Tag == "fault-plan:") {
+      std::string Spec;
+      LS >> Spec;
+      std::string PlanError;
+      if (!FaultPlan::parse(Spec, W.Fault.Plan, PlanError)) {
+        Error = "bad '# fault-plan:' line: " + PlanError;
+        return false;
+      }
+    } else if (Tag == "fault-parallel-pcd:") {
+      int V = 0;
+      LS >> V;
+      W.Fault.ParallelPcd = V != 0;
+    } else if (Tag == "fault-queue-depth:") {
+      LS >> W.Fault.PcdQueueDepth;
+    } else if (Tag == "fault-max-scc-txs:") {
+      LS >> W.Fault.MaxSccTxs;
+    } else if (Tag == "fault-timeout-ms:") {
+      LS >> W.Fault.PcdTimeoutMs;
     }
   }
 
@@ -482,6 +660,8 @@ std::optional<std::string> fuzz::replayWitness(const Witness &W) {
         "witness schedule does not cover this program's execution");
   if (T.Result.Aborted)
     return std::string("witness replay aborted");
+  if (W.Fault.any())
+    return checkFaultCase(W.P, T, W.Fault);
   return checkPair(W.P, T, W.InjectIcdBug).Divergence;
 }
 
@@ -533,6 +713,23 @@ FuzzReport fuzz::runFuzz(const FuzzOptions &O) {
         D.Schedule = T.Schedule;
         D.DataAccesses = T.dataAccesses();
         Report.Div = std::move(D);
+      } else if (O.FaultSweep) {
+        // The matrix agrees on this pair: sweep the fault plans over it,
+        // checking that degradation stays sound under every injection.
+        for (const FaultCase &Case : faultSweepCases()) {
+          ++Report.FaultPlansRun;
+          std::optional<std::string> FD = checkFaultCase(P, T, Case);
+          if (!FD)
+            continue;
+          Divergence D;
+          D.Description = *FD;
+          D.Spec = Spec;
+          D.Schedule = T.Schedule;
+          D.DataAccesses = T.dataAccesses();
+          D.Fault = Case;
+          Report.Div = std::move(D);
+          break;
+        }
       }
       Progress();
     };
@@ -578,7 +775,10 @@ FuzzReport fuzz::runFuzz(const FuzzOptions &O) {
     }
   }
 
-  if (Report.Div && O.Minimize)
+  // Fault-sweep divergences are not minimized: the minimizer re-searches
+  // through the config matrix, which would lose the fault case. The
+  // witness carries the full fault configuration instead.
+  if (Report.Div && O.Minimize && !Report.Div->Fault.any())
     Report.Div = minimizeWitness(*Report.Div, O.InjectIcdBug);
   Report.Seconds = Elapsed();
   return Report;

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "ir/Ir.h"
+#include "support/FaultPlan.h"
 #include "tests/oracle.h"
 
 namespace dc {
@@ -91,12 +92,49 @@ struct PairResult {
 PairResult checkPair(const ir::Program &Source,
                      const oracle::RecordedTrace &Trace, bool InjectIcdBug);
 
+/// One fault-injection configuration the sweep exercises: a deterministic
+/// FaultPlan plus the checker knobs that make its trigger reachable (a
+/// worker stall needs the parallel pool; queue saturation needs a tiny
+/// queue). Zero-valued knobs keep the checker defaults.
+struct FaultCase {
+  FaultPlan Plan;
+  bool ParallelPcd = false;
+  uint32_t PcdQueueDepth = 0;
+  uint32_t MaxSccTxs = 0;
+  uint32_t PcdTimeoutMs = 0;
+
+  bool any() const {
+    return Plan.any() || ParallelPcd || PcdQueueDepth != 0 ||
+           MaxSccTxs != 0 || PcdTimeoutMs != 0;
+  }
+  /// Human-readable label, also used in witness headers.
+  std::string name() const;
+};
+
+/// The built-in fault-sweep axis: one case per overload failure mode the
+/// FaultPlan models (allocation failure, worker stall/death, queue
+/// saturation, collector delay, oversized-SCC cap) plus a combination.
+std::vector<FaultCase> faultSweepCases();
+
+/// Replays the recorded pair through single-run DoubleChecker under \p
+/// Case and checks the degradation soundness invariant: the run terminates
+/// structurally (no hang, no abort, schedule covered) and the reported
+/// violation set — precise blamed methods ∪ potential methods from
+/// degraded SCCs — is a superset of the oracle's true violating methods.
+/// Returns the violation description, or nullopt if the invariant holds.
+std::optional<std::string> checkFaultCase(const ir::Program &Source,
+                                          const oracle::RecordedTrace &Trace,
+                                          const FaultCase &Case);
+
 /// A divergence, packaged for minimization and replay.
 struct Divergence {
   std::string Description;
   ProgSpec Spec;
   std::vector<uint32_t> Schedule;
   uint64_t DataAccesses = 0;
+  /// Set when the divergence is a fault-sweep soundness violation (the
+  /// witness then replays checkFaultCase instead of the config matrix).
+  FaultCase Fault;
 };
 
 /// Delta-debugs \p Seed: applies program reductions, re-searching divergent
@@ -113,6 +151,9 @@ struct Witness {
   ir::Program P;
   std::vector<uint32_t> Schedule;
   bool InjectIcdBug = false;
+  /// Parsed from the '# fault-plan:' header block; when armed, replay runs
+  /// checkFaultCase under this configuration.
+  FaultCase Fault;
 };
 /// Returns false (with \p Error set) on I/O or parse failure.
 bool readWitness(const std::string &Path, Witness &W, std::string &Error);
@@ -135,6 +176,9 @@ struct FuzzOptions {
   uint32_t ExhaustiveRunsPerProgram = 24;
   bool InjectIcdBug = false;
   bool Minimize = true;
+  /// Sweep the deterministic fault plans (faultSweepCases) over every pair
+  /// whose config matrix agrees, checking degradation soundness.
+  bool FaultSweep = false;
   /// Progress lines on stderr every this many pairs (0 = quiet).
   uint64_t ProgressEvery = 0;
 };
@@ -148,6 +192,8 @@ struct FuzzReport {
   /// Pairs whose trace the oracle called non-serializable (schedule-quality
   /// signal: an adversarial strategy should score higher than random).
   uint64_t OracleViolations = 0;
+  /// Individual fault-case runs performed by the fault sweep.
+  uint64_t FaultPlansRun = 0;
   double Seconds = 0;
   /// First divergence hit (minimized when FuzzOptions::Minimize).
   std::optional<Divergence> Div;

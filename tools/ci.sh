@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # CI gate: Release build + full test suite, then a ThreadSanitizer build
 # running the concurrent stress tests (sharded IDG hot path, PCD worker
-# pool, background collector). Run from the repository root:
+# pool, background collector, fault-injection teardown paths) and an
+# UndefinedBehaviorSanitizer build of the fault-injection tests. Run from
+# the repository root:
 #
 #   tools/ci.sh [jobs]
 #
-# Build trees land in build-ci/ and build-ci-tsan/ so a developer's
-# existing build/ directory is left alone.
+# Build trees land in build-ci/, build-ci-tsan/, and build-ci-ubsan/ so a
+# developer's existing build/ directory is left alone.
 set -euo pipefail
 
 JOBS="${1:-$(nproc)}"
@@ -55,21 +57,50 @@ if [ "$RC" -ne 1 ]; then
   echo "error: injected-bug witness did not replay (exit $RC)"; exit 1
 fi
 
+echo "== Fault-injection sweep (bounded) =="
+# Every agreeing (program, schedule) pair re-runs under the deterministic
+# fault matrix (alloc failure, worker stall/death, queue saturation,
+# collector delay, oversized-SCC cap): degradation must stay sound —
+# nothing the fault-free run blames may be lost, and every run terminates
+# with a structured RunResult. DC_FAULT_BUDGET_SECONDS=300 (or more) is
+# the nightly setting; the default keeps the gate fast.
+FAULT_BUDGET="${DC_FAULT_BUDGET_SECONDS:-20}"
+build-ci/tools/dcfuzz --seed 3 --budget-seconds "$FAULT_BUDGET" \
+  --pairs 1000000 --fault-sweep --progress 2000
+
 echo "== ThreadSanitizer build + concurrency stress tests =="
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDC_SANITIZE=thread >/dev/null
 cmake --build build-ci-tsan -j "$JOBS" --target idg_stress_test \
-  octet_stress_test log_elision_test log_srcpos_test dcfuzz
+  octet_stress_test log_elision_test log_srcpos_test fault_injection_test \
+  dcfuzz
 
 echo "== Differential schedule fuzz under TSan (smoke) =="
 # Much slower per pair under TSan; a short fixed-seed slice is enough to
-# catch data races in the scheduler/gate/oracle plumbing itself.
+# catch data races in the scheduler/gate/oracle plumbing itself. The
+# fault-sweep slice covers the degradation/watchdog/teardown machinery
+# (shed flags, queue backpressure, join-or-detach destruction).
 build-ci-tsan/tools/dcfuzz --seed 7 --pairs 40 --strategy mixed
+build-ci-tsan/tools/dcfuzz --seed 7 --pairs 10 --fault-sweep
 # TSan slows execution ~5-15x; restrict to the tests whose whole point is
 # cross-thread synchronization rather than re-running the full suite. The
 # logging tests are in that set: LogSrcPos races a lock-free LogLen
 # sampler against an appender, and LogElision stresses both log paths.
+# FaultInjection exercises the watchdog, worker stall/death, and the
+# destruction-under-saturated-queue teardown.
 ctest --test-dir build-ci-tsan --output-on-failure \
-  -R "Idg|Octet|ElisionFilter|LogDifferential|SrcPosSampling"
+  -R "Idg|Octet|ElisionFilter|LogDifferential|SrcPosSampling|FaultInjection"
+
+echo "== UndefinedBehaviorSanitizer build + fault-injection tests =="
+# UBSan (fail-fast: -fno-sanitize-recover=all) over the paths the fault
+# plans push through rare branches — degraded SCCs, timed-out enqueues,
+# shed/re-arm transitions.
+cmake -B build-ci-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDC_SANITIZE=undefined >/dev/null
+cmake --build build-ci-ubsan -j "$JOBS" --target fault_injection_test \
+  pcd_test dcfuzz
+ctest --test-dir build-ci-ubsan --output-on-failure \
+  -R "FaultInjection|Pcd"
+build-ci-ubsan/tools/dcfuzz --seed 5 --pairs 20 --fault-sweep
 
 echo "== CI gate passed =="

@@ -45,6 +45,9 @@ void usage(FILE *Out) {
       "  --pct-depth <n>            PCT priority change points (default 3)\n"
       "  --preemption-bound <n>     exhaustive preemption bound (default 2)\n"
       "  --inject-icd-bug           enable the test-only unsound ICD filter\n"
+      "  --fault-sweep              sweep deterministic fault plans over\n"
+      "                             every agreeing pair (degradation "
+      "soundness)\n"
       "  --minimize / --no-minimize delta-debug divergences (default on)\n"
       "  --witness-out <file>       where to write a minimized witness\n"
       "  --json-out <file>          write the campaign report as JSON\n"
@@ -125,6 +128,8 @@ int main(int argc, char **argv) {
       O.PreemptionBound = static_cast<uint32_t>(V);
     } else if (A == "--inject-icd-bug") {
       O.InjectIcdBug = true;
+    } else if (A == "--fault-sweep") {
+      O.FaultSweep = true;
     } else if (A == "--minimize") {
       O.Minimize = true;
     } else if (A == "--no-minimize") {
@@ -177,36 +182,41 @@ int main(int argc, char **argv) {
           "  \"seed\": %llu,\n"
           "  \"strategy\": \"%s\",\n"
           "  \"inject_icd_bug\": %s,\n"
+          "  \"fault_sweep\": %s,\n"
           "  \"programs\": %llu,\n"
           "  \"pairs\": %llu,\n"
           "  \"random_pairs\": %llu,\n"
           "  \"pct_pairs\": %llu,\n"
           "  \"exhaustive_pairs\": %llu,\n"
           "  \"oracle_violations\": %llu,\n"
+          "  \"fault_plans_run\": %llu,\n"
           "  \"divergences\": %d,\n"
           "  \"wall_s\": %.3f\n"
           "}\n",
           static_cast<unsigned long long>(O.Seed), StratName,
           O.InjectIcdBug ? "true" : "false",
+          O.FaultSweep ? "true" : "false",
           static_cast<unsigned long long>(R.Programs),
           static_cast<unsigned long long>(R.Pairs),
           static_cast<unsigned long long>(R.RandomPairs),
           static_cast<unsigned long long>(R.PctPairs),
           static_cast<unsigned long long>(R.ExhaustivePairs),
           static_cast<unsigned long long>(R.OracleViolations),
-          R.Div ? 1 : 0, R.Seconds);
+          static_cast<unsigned long long>(R.FaultPlansRun), R.Div ? 1 : 0,
+          R.Seconds);
       std::fclose(F);
     }
   }
   std::printf("dcfuzz: %llu pairs over %llu programs in %.1fs "
               "(random %llu, pct %llu, exhaustive %llu); "
-              "%llu oracle violations\n",
+              "%llu oracle violations; %llu fault plans\n",
               static_cast<unsigned long long>(R.Pairs),
               static_cast<unsigned long long>(R.Programs), R.Seconds,
               static_cast<unsigned long long>(R.RandomPairs),
               static_cast<unsigned long long>(R.PctPairs),
               static_cast<unsigned long long>(R.ExhaustivePairs),
-              static_cast<unsigned long long>(R.OracleViolations));
+              static_cast<unsigned long long>(R.OracleViolations),
+              static_cast<unsigned long long>(R.FaultPlansRun));
   if (!R.Div) {
     std::printf("no divergences\n");
     return 0;

@@ -51,6 +51,9 @@ struct CliOptions {
   bool Deterministic = false;
   bool ParallelPcd = false;
   unsigned PcdWorkers = 2;
+  uint64_t MemBudgetMB = 0;
+  unsigned PcdTimeoutMs = 0;
+  std::string FaultPlanSpec;
   bool SerializedIdg = false;
   bool LegacyLog = false;
   bool Refine = false;
@@ -88,6 +91,12 @@ void printUsage() {
       "  --refine              iterative specification refinement (Fig. 6)\n"
       "  --parallel-pcd        replay PCD SCCs on a background worker pool\n"
       "  --pcd-workers <n>     pool size for --parallel-pcd (default 2)\n"
+      "  --mem-budget-mb <n>   log-arena budget in MiB; breaching it sheds\n"
+      "                        logging soundly (0 = unlimited, default)\n"
+      "  --pcd-timeout-ms <n>  watchdog/stall timeout for background\n"
+      "                        components (0 = default 10000)\n"
+      "  --fault-plan <spec>   inject deterministic checker faults, e.g.\n"
+      "                        alloc-fail@1,worker-stall@2 (see dcfuzz)\n"
       "  --legacy-log          pre-arena escape hatch: shared elision\n"
       "                        cells + vector logs (for comparisons)\n"
       "  --serialized-idg      pre-sharding escape hatch: one global IDG\n"
@@ -143,6 +152,12 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.ParallelPcd = true;
     else if (Arg == "--pcd-workers" && Value(V))
       Opts.PcdWorkers = static_cast<unsigned>(std::atoi(V.c_str()));
+    else if (Arg == "--mem-budget-mb" && Value(V))
+      Opts.MemBudgetMB = std::strtoull(V.c_str(), nullptr, 10);
+    else if (Arg == "--pcd-timeout-ms" && Value(V))
+      Opts.PcdTimeoutMs = static_cast<unsigned>(std::atoi(V.c_str()));
+    else if (Arg == "--fault-plan" && Value(V))
+      Opts.FaultPlanSpec = V;
     else if (Arg == "--serialized-idg")
       Opts.SerializedIdg = true;
     else if (Arg == "--legacy-log")
@@ -184,10 +199,29 @@ void printOutcome(const ir::Program &P, const RunOutcome &O,
   std::printf("ran %llu instructions in %.3fs%s\n",
               (unsigned long long)O.Result.Steps, O.Result.WallSeconds,
               O.Result.Aborted ? " (ABORTED)" : "");
+  if (O.Result.Fault != rt::CheckerFault::None)
+    std::printf("CHECKER FAULT: %s (%s)\n", rt::toString(O.Result.Fault),
+                O.Result.FaultDiagnosis.c_str());
+  if (!O.Result.Degradation.empty()) {
+    std::printf("degradation: %zu event(s):", O.Result.Degradation.size());
+    size_t DegShown = 0;
+    for (const auto &E : O.Result.Degradation) {
+      if (++DegShown > 8) {
+        std::printf(" ...");
+        break;
+      }
+      std::printf(" %s@%llu", rt::toString(E.A),
+                  (unsigned long long)E.Stamp);
+    }
+    std::printf("\n");
+  }
   std::printf("%zu violation record(s), %zu distinct blamed method(s)\n",
               O.Violations.size(), O.BlamedMethods.size());
   for (const std::string &Name : O.BlamedMethods)
     std::printf("  atomicity violation: %s\n", Name.c_str());
+  for (const std::string &Name : O.PotentialMethods)
+    if (!O.BlamedMethods.count(Name))
+      std::printf("  potential violation (degraded): %s\n", Name.c_str());
   size_t Shown = 0;
   for (const auto &V : O.Violations) {
     if (++Shown > 3) {
@@ -330,6 +364,16 @@ int main(int Argc, char **Argv) {
   Cfg.PcdWorkers = Opts.PcdWorkers;
   Cfg.SerializedIdg = Opts.SerializedIdg;
   Cfg.LegacyLog = Opts.LegacyLog;
+  Cfg.MemBudgetMB = Opts.MemBudgetMB;
+  Cfg.PcdTimeoutMs = Opts.PcdTimeoutMs;
+  if (!Opts.FaultPlanSpec.empty()) {
+    std::string PlanError;
+    if (!FaultPlan::parse(Opts.FaultPlanSpec, Cfg.Faults, PlanError)) {
+      std::fprintf(stderr, "error: bad --fault-plan: %s\n",
+                   PlanError.c_str());
+      return 2;
+    }
+  }
   if (!Opts.Deterministic)
     Cfg.RunOpts.PreemptEveryN = 1024;
   if (M == Mode::SecondRun || M == Mode::SecondRunVelodrome) {
