@@ -502,7 +502,8 @@ void DoubleCheckerRuntime::beginRun(rt::Runtime &RT) {
   NumShards = Opts.SerializedIdg ? 1 : NumThreads + 1;
   IdgShards = std::make_unique<StripedLockSet>(NumShards);
   Octet = std::make_unique<octet::OctetManager>(
-      RT.heap(), NumThreads, this, Stats, &RT.abortFlag());
+      RT.heap(), NumThreads, this, Stats, &RT.abortFlag(),
+      Opts.SerialRoundtrips);
   // Resource governor: budgets come straight from the options; the chunk
   // pool charges log bytes against it and consults it on refills.
   ResourceBudgets B;
@@ -628,6 +629,11 @@ void DoubleCheckerRuntime::endRun(rt::Runtime &RT) {
   Stats.get("icd.idg_cross_edges")
       .add(CrossEdges.load(std::memory_order_relaxed));
   Stats.get("icd.sccs").add(SccCount.load(std::memory_order_relaxed));
+  Stats.get("icd.scc_passes").add(SccPasses.load(std::memory_order_relaxed));
+  Stats.get("icd.scc_visited")
+      .add(SccVisited.load(std::memory_order_relaxed));
+  Stats.get("governor.tx_backpressure_waits")
+      .add(BackpressureWaits.load(std::memory_order_relaxed));
   Stats.get("icd.collector_runs")
       .add(CollectorRuns.load(std::memory_order_relaxed));
   Stats.get("icd.collector_ns")
@@ -712,6 +718,7 @@ void DoubleCheckerRuntime::txBegin(rt::ThreadContext &TC,
                                    const ir::Method &M) {
   TlsPhysTid = TC.Tid;
   endCurrentTx(TC.Tid);
+  collectBackpressure(TC.Tid);
   const uint32_t S = shardOf(TC.Tid);
   lockShard(S, TC.Tid);
   newTransactionLocked(TC.Tid, P.originalOf(M.Id), /*Regular=*/true);
@@ -722,6 +729,7 @@ void DoubleCheckerRuntime::txEnd(rt::ThreadContext &TC, const ir::Method &M) {
   // §4: at method end, a new unary transaction begins.
   TlsPhysTid = TC.Tid;
   endCurrentTx(TC.Tid);
+  collectBackpressure(TC.Tid);
   const uint32_t S = shardOf(TC.Tid);
   lockShard(S, TC.Tid);
   newTransactionLocked(TC.Tid, ir::InvalidMethodId, /*Regular=*/false);
@@ -883,9 +891,15 @@ void DoubleCheckerRuntime::unblocked(rt::ThreadContext &TC) {
 
 void DoubleCheckerRuntime::onConflictingEdge(uint32_t RespTid,
                                              const octet::Transition &T) {
-  // Runs on the responder (explicit protocol) or the requester holding the
-  // blocked responder (implicit); both threads' current transactions are
-  // stable for the duration (see OctetListener's contract).
+  // Runs on the responder (explicit protocol) or on a requester holding /
+  // rescuing the blocked responder (implicit); both endpoints' current
+  // transactions are stable for the duration, but several of these
+  // callbacks may run *concurrently* for the same responder under the
+  // pipelined fan-out (see OctetListener's contract). That is sound here
+  // because every insertion below locks the responder's stripe (and the
+  // requester's), so same-responder edge creations serialize on shardOf
+  // (RespTid) while the quiescence guarantee pins both CurrTx loads
+  // (DESIGN.md §11).
   const uint32_t Phys = physTid(T.Requester);
   uint32_t A = shardOf(RespTid);
   uint32_t B = shardOf(T.Requester);
@@ -1043,8 +1057,15 @@ void DoubleCheckerRuntime::endCurrentTx(uint32_t Tid) {
   }
   Cur->EndTime = OrderClock.fetch_add(1, std::memory_order_relaxed) + 1;
   Cur->Finished.store(true, std::memory_order_release);
+  // Root filter (see Transaction::HasCrossOut): only a transaction with an
+  // outgoing cross edge at its end can be the claiming (maximal-EndTime)
+  // member of a cycle, so only those are worth a detection pass. This is
+  // what keeps Tarjan off the hot path — most conflicting transactions
+  // only *receive* edges (the sources are usually long finished) and end
+  // without ever becoming a root.
   const bool NeedScc =
-      !PcdOnlyAnalysis && Cur->HasCrossEdge && Opts.DetectIcdCycles;
+      !PcdOnlyAnalysis && Opts.DetectIcdCycles &&
+      (Cur->HasCrossOut || (Opts.EagerSccRoots && Cur->HasCrossIn));
   unlockShard(Shard);
   // The follow-ups run without the own stripe. Cur is finished, so its log
   // and incoming-edge set are frozen: edges always target the *requesting*
@@ -1079,8 +1100,8 @@ void DoubleCheckerRuntime::addCrossEdgeLocked(Transaction *Src,
   E.SrcPos = Src->LogLen.load(std::memory_order_acquire);
   E.Intra = false;
   Src->Out.push_back(E);
-  Src->HasCrossEdge = true;
-  Dst->HasCrossEdge = true;
+  Src->HasCrossOut = true;
+  Dst->HasCrossIn = true;
   // Timestamp bumps end log-elision windows on both threads (§4).
   Threads[Src->Tid].CurTs.fetch_add(1, std::memory_order_relaxed);
   Threads[Dst->Tid].CurTs.fetch_add(1, std::memory_order_relaxed);
@@ -1173,8 +1194,9 @@ void DoubleCheckerRuntime::sccPass(uint32_t Holder) {
       Frame &F = CallStack.back();
       if (F.EdgeIdx < F.Tx->Out.size()) {
         Transaction *Next = F.Tx->Out[F.EdgeIdx++].Dst;
-        // Only expand finished transactions (§3.2.3): unfinished members
-        // will trigger their own detection when they end.
+        // Only expand finished transactions (§3.2.3): an unfinished
+        // successor's cycle, if any, is incomplete and will trigger its
+        // own detection when it ends.
         if (!Next->Finished.load(std::memory_order_acquire))
           continue;
         if (Next->SccEpoch != Epoch) {
@@ -1208,10 +1230,12 @@ void DoubleCheckerRuntime::sccPass(uint32_t Holder) {
         continue; // Injected unsoundness; see DoubleCheckerOptions.
       // Exactly-once across passes: a cycle is complete precisely when its
       // maximal-EndTime member finishes (edges only ever target unfinished
-      // transactions, so no member edge postdates that end), and every
-      // transaction is a detection root of exactly one pass — so the pass
-      // whose root set holds that member claims the component. Earlier
-      // passes saw the cycle incomplete; later ones skip it here.
+      // transactions, so no member edge postdates that end). That member
+      // always passes the HasCrossOut root filter (see Transaction.h), and
+      // every filtered transaction is a detection root of exactly one pass
+      // — so the pass whose root set holds that member claims the
+      // component. Earlier passes saw the cycle incomplete; later ones
+      // skip it here.
       uint64_t MaxEnd = 0;
       Transaction *Last = nullptr;
       for (Transaction *M : Members)
@@ -1253,6 +1277,8 @@ void DoubleCheckerRuntime::sccPass(uint32_t Holder) {
     }
   }
   unlockAllShards();
+  SccPasses.fetch_add(1, std::memory_order_relaxed);
+  SccVisited.fetch_add(NextIndex, std::memory_order_relaxed);
 
   if (Detected.empty())
     return;
@@ -1276,6 +1302,44 @@ void DoubleCheckerRuntime::requestCollect(uint32_t Holder) {
     Collector->request();
   else
     collectNow(Holder);
+}
+
+void DoubleCheckerRuntime::collectBackpressure(uint32_t Tid) {
+  if ((Governor.pressure() & PressureLiveTxs) == 0)
+    return;
+  // Live-transaction budget breached at a transaction boundary: request
+  // collection and lend the collector this thread's cycles until the live
+  // graph is back under budget. Without this, a mutator that never blocks
+  // can starve the background collector outright (most visibly on few-core
+  // hosts), and the lag feeds on itself: the live graph grows, so every
+  // mark-sweep cycle walks more and falls further behind. The wait is
+  // bounded and holds no stripes, so a wedged collector degrades
+  // throughput, never liveness — the watchdog is what reports a genuinely
+  // stuck collector.
+  BackpressureWaits.fetch_add(1, std::memory_order_relaxed);
+  requestCollect(Tid);
+  // Wall-clock bound, not an iteration count: a yield's cost varies by
+  // orders of magnitude with run-queue contention, and a wait long enough
+  // to look like gate silence would trip the watchdog's stalled-gate abort.
+  // 5 ms per boundary is far under any watchdog timeout and enough for a
+  // lagging mark-sweep cycle to complete.
+  const auto Deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  YieldBackoff Backoff;
+  for (;;) {
+    for (unsigned I = 0; I < 32; ++I) {
+      if ((Governor.pressure() & PressureLiveTxs) == 0)
+        return;
+      Backoff.pause();
+    }
+    // The caller is a gate-admitted program thread: while it lends cycles
+    // here no instruction retires, so beat the gate slot to keep the
+    // watchdog pointed at the real culprit (the collector), not the gate.
+    if (Dog)
+      Dog->heartbeat(DogGateSlot);
+    if (std::chrono::steady_clock::now() >= Deadline)
+      return;
+  }
 }
 
 void DoubleCheckerRuntime::collectNow(uint32_t Holder) {

@@ -107,6 +107,19 @@ struct DoubleCheckerOptions {
   /// one PR so bench/scaling_threads.cpp can compare the two paths; the
   /// default (sharded) path must produce identical violations.
   bool SerializedIdg = false;
+  /// Escape hatch mirroring SerializedIdg, one layer down: run Octet
+  /// coordination with the seed's serial spin-only protocol (one roundtrip
+  /// completed before the next is posted) instead of the pipelined fan-out
+  /// with spin-then-park waiting (DESIGN.md §11). Kept so dcfuzz can
+  /// differentially test serial vs. pipelined on one schedule; both must
+  /// produce identical violations.
+  bool SerialRoundtrips = false;
+  /// Escape hatch for the SCC root filter: pend every cross-touched
+  /// transaction as a Tarjan root, not just those with an outgoing cross
+  /// edge (which are the only possible claiming members — see
+  /// Transaction.h). Same detected components either way — kept so dcfuzz
+  /// can replay one schedule through both and assert identical violations.
+  bool EagerSccRoots = false;
   /// Trigger the transaction collector every this many finished
   /// transactions.
   uint32_t CollectEveryTx = 8192;
@@ -261,7 +274,7 @@ private:
 
   // -- IDG stripes ---------------------------------------------------------
   // Stripe 0 guards gLastRdSh; stripe Tid+1 guards thread Tid's IDG state
-  // (CurrTx identity, lastRdEx, Owned, and the Out lists / HasCrossEdge of
+  // (CurrTx identity, lastRdEx, Owned, and the Out lists / HasCrossOut of
   // its transactions). SerializedIdg collapses everything onto stripe 0.
   // Lock order: ascending stripe index; SccStateLock / PcdOnlyLock are
   // innermost and never held while acquiring a stripe.
@@ -306,6 +319,9 @@ private:
   /// Routes a collection trigger to the background collector (sharded) or
   /// runs it inline (SerializedIdg).
   void requestCollect(uint32_t Holder);
+  /// Bounded wait at a transaction boundary while the live-tx budget is
+  /// breached: lends the collector this thread's cycles (see definition).
+  void collectBackpressure(uint32_t Tid);
   /// Returns the transaction the next access belongs to, replacing an
   /// interrupted unary transaction if needed. \p PT must be TC's block
   /// (hoisted by the caller so the hot path resolves it once).
@@ -372,6 +388,9 @@ private:
   std::atomic<uint64_t> CrossEdges{0};
   std::atomic<uint64_t> FinishedTxs{0};
   std::atomic<uint64_t> SccCount{0};
+  std::atomic<uint64_t> SccPasses{0};
+  std::atomic<uint64_t> SccVisited{0};
+  std::atomic<uint64_t> BackpressureWaits{0};
   std::atomic<uint64_t> CollectorRuns{0};
   std::atomic<uint64_t> CollectorNs{0};
   std::atomic<uint64_t> TxsSwept{0};

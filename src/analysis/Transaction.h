@@ -36,7 +36,7 @@
 /// always lands on a record boundary.
 ///
 /// Field guards under the sharded IDG (DESIGN.md §7): mutable per-node
-/// state (Out, HasCrossEdge, EndTime, the Log) is guarded by the owning
+/// state (Out, HasCrossOut, EndTime, the Log) is guarded by the owning
 /// thread's IDG stripe; a cross-edge writer holds both endpoints' stripes.
 /// Tarjan and the collector hold every stripe, which freezes the graph and
 /// licenses their use of the unsynchronized scratch fields. Once Finished
@@ -127,10 +127,22 @@ public:
   /// component agree on which member (the maximal EndTime) processes it.
   uint64_t EndTime = ~0ULL;
 
-  /// True once any cross-thread edge touches this transaction; ended
-  /// transactions without cross edges cannot be the last-finishing member
-  /// of a cycle, so SCC detection is skipped for them.
-  bool HasCrossEdge = false; // Guarded by the owner's IDG stripe.
+  /// True once a cross-thread edge leaves this transaction. Only such
+  /// transactions are pended as SCC detection roots: a cycle is claimed by
+  /// its maximal-EndTime member, and that member always has an *outgoing*
+  /// cross edge by the time it ends — every cycle edge was created while
+  /// its target was unfinished, all other members end earlier, so the edge
+  /// leaving the claiming member predates its end (and it cannot be the
+  /// intra edge, whose target ends later). Incoming edges don't qualify:
+  /// the intra edge from the predecessor always provides a way in.
+  bool HasCrossOut = false; // Guarded by the owner's IDG stripe.
+
+  /// True once a cross-thread edge enters this transaction (frozen when it
+  /// finishes — edges only ever target unfinished transactions). A node
+  /// with neither flag has exactly one relevant edge in each direction
+  /// (the intra chain), so SCC walks skip straight across it; see
+  /// DoubleCheckerRuntime::sccPass.
+  bool HasCrossIn = false; // Guarded by the owner's IDG stripe.
 
   /// For unary transactions: a cross-thread edge interrupted the merge;
   /// the next non-transactional access starts a fresh unary transaction.

@@ -125,6 +125,8 @@ RunOutcome core::runChecker(const ir::Program &Source,
       DOpts.PcdQueueDepth = Cfg.PcdQueueDepth;
     DOpts.SerializedIdg = Cfg.SerializedIdg;
     DOpts.LegacyLog = Cfg.LegacyLog;
+    DOpts.SerialRoundtrips = Cfg.SerialRoundtrips;
+    DOpts.EagerSccRoots = Cfg.EagerSccRoots;
     DOpts.ElideDuplicates = Cfg.ElideDuplicates;
     DOpts.TestOnlyUnsoundFilter = Cfg.TestOnlyUnsoundIcdFilter;
     DOpts.PcdOnly = Cfg.M == Mode::PcdOnly;

@@ -71,6 +71,15 @@ struct RunConfig {
   /// reallocating vector logs). For old-vs-new comparisons; violations
   /// must be identical.
   bool LegacyLog = false;
+  /// Escape hatch: run Octet coordination with the seed's serial spin-only
+  /// protocol instead of the pipelined fan-out (DESIGN.md §11). For
+  /// old-vs-new comparisons; violations must be identical.
+  bool SerialRoundtrips = false;
+  /// Escape hatch: pend every cross-touched transaction as a Tarjan root
+  /// and walk every chain node, instead of the out-cross root filter with
+  /// chain compression. Same detected components either way; violations
+  /// must be identical.
+  bool EagerSccRoots = false;
   /// Log duplicate elision (paper §4); off logs every access — a
   /// differential-testing mode that must not change violations.
   bool ElideDuplicates = true;

@@ -1,0 +1,411 @@
+//===- tests/octet_coord_test.cpp - Pipelined coordination tests ----------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Coverage for the pipelined fan-out coordination protocol (DESIGN.md
+/// §11): overlapping RdSh->WrEx and WrEx->WrEx coordinations against mixed
+/// responder sets (executing, blocked, exited) with exactly-once listener
+/// accounting, bit-equal listener edges serial vs. pipelined on a fixed
+/// schedule, the spin-then-park path, and the abort-mid-coordination
+/// regression (the seed returned from its roundtrip while a stack-allocated
+/// request was still linked in the responder's mailbox; a late drain then
+/// wrote into a dead frame — run this under ASan/TSan).
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "core/Checker.h"
+#include "ir/Builder.h"
+#include "octet/OctetManager.h"
+#include "rt/Runtime.h"
+#include "support/Rng.h"
+
+using namespace dc;
+using namespace dc::octet;
+
+namespace {
+
+struct Edge {
+  uint32_t Resp = 0;
+  uint32_t Requester = 0;
+  rt::ObjectId Obj = 0;
+  OctetState Old;
+  OctetState New;
+
+  bool operator==(const Edge &O) const {
+    return Resp == O.Resp && Requester == O.Requester && Obj == O.Obj &&
+           Old == O.Old && New == O.New;
+  }
+};
+
+class RecordingListener : public OctetListener {
+public:
+  void onConflictingEdge(uint32_t RespTid, const Transition &T) override {
+    std::lock_guard<std::mutex> G(M);
+    Edges.push_back({RespTid, T.Requester, T.Obj, T.Old, T.New});
+  }
+
+  std::vector<Edge> edges() {
+    std::lock_guard<std::mutex> G(M);
+    return Edges;
+  }
+
+private:
+  std::mutex M;
+  std::vector<Edge> Edges;
+};
+
+ir::Program heapProgram(uint32_t Objects, uint32_t Threads) {
+  ir::ProgramBuilder B("coord");
+  B.addPool("objs", Objects, 1);
+  ir::MethodId Main = B.beginMethod("main", false).work(1).endMethod();
+  for (uint32_t T = 0; T < Threads; ++T)
+    B.addThread(Main);
+  return B.build();
+}
+
+rt::ThreadContext makeTC(rt::Runtime &RT, uint32_t Tid) {
+  rt::ThreadContext TC;
+  TC.Tid = Tid;
+  TC.RT = &RT;
+  return TC;
+}
+
+// Multiple requesters running RdSh->WrEx and WrEx->WrEx fan-outs at once
+// against overlapping responder sets: two executing pollers, one blocked
+// thread, one exited thread, and each other. Checks termination (the test
+// completes), exactly-once callbacks, and counter consistency.
+TEST(OctetCoordTest, ConcurrentFanOutsAgainstMixedResponders) {
+  constexpr uint32_t NumThreads = 6;
+  constexpr uint32_t Objects = 6;
+  constexpr uint64_t OpsPerRequester = 4000;
+
+  ir::Program P = heapProgram(Objects, NumThreads);
+  rt::Runtime RT(P, nullptr);
+  StatisticRegistry Stats;
+  RecordingListener Listener;
+  OctetManager Manager(RT.heap(), NumThreads, &Listener, Stats);
+
+  // Tid 4: starts, takes ownership of object 4, then blocks for the whole
+  // run — requesters coordinate with it implicitly.
+  {
+    rt::ThreadContext TC = makeTC(RT, 4);
+    Manager.threadStarted(4);
+    Manager.writeBarrier(TC, 4);
+    Manager.aboutToBlock(4);
+  }
+  // Tid 5: starts, takes ownership of object 5, and exits — requesters
+  // coordinate with a permanently-blocked responder.
+  {
+    rt::ThreadContext TC = makeTC(RT, 5);
+    Manager.threadStarted(5);
+    Manager.writeBarrier(TC, 5);
+    Manager.threadExited(5);
+  }
+
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Workers;
+  // Tids 2 and 3: executing responders. They answer requests at their safe
+  // points and read the shared objects so RdSh states include them.
+  for (uint32_t T = 2; T <= 3; ++T) {
+    Workers.emplace_back([&, T] {
+      rt::ThreadContext TC = makeTC(RT, T);
+      Manager.threadStarted(T);
+      SplitMix64 Rng(T * 31 + 7);
+      while (!Stop.load(std::memory_order_acquire)) {
+        Manager.pollSafePoint(T);
+        if (Rng.chancePercent(25))
+          Manager.readBarrier(
+              TC, static_cast<rt::ObjectId>(Rng.nextBelow(Objects)));
+        if (Rng.chancePercent(1)) {
+          Manager.aboutToBlock(T);
+          std::this_thread::yield();
+          Manager.unblocked(T);
+        }
+      }
+      Manager.threadExited(T);
+    });
+  }
+  // Tids 0 and 1: requesters. Reads drive objects into RdSh (with the
+  // pollers and each other), writes then trigger RdSh->WrEx fan-outs to
+  // all five other threads; alternating writes ping WrEx->WrEx.
+  for (uint32_t T = 0; T <= 1; ++T) {
+    Workers.emplace_back([&, T] {
+      rt::ThreadContext TC = makeTC(RT, T);
+      Manager.threadStarted(T);
+      SplitMix64 Rng(T * 7919 + 13);
+      for (uint64_t Op = 0; Op < OpsPerRequester; ++Op) {
+        rt::ObjectId Obj = static_cast<rt::ObjectId>(Rng.nextBelow(Objects));
+        if (Rng.chancePercent(40))
+          Manager.writeBarrier(TC, Obj);
+        else
+          Manager.readBarrier(TC, Obj);
+        Manager.pollSafePoint(T);
+      }
+      Manager.threadExited(T);
+    });
+  }
+  for (size_t I = 2; I < Workers.size(); ++I)
+    Workers[I].join(); // Requesters finish first...
+  Stop.store(true, std::memory_order_release);
+  Workers[0].join(); // ...then release the pollers.
+  Workers[1].join();
+
+  Manager.flushStatistics();
+  const std::vector<Edge> Edges = Listener.edges();
+
+  // Every callback names a real conflict: never self, and single-responder
+  // transitions must notify exactly the old owner.
+  for (const Edge &E : Edges) {
+    EXPECT_NE(E.Resp, E.Requester);
+    if (E.Old.Kind == StateKind::WrEx || E.Old.Kind == StateKind::RdEx) {
+      EXPECT_EQ(E.Resp, E.Old.Owner)
+          << "single-responder transition notified a bystander";
+    }
+  }
+
+  // Exactly-once per (responder, transition): each RdSh->WrEx coordination
+  // is uniquely keyed by the RdSh counter it retires (the global counter
+  // is never reused), and must have produced one callback per other
+  // thread — no responder missed, none notified twice.
+  std::map<uint64_t, std::pair<uint32_t, std::vector<uint32_t>>> FanOuts;
+  for (const Edge &E : Edges)
+    if (E.Old.Kind == StateKind::RdSh) {
+      auto &F = FanOuts[E.Old.Counter];
+      F.first = E.Requester;
+      F.second.push_back(E.Resp);
+    }
+  for (auto &[Counter, F] : FanOuts) {
+    std::vector<uint32_t> Expect;
+    for (uint32_t T = 0; T < NumThreads; ++T)
+      if (T != F.first)
+        Expect.push_back(T);
+    std::sort(F.second.begin(), F.second.end());
+    EXPECT_EQ(F.second, Expect)
+        << "RdSh(" << Counter << ") fan-out by requester " << F.first
+        << " did not reach every other thread exactly once";
+  }
+  EXPECT_FALSE(FanOuts.empty()) << "workload produced no RdSh->WrEx fan-outs";
+
+  // Counter consistency: one roundtrip per callback, and the fan-out
+  // batches accounted for every responder they visited.
+  const uint64_t Roundtrips = Stats.value("octet.explicit_roundtrips") +
+                              Stats.value("octet.implicit_roundtrips");
+  EXPECT_EQ(Edges.size(), Roundtrips);
+  EXPECT_EQ(Stats.value("octet.fanout_responders"), Roundtrips);
+  EXPECT_EQ(Stats.value("octet.conflicting"),
+            Stats.value("octet.fanout_batches"));
+  EXPECT_EQ(Stats.value("octet.cancelled_requests"), 0u);
+}
+
+// On a fixed schedule the pipelined fan-out and the seed's serial protocol
+// must produce bit-identical listener edges — same responders, same
+// transitions, same order. Drives four logical threads deterministically
+// from one OS thread (all stay formally blocked, so every coordination is
+// synchronous), replaying one pseudo-random op tape against both modes.
+TEST(OctetCoordTest, FanOutMatchesSerialOnFixedSchedule) {
+  constexpr uint32_t NumThreads = 4;
+  constexpr uint32_t Objects = 6;
+  constexpr int Ops = 5000;
+
+  auto record = [&](bool Serial) {
+    ir::Program P = heapProgram(Objects, NumThreads);
+    rt::Runtime RT(P, nullptr);
+    StatisticRegistry Stats;
+    RecordingListener Listener;
+    OctetManager Manager(RT.heap(), NumThreads, &Listener, Stats, nullptr,
+                         Serial);
+    SplitMix64 Rng(42);
+    for (int Op = 0; Op < Ops; ++Op) {
+      uint32_t Tid = static_cast<uint32_t>(Rng.nextBelow(NumThreads));
+      rt::ThreadContext TC = makeTC(RT, Tid);
+      rt::ObjectId Obj = static_cast<rt::ObjectId>(Rng.nextBelow(Objects));
+      if (Rng.chancePercent(35))
+        Manager.writeBarrier(TC, Obj);
+      else
+        Manager.readBarrier(TC, Obj);
+    }
+    return Listener.edges();
+  };
+
+  const std::vector<Edge> Fanout = record(/*Serial=*/false);
+  const std::vector<Edge> Serial = record(/*Serial=*/true);
+  ASSERT_FALSE(Fanout.empty());
+  ASSERT_EQ(Fanout.size(), Serial.size());
+  for (size_t I = 0; I < Fanout.size(); ++I)
+    EXPECT_TRUE(Fanout[I] == Serial[I]) << "edge " << I << " differs";
+}
+
+// Checker-level version of the same property: on one deterministic gate
+// schedule, SerialRoundtrips must blame exactly the same methods as the
+// pipelined default (the IDG the listener builds is the same).
+TEST(OctetCoordTest, SerialRoundtripsBlamesIdentically) {
+  using namespace dc::ir;
+  ProgramBuilder B("coordprog", 9);
+  PoolId Shared = B.addPool("shared", 2, 1);
+  MethodId Inc = B.beginMethod("inc", true)
+                     .read(Shared, idxParam(1, 0, 2), 0u)
+                     .work(3)
+                     .write(Shared, idxParam(1, 0, 2), 0u)
+                     .endMethod();
+  auto &Worker = B.beginMethod("worker", false).beginLoop(idxConst(15));
+  Worker.call(Inc, idxRandom(2));
+  Worker.endLoop();
+  MethodId WorkerId = Worker.endMethod();
+  auto &Main = B.beginMethod("main", false);
+  for (uint32_t W = 1; W <= 2; ++W)
+    Main.forkThread(idxConst(W));
+  for (uint32_t W = 1; W <= 2; ++W)
+    Main.joinThread(idxConst(W));
+  MethodId MainId = Main.endMethod();
+  B.addThread(MainId);
+  B.addThread(WorkerId);
+  B.addThread(WorkerId);
+  Program P = B.build();
+  core::AtomicitySpec Spec = core::AtomicitySpec::initial(P);
+
+  for (uint64_t Seed = 0; Seed < 3; ++Seed) {
+    auto cfg = [&](bool Serial) {
+      core::RunConfig Cfg;
+      Cfg.M = core::Mode::SingleRun;
+      Cfg.RunOpts.Deterministic = true;
+      Cfg.RunOpts.ScheduleSeed = Seed;
+      Cfg.SerialRoundtrips = Serial;
+      return Cfg;
+    };
+    core::RunOutcome Fanout = core::runChecker(P, Spec, cfg(false));
+    core::RunOutcome Serial = core::runChecker(P, Spec, cfg(true));
+    ASSERT_FALSE(Fanout.Result.Aborted);
+    ASSERT_FALSE(Serial.Result.Aborted);
+    EXPECT_EQ(Fanout.BlamedMethods, Serial.BlamedMethods)
+        << "schedule seed " << Seed;
+    EXPECT_EQ(Fanout.Violations.empty(), Serial.Violations.empty());
+  }
+}
+
+// A responder that stays away from safe points longer than the spin bound
+// forces the requester through the park path; the wake on Done must bring
+// it back and complete the coordination.
+TEST(OctetCoordTest, RequesterParksWhenResponderIsSlow) {
+  ir::Program P = heapProgram(2, 2);
+  rt::Runtime RT(P, nullptr);
+  StatisticRegistry Stats;
+  RecordingListener Listener;
+  OctetManager Manager(RT.heap(), 2, &Listener, Stats);
+
+  std::atomic<bool> Owned{false};
+  std::atomic<bool> Stop{false};
+  std::thread Responder([&] {
+    rt::ThreadContext TC = makeTC(RT, 1);
+    Manager.threadStarted(1);
+    Manager.writeBarrier(TC, 0); // Claim: object 0 becomes WrEx(1).
+    Owned.store(true, std::memory_order_release);
+    // Stay executing but away from safe points until the requester has
+    // really exhausted its spin budget and parked (a fixed sleep flakes
+    // under load: a preempted requester can find the response mid-spin).
+    while (!Manager.isParkedForTest(0))
+      std::this_thread::yield();
+    while (!Stop.load(std::memory_order_acquire)) {
+      Manager.pollSafePoint(1);
+      std::this_thread::yield();
+    }
+    Manager.threadExited(1);
+  });
+
+  rt::ThreadContext TC = makeTC(RT, 0);
+  Manager.threadStarted(0);
+  while (!Owned.load(std::memory_order_acquire))
+    std::this_thread::yield();
+  Manager.writeBarrier(TC, 0); // WrEx(1) -> WrEx(0): explicit roundtrip.
+  Stop.store(true, std::memory_order_release);
+  Manager.threadExited(0);
+  Responder.join();
+
+  EXPECT_EQ(Manager.stateOf(0).Kind, StateKind::WrEx);
+  EXPECT_EQ(Manager.stateOf(0).Owner, 0u);
+  Manager.flushStatistics();
+  EXPECT_EQ(Stats.value("octet.explicit_roundtrips"), 1u);
+  EXPECT_GE(Stats.value("octet.parks"), 1u)
+      << "requester should have parked while the responder slept";
+  const std::vector<Edge> Edges = Listener.edges();
+  ASSERT_EQ(Edges.size(), 1u);
+  EXPECT_EQ(Edges[0].Resp, 1u);
+  EXPECT_EQ(Edges[0].Requester, 0u);
+}
+
+// Abort-mid-coordination regression (ISSUE 5 satellite): the requester
+// posts to an executing responder that never reaches a safe point, the
+// run aborts, and the requester must retire the posted request before
+// returning — the responder's eventual drain may only skip it. The seed
+// left the stack-allocated request linked in the mailbox; under ASan the
+// late drain then wrote Done into a dead frame.
+class OctetCoordAbortTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(OctetCoordAbortTest, AbortMidCoordinationRetiresRequest) {
+  const bool Serial = GetParam();
+  ir::Program P = heapProgram(2, 2);
+  rt::Runtime RT(P, nullptr);
+  StatisticRegistry Stats;
+  RecordingListener Listener;
+  std::atomic<bool> Abort{false};
+  OctetManager Manager(RT.heap(), 2, &Listener, Stats, &Abort, Serial);
+
+  std::atomic<bool> Owned{false};
+  std::atomic<bool> Release{false};
+  std::thread Responder([&] {
+    rt::ThreadContext TC = makeTC(RT, 1);
+    Manager.threadStarted(1);
+    Manager.writeBarrier(TC, 0);
+    Owned.store(true, std::memory_order_release);
+    // Hold the request hostage: no safe point until released.
+    while (!Release.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    // The late drain: must skip the cancelled request, not complete it.
+    Manager.pollSafePoint(1);
+    Manager.threadExited(1);
+  });
+
+  std::thread Requester([&] {
+    rt::ThreadContext TC = makeTC(RT, 0);
+    Manager.threadStarted(0);
+    while (!Owned.load(std::memory_order_acquire))
+      std::this_thread::yield();
+    // Conflicting WrEx(1) -> WrEx(0); the responder never answers, so this
+    // returns only via the abort path.
+    Manager.writeBarrier(TC, 0);
+  });
+
+  // Wait until the coordination is in flight (object parked intermediate),
+  // give the post time to land, then abort the run.
+  while (Manager.stateOf(0).Kind != StateKind::IntWrEx)
+    std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  Abort.store(true, std::memory_order_release);
+  Requester.join(); // Must terminate: the request is cancelled, not leaked.
+  Release.store(true, std::memory_order_release);
+  Responder.join();
+
+  Manager.flushStatistics();
+  EXPECT_EQ(Stats.value("octet.cancelled_requests"), 1u);
+  EXPECT_EQ(Stats.value("octet.explicit_roundtrips"), 0u);
+  // The cancelled roundtrip must not have produced a callback.
+  EXPECT_TRUE(Listener.edges().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothProtocols, OctetCoordAbortTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool> &I) {
+                           return I.param ? "Serial" : "Fanout";
+                         });
+
+} // namespace

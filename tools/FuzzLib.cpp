@@ -217,28 +217,48 @@ PairResult fuzz::checkPair(const ir::Program &Source,
     return true;
   };
 
-  auto BaseCfg = [&](core::Mode M, bool SerIdg, bool Legacy) {
+  auto BaseCfg = [&](core::Mode M, bool SerIdg, bool Legacy,
+                     bool SerialOctet) {
     core::RunConfig Cfg;
     Cfg.M = M;
     Cfg.RunOpts = replayOpts(Trace.Schedule);
     Cfg.SerializedIdg = SerIdg;
     Cfg.LegacyLog = Legacy;
+    Cfg.SerialRoundtrips = SerialOctet;
     Cfg.TestOnlyUnsoundIcdFilter = InjectIcdBug;
     return Cfg;
   };
-  auto KnobName = [](bool SerIdg, bool Legacy) {
+  auto KnobName = [](bool SerIdg, bool Legacy, bool SerialOctet) {
     return std::string(SerIdg ? "serialized-idg" : "sharded-idg") + "/" +
-           (Legacy ? "legacy-log" : "arena-log");
+           (Legacy ? "legacy-log" : "arena-log") + "/" +
+           (SerialOctet ? "serial-octet" : "fanout-octet");
   };
 
-  // Single-run DoubleChecker across the 2×2 knob grid.
+  // Single-run DoubleChecker across the 2×2×2 knob grid (IDG sharding ×
+  // log path × Octet coordination protocol, DESIGN.md §11) — pipelined
+  // fan-out and serial roundtrips must blame identically on one schedule.
   for (bool SerIdg : {false, true})
-    for (bool Legacy : {false, true}) {
-      core::RunOutcome O = core::runChecker(
-          Source, Spec, BaseCfg(core::Mode::SingleRun, SerIdg, Legacy));
-      if (!Admit("single/" + KnobName(SerIdg, Legacy), O))
-        return R;
-    }
+    for (bool Legacy : {false, true})
+      for (bool SerialOctet : {false, true}) {
+        core::RunOutcome O = core::runChecker(
+            Source, Spec,
+            BaseCfg(core::Mode::SingleRun, SerIdg, Legacy, SerialOctet));
+        if (!Admit("single/" + KnobName(SerIdg, Legacy, SerialOctet), O))
+          return R;
+      }
+
+  // SCC-root scheduling axis, collapsed to one extra config (it is
+  // orthogonal to the other knobs): eager roots pend every cross-touched
+  // transaction and walk every chain node, instead of the out-cross root
+  // filter with chain compression. Detected components — and therefore
+  // violations — must be identical.
+  {
+    core::RunConfig Cfg = BaseCfg(core::Mode::SingleRun, false, false, false);
+    Cfg.EagerSccRoots = true;
+    core::RunOutcome O = core::runChecker(Source, Spec, Cfg);
+    if (!Admit("single/eager-scc-roots", O))
+      return R;
+  }
 
   // Velodrome baseline (its own instrumentation; no DC knobs, no injected
   // bug — it is one of the two references the bug must diverge from).
@@ -254,21 +274,30 @@ PairResult fuzz::checkPair(const ir::Program &Source,
   // Multi-run DoubleChecker: first run (ICD only, same schedule) feeding
   // the second run's selective instrumentation, replayed on the same
   // schedule again.
+  // The Octet axis collapses to one extra multi-run config (sharded/arena/
+  // serial-octet): multi-run doubles the executions per config, and the
+  // coordination protocol is orthogonal to the first-run/second-run split
+  // the other knobs interact with.
   for (bool SerIdg : {false, true})
-    for (bool Legacy : {false, true}) {
-      core::RunOutcome First = core::runChecker(
-          Source, Spec, BaseCfg(core::Mode::FirstRun, SerIdg, Legacy));
-      if (First.Result.ScheduleDiverged || First.Result.Aborted) {
-        Fail("multi(first)/" + KnobName(SerIdg, Legacy) +
-             ": recorded schedule did not replay");
-        return R;
+    for (bool Legacy : {false, true})
+      for (bool SerialOctet : {false, true}) {
+        if (SerialOctet && (SerIdg || Legacy))
+          continue;
+        core::RunOutcome First = core::runChecker(
+            Source, Spec,
+            BaseCfg(core::Mode::FirstRun, SerIdg, Legacy, SerialOctet));
+        if (First.Result.ScheduleDiverged || First.Result.Aborted) {
+          Fail("multi(first)/" + KnobName(SerIdg, Legacy, SerialOctet) +
+               ": recorded schedule did not replay");
+          return R;
+        }
+        core::RunConfig Cfg =
+            BaseCfg(core::Mode::SecondRun, SerIdg, Legacy, SerialOctet);
+        Cfg.StaticInfo = &First.StaticInfo;
+        core::RunOutcome Second = core::runChecker(Source, Spec, Cfg);
+        if (!Admit("multi/" + KnobName(SerIdg, Legacy, SerialOctet), Second))
+          return R;
       }
-      core::RunConfig Cfg = BaseCfg(core::Mode::SecondRun, SerIdg, Legacy);
-      Cfg.StaticInfo = &First.StaticInfo;
-      core::RunOutcome Second = core::runChecker(Source, Spec, Cfg);
-      if (!Admit("multi/" + KnobName(SerIdg, Legacy), Second))
-        return R;
-    }
 
   return R;
 }

@@ -10,10 +10,13 @@
 /// bounded-exhaustive, or uniform random), record the trace, and run the
 /// same (program, schedule) pair through the full checker config matrix —
 ///
-///   {ShardedIdg, SerializedIdg} × {ArenaLog, LegacyLog} ×
-///   {single-run, multi-run}   +   Velodrome
+///   single-run: {ShardedIdg, SerializedIdg} × {ArenaLog, LegacyLog} ×
+///               {FanoutOctet, SerialRoundtrips}
+///   multi-run:  {ShardedIdg, SerializedIdg} × {ArenaLog, LegacyLog}
+///               + sharded/arena/SerialRoundtrips
+///   + Velodrome
 ///
-/// — asserting that all nine agree with each other and with the ground-
+/// — asserting that all fourteen agree with each other and with the ground-
 /// truth serializability oracle (tests/oracle.h). On divergence, the
 /// (program, schedule) witness is delta-debugged down: drop workers, calls,
 /// accesses, and locks while a bounded re-search keeps finding a divergent

@@ -29,12 +29,19 @@ DC_BENCH_SCALE=0.02 DC_BENCH_TRIALS=1 \
   build-ci/bench/logging_throughput build-ci/bench_logging_smoke.json
 DC_BENCH_SCALE=0.02 DC_BENCH_TRIALS=1 \
   build-ci/bench/schedule_coverage build-ci/bench_schedule_smoke.json
+# Coordination ping-pong: real OS threads through both Octet protocols
+# (pipelined fan-out and the SerialRoundtrips escape hatch) — catches
+# wakeup/parking regressions that only bite with preemptive scheduling.
+DC_BENCH_SCALE=0.02 DC_BENCH_TRIALS=1 \
+  build-ci/bench/octet_coordination build-ci/bench_octet_smoke.json
 
 echo "== Differential schedule fuzz (bounded) =="
 # Fixed seed set, wall-clock bounded: PCT + bounded-exhaustive schedules on
 # tiny generated programs, every pair swept through the full config matrix
-# against the ground-truth oracle. DC_FUZZ_BUDGET_SECONDS=600 (or more) is
-# the nightly setting; the default keeps the gate fast.
+# against the ground-truth oracle. The matrix includes the Octet protocol
+# axis (pipelined fan-out vs. SerialRoundtrips), so every pair also
+# differential-tests the new coordination path. DC_FUZZ_BUDGET_SECONDS=600
+# (or more) is the nightly setting; the default keeps the gate fast.
 FUZZ_BUDGET="${DC_FUZZ_BUDGET_SECONDS:-30}"
 build-ci/tools/dcfuzz --seed 1 --budget-seconds "$FUZZ_BUDGET" \
   --pairs 1000000 --strategy mixed --progress 5000
@@ -72,8 +79,8 @@ echo "== ThreadSanitizer build + concurrency stress tests =="
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDC_SANITIZE=thread >/dev/null
 cmake --build build-ci-tsan -j "$JOBS" --target idg_stress_test \
-  octet_stress_test log_elision_test log_srcpos_test fault_injection_test \
-  dcfuzz
+  octet_stress_test octet_coord_test log_elision_test log_srcpos_test \
+  fault_injection_test dcfuzz
 
 echo "== Differential schedule fuzz under TSan (smoke) =="
 # Much slower per pair under TSan; a short fixed-seed slice is enough to
@@ -90,6 +97,18 @@ build-ci-tsan/tools/dcfuzz --seed 7 --pairs 10 --fault-sweep
 # destruction-under-saturated-queue teardown.
 ctest --test-dir build-ci-tsan --output-on-failure \
   -R "Idg|Octet|ElisionFilter|LogDifferential|SrcPosSampling|FaultInjection"
+
+echo "== AddressSanitizer build + abort-mid-coordination regression =="
+# The seed's serial protocol could return from an aborted roundtrip while a
+# stack-allocated request was still linked in the responder's mailbox; the
+# responder's eventual drain then wrote into a dead frame. The pipelined
+# protocol pools request blocks and cancels them on abort —
+# OctetCoordAbortTest drives both protocols through that window under ASan.
+cmake -B build-ci-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DDC_SANITIZE=address >/dev/null
+cmake --build build-ci-asan -j "$JOBS" --target octet_coord_test \
+  octet_stress_test
+ctest --test-dir build-ci-asan --output-on-failure -R "Octet"
 
 echo "== UndefinedBehaviorSanitizer build + fault-injection tests =="
 # UBSan (fail-fast: -fno-sanitize-recover=all) over the paths the fault

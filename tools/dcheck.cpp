@@ -56,6 +56,7 @@ struct CliOptions {
   std::string FaultPlanSpec;
   bool SerializedIdg = false;
   bool LegacyLog = false;
+  bool SerialRoundtrips = false;
   bool Refine = false;
   bool DumpIr = false;
   bool DumpCompiledIr = false;
@@ -101,6 +102,8 @@ void printUsage() {
       "                        cells + vector logs (for comparisons)\n"
       "  --serialized-idg      pre-sharding escape hatch: one global IDG\n"
       "                        lock, inline collection (for comparisons)\n"
+      "  --serial-roundtrips   pre-pipelining escape hatch: serial spin-\n"
+      "                        only Octet coordination (for comparisons)\n"
       "  --static-info <path>  second-run input (from --emit-static)\n"
       "  --emit-static <path>  write first-run static transaction info\n"
       "\n"
@@ -162,6 +165,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.SerializedIdg = true;
     else if (Arg == "--legacy-log")
       Opts.LegacyLog = true;
+    else if (Arg == "--serial-roundtrips")
+      Opts.SerialRoundtrips = true;
     else if (Arg == "--refine")
       Opts.Refine = true;
     else if (Arg == "--dump-ir")
@@ -364,6 +369,7 @@ int main(int Argc, char **Argv) {
   Cfg.PcdWorkers = Opts.PcdWorkers;
   Cfg.SerializedIdg = Opts.SerializedIdg;
   Cfg.LegacyLog = Opts.LegacyLog;
+  Cfg.SerialRoundtrips = Opts.SerialRoundtrips;
   Cfg.MemBudgetMB = Opts.MemBudgetMB;
   Cfg.PcdTimeoutMs = Opts.PcdTimeoutMs;
   if (!Opts.FaultPlanSpec.empty()) {
