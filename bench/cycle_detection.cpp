@@ -1,0 +1,310 @@
+//===- bench/cycle_detection.cpp - Incremental vs batched ICD sweep -------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The tentpole microbench for incremental online cycle detection
+/// (DESIGN.md §12): cross-edge insertion latency and end-to-end
+/// transaction throughput, default incremental order maintenance vs. the
+/// batched stop-the-world Tarjan escape hatch, at 1/4/8 threads, on a
+/// cycle-free and a cycle-heavy edge stream.
+///
+/// Same harness as bench/scaling_threads: the hooks are driven directly
+/// from one OS thread, round-robining T logical threads one access at a
+/// time, all parked in the Octet blocked state so conflicts resolve
+/// synchronously. Two shapes:
+///
+///  - *cycle-free*: a staged pipeline. Every fourth transaction performs
+///    one shared operation, alternating by generation parity — even
+///    generations each thread T writes its stage object T, odd
+///    generations each thread T>0 reads its left neighbour's object T-1.
+///    Within a generation every cross edge points the same way along the
+///    thread index (writes reclaim from readers: down; reads: up), and
+///    across generations only program order connects — so the IDG stays
+///    acyclic by construction, and the whole run is pure order
+///    maintenance. This is the paper's dominant regime (cycles are rare),
+///    and the acceptance shape: the incremental detector pays O(1) per
+///    consistent edge where batched mode keeps freezing every stripe for
+///    Tarjan passes that find nothing.
+///  - *cycle-heavy*: every fourth transaction read-modify-writes one of
+///    two hot objects, ping-ponging ownership in both directions between
+///    overlapping transactions — a dense stream of inconsistent edges,
+///    region reorders, and real cycles. The adversarial regime: batched
+///    mode amortizes many cycles into one pass, incremental pays a
+///    bounded two-way search per back edge.
+///
+/// Latency is split at the two places the modes differ: the shared-slot
+/// access (where the incremental detector runs its fast path or reorder
+/// inline under the edge writer's stripes) and the transaction boundary
+/// (where batched mode retires roots and, every SccBatch, freezes the
+/// graph for a pass). Everything else — Octet, logging, PCD — is
+/// identical between the two columns.
+///
+//===----------------------------------------------------------------------===//
+
+#include <chrono>
+
+#include "analysis/DoubleChecker.h"
+#include "bench/BenchUtils.h"
+#include "ir/Builder.h"
+#include "support/Rng.h"
+
+using namespace dc;
+using namespace dc::bench;
+
+namespace {
+
+constexpr uint32_t AccessesPerTx = 3;
+constexpr uint32_t SharedTxPeriod = 4; // 1 in 4 transactions is shared.
+constexpr uint32_t HotObjects = 2;     // Cycle-heavy contention points.
+
+enum class Shape { CycleFree, CycleHeavy };
+
+ir::Program benchProgram(uint32_t Threads) {
+  ir::ProgramBuilder B("cycle_detection");
+  // Stage objects (one per thread) + hot objects + private objects.
+  B.addPool("objs", Threads + HotObjects + Threads, 2);
+  B.beginMethod("txn", true).work(1).endMethod();
+  ir::MethodId Main = B.beginMethod("main", false).work(1).endMethod();
+  for (uint32_t T = 0; T < Threads; ++T)
+    B.addThread(Main);
+  return B.build();
+}
+
+struct SweepPoint {
+  double Seconds = 0;
+  double TxPerSec = 0;
+  double SharedNsAvg = 0; ///< Mean wall ns per shared-slot access.
+  double TxEndNsAvg = 0;  ///< Mean wall ns per txEnd.
+  uint64_t CrossEdges = 0;
+  uint64_t IncEdges = 0;
+  uint64_t Reorders = 0;
+  uint64_t Sccs = 0;
+  uint64_t SccPasses = 0;
+  uint64_t CyclesIncremental = 0;
+};
+
+SweepPoint runOnce(const ir::Program &P, uint32_t Threads,
+                   uint64_t TxPerThread, Shape S, bool Batched) {
+  StatisticRegistry Stats;
+  analysis::ViolationLog Violations;
+  analysis::DoubleCheckerOptions Opts;
+  Opts.BatchedScc = Batched;
+  Opts.ParallelPcd = true;
+  Opts.PcdWorkers = 2;
+  Opts.CollectEveryTx = 1024;
+  Opts.MaxLiveTxs = 8192; // Same bounded-live-graph regime for every row.
+  // The calibrated remote-miss penalties stay at their defaults (as in
+  // bench/scaling_threads): this round-robin harness multiplexes the
+  // logical threads onto one OS thread, so the cost a full-graph freeze
+  // inflicts — every stripe's next per-thread acquisition is a coherence
+  // miss — only shows up through the model.
+  auto DC = std::make_unique<analysis::DoubleCheckerRuntime>(P, Opts,
+                                                             Violations, Stats);
+  rt::Runtime RT(P, DC.get());
+  DC->beginRun(RT);
+
+  const ir::Method &Txn = P.Methods[P.findMethod("txn")];
+  std::vector<rt::ThreadContext> Tc(Threads);
+  std::vector<SplitMix64> Rng;
+  for (uint32_t T = 0; T < Threads; ++T) {
+    Tc[T].Tid = T;
+    Tc[T].RT = &RT;
+    Tc[T].Checker = DC.get();
+    DC->threadStarted(Tc[T]);
+    DC->aboutToBlock(Tc[T]); // Implicit protocol: conflicts are synchronous.
+    Rng.emplace_back(T * 9176 + 5);
+  }
+
+  using Clock = std::chrono::steady_clock;
+  uint64_t SharedNs = 0, SharedOps = 0, TxEndNs = 0, TxEnds = 0;
+  const uint64_t StepsPerThread = TxPerThread * AccessesPerTx;
+  auto Begin = Clock::now();
+  for (uint64_t Step = 0; Step < StepsPerThread; ++Step) {
+    const uint64_t Tx = Step / AccessesPerTx;
+    const bool SharedTx = Tx % SharedTxPeriod == SharedTxPeriod - 1;
+    const uint64_t Generation = Tx / SharedTxPeriod;
+    for (uint32_t T = 0; T < Threads; ++T) {
+      if (Step % AccessesPerTx == 0) {
+        if (Step != 0) {
+          auto T0 = Clock::now();
+          DC->txEnd(Tc[T], Txn);
+          TxEndNs += static_cast<uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  Clock::now() - T0)
+                  .count());
+          ++TxEnds;
+        }
+        DC->txBegin(Tc[T], Txn);
+      }
+      rt::AccessInfo Info;
+      bool TimedShared = false;
+      if (SharedTx && Step % AccessesPerTx == 1) {
+        if (S == Shape::CycleFree) {
+          // Staged pipeline: even generations write stage T, odd
+          // generations read stage T-1. Thread 0 skips read generations
+          // (no wraparound — the ring would close a cycle).
+          const bool WriteGen = Generation % 2 == 0;
+          if (!WriteGen && T == 0) {
+            Info.Obj = static_cast<rt::ObjectId>(Threads + HotObjects + T);
+            Info.IsWrite = true;
+          } else {
+            Info.Obj = static_cast<rt::ObjectId>(WriteGen ? T : T - 1);
+            Info.IsWrite = WriteGen;
+            TimedShared = true;
+          }
+        } else {
+          // Ping-pong read-modify-write halves on two hot objects.
+          Info.Obj =
+              static_cast<rt::ObjectId>(Threads + Rng[T].nextBelow(HotObjects));
+          Info.IsWrite = Generation % 2 == 1;
+          TimedShared = true;
+        }
+      } else {
+        Info.Obj = static_cast<rt::ObjectId>(Threads + HotObjects + T);
+        Info.IsWrite = Step % 2 == 1;
+      }
+      Info.Addr = RT.heap().fieldAddr(Info.Obj, Rng[T].nextBelow(2));
+      Info.Flags = ir::IF_OctetBarrier | ir::IF_LogAccess;
+      if (TimedShared && Threads > 1) {
+        auto T0 = Clock::now();
+        DC->instrumentedAccess(Tc[T], Info, [] {});
+        SharedNs += static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 T0)
+                .count());
+        ++SharedOps;
+      } else {
+        DC->instrumentedAccess(Tc[T], Info, [] {});
+      }
+    }
+  }
+  for (uint32_t T = 0; T < Threads; ++T) {
+    DC->txEnd(Tc[T], Txn);
+    DC->unblocked(Tc[T]);
+    DC->threadExiting(Tc[T]);
+  }
+  DC->endRun(RT); // Drain deferred detection inside the timed region.
+  auto End = Clock::now();
+
+  SweepPoint Pt;
+  Pt.Seconds = std::chrono::duration<double>(End - Begin).count();
+  Pt.TxPerSec = static_cast<double>(Threads) * TxPerThread / Pt.Seconds;
+  Pt.SharedNsAvg =
+      SharedOps ? static_cast<double>(SharedNs) / SharedOps : 0;
+  Pt.TxEndNsAvg = TxEnds ? static_cast<double>(TxEndNs) / TxEnds : 0;
+  Pt.CrossEdges = Stats.value("icd.idg_cross_edges");
+  Pt.IncEdges = Stats.value("icd.inc_edges");
+  Pt.Reorders = Stats.value("icd.reorders");
+  Pt.Sccs = Stats.value("icd.sccs");
+  Pt.SccPasses = Stats.value("icd.scc_passes");
+  Pt.CyclesIncremental = Stats.value("icd.cycles_incremental");
+  return Pt;
+}
+
+SweepPoint median(std::vector<SweepPoint> Runs) {
+  std::sort(Runs.begin(), Runs.end(),
+            [](const SweepPoint &A, const SweepPoint &B) {
+              return A.Seconds < B.Seconds;
+            });
+  return Runs[Runs.size() / 2];
+}
+
+const char *shapeName(Shape S) {
+  return S == Shape::CycleFree ? "cycle-free" : "cycle-heavy";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *OutPath = argc > 1 ? argv[1] : "BENCH_icd.json";
+  const double Scale = benchScale();
+  const unsigned Trials = benchTrials();
+  // Strong scaling (same rationale as bench/scaling_threads): each row
+  // performs the same total transaction count split across its threads.
+  const uint64_t TotalTx =
+      std::max<uint64_t>(8 * 256, static_cast<uint64_t>(120000 * Scale));
+  std::printf("Cycle detection sweep: incremental order maintenance vs "
+              "batched Tarjan (scale %.2f, %llu total tx per row)\n\n",
+              Scale, static_cast<unsigned long long>(TotalTx));
+
+  TextTable Table;
+  Table.setHeader({"threads", "shape", "inc tx/s", "bat tx/s", "inc edge ns",
+                   "bat edge ns", "inc txend ns", "bat txend ns", "passes",
+                   "cycles", "speedup"});
+  JsonRows Json;
+
+  struct Combo {
+    uint32_t Threads;
+    uint64_t TxPerThread;
+    Shape S;
+    bool Batched;
+    ir::Program P;
+    std::vector<SweepPoint> Runs;
+  };
+  std::vector<Combo> Combos;
+  const std::vector<uint32_t> Rows = {1u, 4u, 8u};
+  for (uint32_t Threads : Rows) {
+    const uint64_t TxPerThread =
+        std::max<uint64_t>(2 * SharedTxPeriod, TotalTx / Threads) /
+        SharedTxPeriod * SharedTxPeriod;
+    for (Shape S : {Shape::CycleFree, Shape::CycleHeavy})
+      for (bool Batched : {false, true})
+        Combos.push_back(
+            Combo{Threads, TxPerThread, S, Batched, benchProgram(Threads), {}});
+  }
+  // Interleave trials across combos so every row sees the same host noise
+  // (the comparison is inc-vs-bat within a row, not row-vs-row).
+  for (unsigned R = 0; R < Trials; ++R)
+    for (Combo &C : Combos)
+      C.Runs.push_back(runOnce(C.P, C.Threads, C.TxPerThread, C.S, C.Batched));
+
+  for (size_t I = 0; I + 1 < Combos.size(); I += 2) {
+    Combo &IncC = Combos[I], &BatC = Combos[I + 1];
+    SweepPoint Inc = median(IncC.Runs);
+    SweepPoint Bat = median(BatC.Runs);
+    const double Speedup = Bat.Seconds / Inc.Seconds;
+    Table.addRow({std::to_string(IncC.Threads), shapeName(IncC.S),
+                  formatWithCommas(static_cast<uint64_t>(Inc.TxPerSec)),
+                  formatWithCommas(static_cast<uint64_t>(Bat.TxPerSec)),
+                  formatDouble(Inc.SharedNsAvg, 0),
+                  formatDouble(Bat.SharedNsAvg, 0),
+                  formatDouble(Inc.TxEndNsAvg, 0),
+                  formatDouble(Bat.TxEndNsAvg, 0),
+                  formatWithCommas(Bat.SccPasses),
+                  formatWithCommas(Inc.CyclesIncremental),
+                  formatDouble(Speedup, 2) + "x"});
+    Json.beginRow();
+    Json.add("threads", static_cast<uint64_t>(IncC.Threads));
+    Json.add("shape", std::string(shapeName(IncC.S)));
+    Json.add("tx_per_thread", IncC.TxPerThread);
+    Json.add("incremental_wall_s", Inc.Seconds);
+    Json.add("batched_wall_s", Bat.Seconds);
+    Json.add("incremental_tx_per_s", Inc.TxPerSec);
+    Json.add("batched_tx_per_s", Bat.TxPerSec);
+    Json.add("incremental_shared_access_ns", Inc.SharedNsAvg);
+    Json.add("batched_shared_access_ns", Bat.SharedNsAvg);
+    Json.add("incremental_txend_ns", Inc.TxEndNsAvg);
+    Json.add("batched_txend_ns", Bat.TxEndNsAvg);
+    Json.add("incremental_cross_edges", Inc.CrossEdges);
+    Json.add("batched_cross_edges", Bat.CrossEdges);
+    Json.add("incremental_inc_edges", Inc.IncEdges);
+    Json.add("incremental_reorders", Inc.Reorders);
+    Json.add("incremental_sccs", Inc.Sccs);
+    Json.add("batched_sccs", Bat.Sccs);
+    Json.add("incremental_scc_passes", Inc.SccPasses);
+    Json.add("batched_scc_passes", Bat.SccPasses);
+    Json.add("incremental_cycles", Inc.CyclesIncremental);
+    Json.add("speedup", Speedup);
+  }
+
+  std::printf("%s\n", Table.render().c_str());
+  std::printf("(speedup = batched wall / incremental wall; edge ns = mean "
+              "shared-slot access, txend ns = mean transaction boundary — "
+              "batched pays its stop-the-world passes there)\n");
+  if (Json.write(OutPath, "cycle_detection"))
+    std::printf("wrote %s\n", OutPath);
+  return 0;
+}

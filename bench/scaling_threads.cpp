@@ -72,6 +72,12 @@ struct SweepPoint {
   uint64_t CrossEdges = 0;
   uint64_t Handoffs = 0;
   uint64_t Sccs = 0;
+  // Incremental cycle detection (DESIGN.md §12): the default sharded path
+  // maintains the topological order online, so scc_passes stays 0 and the
+  // reorder count profiles how often a cross edge actually arrived
+  // order-inconsistent.
+  uint64_t IcdReorders = 0;
+  uint64_t SccPasses = 0;
   // Octet coordination profile (DESIGN.md §11). This harness keeps every
   // logical thread in the blocked state, so all conflicts resolve through
   // the implicit protocol: explicit roundtrips, spins, and parks should
@@ -159,6 +165,8 @@ SweepPoint runOnce(const ir::Program &P, uint32_t Threads,
   Pt.EdgesPerSec = static_cast<double>(Pt.CrossEdges) / Pt.Seconds;
   Pt.Handoffs = Stats.value("icd.idg_lock_handoffs");
   Pt.Sccs = Stats.value("icd.sccs");
+  Pt.IcdReorders = Stats.value("icd.reorders");
+  Pt.SccPasses = Stats.value("icd.scc_passes");
   Pt.Conflicting = Stats.value("octet.conflicting");
   Pt.ExplicitRoundtrips = Stats.value("octet.explicit_roundtrips");
   Pt.ImplicitRoundtrips = Stats.value("octet.implicit_roundtrips");
@@ -195,7 +203,7 @@ int main(int argc, char **argv) {
   TextTable Table;
   Table.setHeader({"threads", "old wall s", "legacy-log s", "new wall s",
                    "old tx/s", "new tx/s", "new edges/s", "conflicts",
-                   "implicit rt", "speedup"});
+                   "icd reorders", "scc passes", "speedup"});
   JsonRows Json;
 
   const std::vector<uint32_t> Rows = {1u, 2u, 4u, 8u};
@@ -247,7 +255,8 @@ int main(int argc, char **argv) {
                   formatWithCommas(static_cast<uint64_t>(New.TxPerSec)),
                   formatWithCommas(static_cast<uint64_t>(New.EdgesPerSec)),
                   formatWithCommas(New.Conflicting),
-                  formatWithCommas(New.ImplicitRoundtrips),
+                  formatWithCommas(New.IcdReorders),
+                  formatWithCommas(New.SccPasses),
                   formatDouble(Speedup, 2) + "x"});
     Json.beginRow();
     Json.add("threads", static_cast<uint64_t>(Threads));
@@ -264,6 +273,10 @@ int main(int argc, char **argv) {
     Json.add("sharded_lock_handoffs", New.Handoffs);
     Json.add("serialized_sccs", Old.Sccs);
     Json.add("sharded_sccs", New.Sccs);
+    Json.add("serialized_icd_reorders", Old.IcdReorders);
+    Json.add("sharded_icd_reorders", New.IcdReorders);
+    Json.add("serialized_scc_passes", Old.SccPasses);
+    Json.add("sharded_scc_passes", New.SccPasses);
     Json.add("serialized_octet_conflicting", Old.Conflicting);
     Json.add("sharded_octet_conflicting", New.Conflicting);
     Json.add("serialized_explicit_roundtrips", Old.ExplicitRoundtrips);

@@ -501,6 +501,15 @@ void DoubleCheckerRuntime::beginRun(rt::Runtime &RT) {
   // Stripe 0 is the global stripe (gLastRdSh); Tid+1 is thread Tid's.
   NumShards = Opts.SerializedIdg ? 1 : NumThreads + 1;
   IdgShards = std::make_unique<StripedLockSet>(NumShards);
+  // Default cycle detection is incremental (DESIGN.md §12): every edge
+  // insert answers "cycle?" directly and no stop-the-world Tarjan pass
+  // ever runs. BatchedScc selects the batched passes; PcdOnly and the
+  // DetectIcdCycles ablation need no cycle detection at all.
+  if (!PcdOnlyAnalysis && Opts.DetectIcdCycles && !Opts.BatchedScc) {
+    IncrementalCycleDetector::Options IOpts;
+    IOpts.MaxRegion = std::max(1u, Opts.IcdMaxRegion);
+    Icd = std::make_unique<IncrementalCycleDetector>(IOpts);
+  }
   Octet = std::make_unique<octet::OctetManager>(
       RT.heap(), NumThreads, this, Stats, &RT.abortFlag(),
       Opts.SerialRoundtrips);
@@ -560,10 +569,18 @@ void DoubleCheckerRuntime::endRun(rt::Runtime &RT) {
   // retire it before the (possibly long) drains below can trip GateStall.
   if (Dog)
     Dog->endWork(DogGateSlot);
-  // Flush detection roots still short of a full batch (every transaction
-  // is finished now, so this finds any remaining cycles), then drain the
-  // deferred machinery that pass may have fed.
-  sccPass(HolderCollector);
+  // Flush the tail of detection, then drain the deferred machinery it may
+  // have fed. Incremental mode has nothing batched to flush — every cycle
+  // was claimed at its last member's retire — so finalize only claims
+  // defensively (icd.finalize_claims, expected 0) and keeps scc_passes at
+  // zero. Batched mode flushes roots still short of a full batch.
+  if (Icd) {
+    IncrementalCycleDetector::ClaimList Claims;
+    Icd->finalize(Claims);
+    executeIcdClaims(Claims);
+  } else {
+    sccPass(HolderCollector);
+  }
   if (AsyncPcd)
     AsyncPcd->drain();
   if (Collector)
@@ -643,6 +660,8 @@ void DoubleCheckerRuntime::endRun(rt::Runtime &RT) {
       .updateMax(CollectorLiveMax.load(std::memory_order_relaxed));
   Stats.get("icd.idg_shards").updateMax(NumShards);
   Stats.get("icd.idg_lock_handoffs").add(IdgShards->totalHandoffs());
+  if (Icd)
+    Icd->flushStats(Stats);
 }
 
 //===----------------------------------------------------------------------===//
@@ -1018,6 +1037,15 @@ Transaction *DoubleCheckerRuntime::newTransactionLocked(uint32_t Tid,
     E.Intra = true;
     Prev->Out.push_back(E);
   }
+  if (Icd) {
+    // Both calls are lock-free — the per-transaction hot path never
+    // touches the detector lock. The intra edge targets a brand-new
+    // maximal vertex, so it is consistent by construction; if Prev's
+    // region is poisoned, the first search that reaches it through the
+    // chain repairs the contact (IncrementalCycles.h).
+    Icd->addNode(Tx);
+    Icd->addChainEdge(Prev, Tx);
+  }
   PT.CurrTx.store(Tx, std::memory_order_release);
   PT.CurTs.fetch_add(1, std::memory_order_relaxed);
   if (Regular)
@@ -1064,7 +1092,7 @@ void DoubleCheckerRuntime::endCurrentTx(uint32_t Tid) {
   // only *receive* edges (the sources are usually long finished) and end
   // without ever becoming a root.
   const bool NeedScc =
-      !PcdOnlyAnalysis && Opts.DetectIcdCycles &&
+      !PcdOnlyAnalysis && Opts.DetectIcdCycles && Icd == nullptr &&
       (Cur->HasCrossOut || (Opts.EagerSccRoots && Cur->HasCrossIn));
   unlockShard(Shard);
   // The follow-ups run without the own stripe. Cur is finished, so its log
@@ -1075,7 +1103,16 @@ void DoubleCheckerRuntime::endCurrentTx(uint32_t Tid) {
     SpinLockGuard Guard(PcdOnlyLock);
     PcdOnlyAnalysis->processTransaction(Cur);
   }
-  if (NeedScc)
+  if (Icd) {
+    // Incremental mode: observing the end is what can complete a cycle's
+    // claim (last member to finish). No stripes are held here, so a claim
+    // may block on PCD backpressure safely. Until retire returns, Cur is
+    // still this thread's CurrTx — a strong collector root — so an
+    // unclaimed component containing it cannot be swept.
+    IncrementalCycleDetector::ClaimList Claims;
+    Icd->retire(Cur, Claims);
+    executeIcdClaims(Claims);
+  } else if (NeedScc)
     pendSccRoot(Cur, Tid);
   if ((FinishedTxs.fetch_add(1, std::memory_order_relaxed) + 1) %
           Opts.CollectEveryTx ==
@@ -1132,6 +1169,16 @@ void DoubleCheckerRuntime::addCrossEdgeLocked(Transaction *Src,
     }
   }
   CrossEdges.fetch_add(1, std::memory_order_relaxed);
+  if (Icd) {
+    // The caller holds exactly the two endpoint stripes — the detector
+    // adds only its own internal lock, never another stripe. A precise
+    // claim cannot happen here (the edge's target is unfinished, so its
+    // component has an unretired member); an oversized absorption can, and
+    // its execution touches only innermost locks.
+    IncrementalCycleDetector::ClaimList Claims;
+    Icd->addEdge(Src, Dst, Claims);
+    executeIcdClaims(Claims);
+  }
 }
 
 //===----------------------------------------------------------------------===//
@@ -1294,6 +1341,82 @@ void DoubleCheckerRuntime::sccPass(uint32_t Holder) {
 }
 
 //===----------------------------------------------------------------------===//
+// Incremental claim execution (IncrementalCycles.h)
+//===----------------------------------------------------------------------===//
+
+void DoubleCheckerRuntime::executeIcdClaims(
+    IncrementalCycleDetector::ClaimList &Claims) {
+  for (IncrementalCycleDetector::Claim &C : Claims) {
+    std::vector<Transaction *> &Members = C.Members;
+    const auto Unpin = [&Members] {
+      for (Transaction *M : Members)
+        M->Pins.fetch_sub(1, std::memory_order_release);
+    };
+    // Mirror sccPass's order exactly: the injected unsound filter drops a
+    // two-member component before it reaches the site set, SccCount, or
+    // PCD — in both modes, so the fuzzer's bug-detection differential sees
+    // the same (broken) behaviour whichever detector is selected.
+    if (!C.Oversized && Opts.TestOnlyUnsoundFilter && Members.size() == 2) {
+      Unpin();
+      continue;
+    }
+    // Sites feed multi-run mode's static info for every claim kind, just
+    // like the batched pass accumulates them for every detected component.
+    {
+      SpinLockGuard Guard(SccStateLock);
+      for (Transaction *M : Members) {
+        if (M->Regular)
+          SccSites.insert(M->Site);
+        else
+          SccAnyUnary = true;
+      }
+    }
+    // Stamps: max member EndTime, like sccPass / degradeScc — but members
+    // of an oversized absorption may still be running (EndTime unset).
+    uint64_t MaxEnd = 0;
+    bool Shed = false;
+    for (Transaction *M : Members) {
+      if (M->Finished.load(std::memory_order_acquire))
+        MaxEnd = std::max(MaxEnd, M->EndTime);
+      Shed |= M->LogShed.load(std::memory_order_relaxed);
+    }
+    if (C.Oversized) {
+      // Region-cap degradation (DoubleCheckerOptions::IcdMaxRegion):
+      // everything absorbed into a poisoned region is reported Potential.
+      if (Pcd)
+        degradeScc(Members, MaxEnd);
+      Unpin();
+      continue;
+    }
+    SccCount.fetch_add(1, std::memory_order_relaxed);
+    if (!Pcd) {
+      Unpin(); // First run of multi-run mode: sites were all it wanted.
+      continue;
+    }
+    if (Members.size() > Opts.MaxSccTxsForPcd || Shed) {
+      degradeScc(Members, MaxEnd);
+      Unpin();
+      continue;
+    }
+    if (AsyncPcd) {
+      // Ownership of the pins moves to the pool (a worker or the
+      // degrade-on-timeout path unpins after the replay).
+      std::vector<std::vector<Transaction *>> Batch;
+      Batch.push_back(std::move(Members));
+      AsyncPcd->enqueueBatch(std::move(Batch));
+    } else {
+      Pcd->processScc(Members);
+      Unpin();
+    }
+  }
+  Claims.clear();
+}
+
+uint32_t DoubleCheckerRuntime::stripesHeldByCurrentThread() const {
+  return IdgShards ? IdgShards->heldCount(TlsPhysTid) : 0;
+}
+
+//===----------------------------------------------------------------------===//
 // Transaction collection (stands in for the JVM's GC)
 //===----------------------------------------------------------------------===//
 
@@ -1416,6 +1539,14 @@ void DoubleCheckerRuntime::collectNow(uint32_t Holder) {
     PT.Owned.resize(Kept);
     Live += Kept;
   }
+  // Doomed transactions must vacate the incremental detector's order while
+  // the graph is still frozen and before anything is freed: unlink their
+  // detector adjacency and group membership so no later search touches a
+  // dangling node. Dropping vertices cannot invalidate the remaining
+  // topological order, and a swept (unreachable, finished) transaction can
+  // never rejoin a cycle.
+  if (Icd)
+    Icd->removeNodes(Doomed);
   unlockAllShards();
   uint64_t PrevMax = CollectorLiveMax.load(std::memory_order_relaxed);
   while (Live > PrevMax && !CollectorLiveMax.compare_exchange_weak(
@@ -1515,10 +1646,17 @@ void DoubleCheckerRuntime::reportHealth(rt::RunResult &R) {
 }
 
 StaticTransactionInfo DoubleCheckerRuntime::staticInfo() {
-  // Detection is batched; claim any cycles whose roots are still pending
-  // so the accumulated site set is complete at the time of the snapshot.
-  if (IdgShards)
+  // Make the accumulated site set complete as of the snapshot: batched
+  // mode claims any cycles whose roots are still pending; incremental mode
+  // has already claimed everything at retire time, so finalize is a
+  // defensive no-op sweep.
+  if (Icd) {
+    IncrementalCycleDetector::ClaimList Claims;
+    Icd->finalize(Claims);
+    executeIcdClaims(Claims);
+  } else if (IdgShards) {
     sccPass(HolderCollector);
+  }
   SpinLockGuard Guard(SccStateLock);
   StaticTransactionInfo Info;
   Info.AnyUnary = SccAnyUnary;

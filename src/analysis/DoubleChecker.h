@@ -44,6 +44,7 @@
 #include <memory>
 #include <set>
 
+#include "analysis/IncrementalCycles.h"
 #include "analysis/OnlinePcd.h"
 #include "analysis/Pcd.h"
 #include "analysis/StaticInfo.h"
@@ -87,15 +88,32 @@ struct DoubleCheckerOptions {
   /// Disable ICD SCC detection entirely (§5.4 array-instrumentation
   /// ablation, where conflated metadata makes cycles meaningless).
   bool DetectIcdCycles = true;
+  /// Escape hatch: answer "did this edge close a cycle?" with the batched
+  /// stop-the-world Tarjan passes instead of the default incremental
+  /// order-maintenance detector (IncrementalCycles.h, DESIGN.md §12). Both
+  /// modes claim a component at the same instant — when its last member
+  /// finishes — and hand identical member sets to PCD, so they blame
+  /// identical methods on identical schedules; dcfuzz replays every pair
+  /// through both to keep that differential honest. The batched pass
+  /// freezes every IDG stripe per flush; the incremental detector never
+  /// takes more stripes than the edge writer already holds.
+  bool BatchedScc = false;
+  /// Incremental detector's affected-region cap: an inconsistent edge
+  /// whose two-way search would visit more vertices than this stops
+  /// reordering and degrades the region soundly — it collapses into one
+  /// poisoned group whose members are reported as Potential violations
+  /// (Pcd::reportPotential) instead of being replayed. The default is
+  /// unreachable for any governed live graph; tests shrink it.
+  uint32_t IcdMaxRegion = 1u << 20;
   /// Cross-edged transactions that must finish before one batched Tarjan
-  /// pass walks from all of them at once. Every pass takes all IDG stripes
-  /// (a full-graph freeze), so batching divides both the freeze frequency
-  /// and the per-thread stripe handoffs a freeze inflicts on uninvolved
-  /// threads by this factor. Detection totals are unchanged — a cycle is
-  /// complete by the time its last member finishes, pending roots are
-  /// collector-strong until their pass runs, and endRun flushes the tail —
-  /// only the report is deferred by at most this many transactions.
-  /// 1 restores per-transaction-end detection.
+  /// pass walks from all of them at once (BatchedScc mode only). Every
+  /// pass takes all IDG stripes (a full-graph freeze), so batching divides
+  /// both the freeze frequency and the per-thread stripe handoffs a freeze
+  /// inflicts on uninvolved threads by this factor. Detection totals are
+  /// unchanged — a cycle is complete by the time its last member finishes,
+  /// pending roots are collector-strong until their pass runs, and endRun
+  /// flushes the tail — only the report is deferred by at most this many
+  /// transactions. 1 restores per-transaction-end detection.
   uint32_t SccBatch = 8;
   /// §5.4 straw man: feed *every* transaction to a persistent precise
   /// analysis instead of filtering through ICD SCCs. Implies LogAccesses;
@@ -114,8 +132,8 @@ struct DoubleCheckerOptions {
   /// differentially test serial vs. pipelined on one schedule; both must
   /// produce identical violations.
   bool SerialRoundtrips = false;
-  /// Escape hatch for the SCC root filter: pend every cross-touched
-  /// transaction as a Tarjan root, not just those with an outgoing cross
+  /// Escape hatch for the SCC root filter (BatchedScc mode only): pend
+  /// every cross-touched transaction as a Tarjan root, not just those with an outgoing cross
   /// edge (which are the only possible claiming members — see
   /// Transaction.h). Same detected components either way — kept so dcfuzz
   /// can replay one schedule through both and assert identical violations.
@@ -233,6 +251,17 @@ public:
   /// The underlying Octet manager; valid between beginRun and destruction.
   octet::OctetManager *octetManager() { return Octet.get(); }
 
+  /// The incremental cycle detector, or null in BatchedScc / PcdOnly /
+  /// DetectIcdCycles=false modes. Test-only: the stripe-locality stress
+  /// test installs its reorder hook here.
+  IncrementalCycleDetector *icdDetector() { return Icd.get(); }
+  /// Test-only: how many IDG stripes the calling thread holds right now
+  /// (exact for self-queries; see StripedLockSet::heldBy). The locality
+  /// test asserts from inside a reorder that this never reaches
+  /// stripeCount().
+  uint32_t stripesHeldByCurrentThread() const;
+  uint32_t stripeCount() const { return NumShards; }
+
 private:
   struct alignas(64) PerThread {
     std::atomic<Transaction *> CurrTx{nullptr}; ///< Written under own stripe.
@@ -308,6 +337,14 @@ private:
   /// runs a batched pass once Opts.SccBatch roots are pending. Caller must
   /// hold no stripe.
   void pendSccRoot(Transaction *V, uint32_t Holder);
+  /// Executes component claims the incremental detector produced: the
+  /// exact post-claim logic of sccPass — site accumulation, the injected
+  /// unsound filter, the degradation checks, the PCD hand-off, unpinning.
+  /// Precise claims only arise on the retire()/finalize paths (no stripes
+  /// held — the hand-off may block on queue backpressure); Oversized
+  /// claims also arise under ≤ 2 stripes from edge insertion, where they
+  /// touch only innermost locks.
+  void executeIcdClaims(IncrementalCycleDetector::ClaimList &Claims);
   /// Batched Tarjan over finished transactions from every pending root;
   /// takes all stripes once for the whole batch. A component is claimed
   /// exactly by the pass whose root set contains its maximal-EndTime
@@ -352,6 +389,10 @@ private:
 
   std::unique_ptr<octet::OctetManager> Octet;
   std::unique_ptr<PreciseCycleDetector> Pcd;
+  /// Incremental online cycle detection (the default); null selects the
+  /// batched Tarjan passes (Opts.BatchedScc) and in PcdOnly /
+  /// DetectIcdCycles=false modes.
+  std::unique_ptr<IncrementalCycleDetector> Icd;
   /// Declared before the pool/collector: workers beat its slots, so it is
   /// destroyed after them (the dtor also resets explicitly in that order).
   std::unique_ptr<rt::Watchdog> Dog;

@@ -1,0 +1,417 @@
+//===- analysis/IncrementalCycles.cpp - Online IDG cycle detection --------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/IncrementalCycles.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dc {
+namespace analysis {
+
+IncrementalCycleDetector::~IncrementalCycleDetector() {
+  for (IcdGroup *G : Groups)
+    delete G;
+}
+
+void IncrementalCycleDetector::addNode(Transaction *Tx) {
+  // Lock-free: new nodes are maximal (no edge can point at a transaction
+  // that does not exist yet), and a relaxed fetch-add keeps the key above
+  // everything a concurrent reorder could be permuting.
+  Tx->IcdOrd = NextOrd.fetch_add(1, std::memory_order_relaxed);
+}
+
+void IncrementalCycleDetector::addChainEdge(Transaction *Prev,
+                                            Transaction *Tx) {
+  if (Prev == nullptr || Tx == nullptr || Prev == Tx)
+    return;
+  // Tx's key is fresh and maximal, so ord(Prev) < ord(Tx) holds no matter
+  // what any concurrent reorder permutes — the edge is consistent by
+  // construction and needs no lock at all. The release store (paired with
+  // the searches' acquire loads) publishes Tx's key with the link.
+  Tx->IcdChainPrev.store(Prev, std::memory_order_relaxed);
+  Prev->IcdChainNext.store(Tx, std::memory_order_release);
+  ChainEdges.fetch_add(1, std::memory_order_relaxed);
+}
+
+void IncrementalCycleDetector::registerGroup(IcdGroup *G) {
+  G->RegIdx = Groups.size();
+  Groups.push_back(G);
+}
+
+void IncrementalCycleDetector::unregisterGroup(IcdGroup *G) {
+  const size_t I = G->RegIdx;
+  Groups[I] = Groups.back();
+  Groups[I]->RegIdx = I;
+  Groups.pop_back();
+}
+
+void IncrementalCycleDetector::claimGroup(IcdGroup *G, ClaimList &Out) {
+  G->Claimed = true;
+  for (Transaction *M : G->Members)
+    M->Pins.fetch_add(1, std::memory_order_relaxed);
+  Claim C;
+  C.Members = G->Members;
+  Out.push_back(std::move(C));
+}
+
+void IncrementalCycleDetector::addEdge(Transaction *Src, Transaction *Dst,
+                                       ClaimList &Out) {
+  if (Src == nullptr || Dst == nullptr || Src == Dst)
+    return;
+  SpinLockGuard L(Mu);
+  ++NumEdges;
+  if (sameVertex(Src, Dst))
+    return; // Internal to an already-merged component: changes neither
+            // reachability (searches expand whole groups) nor order, so
+            // it is not even recorded — hot ping-pong pairs would
+            // otherwise grow the merged component's adjacency forever.
+  // Detector-private symmetric adjacency. Consecutive duplicates collapse:
+  // repeated conflicts between one transaction pair are the common case,
+  // and a duplicate edge changes neither reachability nor order.
+  if (Src->IcdOut.empty() || Src->IcdOut.back() != Dst) {
+    Src->IcdOut.push_back(Dst);
+    Dst->IcdIn.push_back(Src);
+  }
+  IcdGroup *GS = Src->IcdG;
+  IcdGroup *GD = Dst->IcdG;
+  if (GS != nullptr && GS->Oversized) {
+    absorbInto(GS, {Dst}, Out);
+    return;
+  }
+  if (GD != nullptr && GD->Oversized) {
+    absorbInto(GD, {Src}, Out);
+    return;
+  }
+  if (ordOf(Src) < ordOf(Dst)) {
+    ++NumFastEdges; // Order already consistent: the hot path.
+    return;
+  }
+  insertInconsistent(Src, Dst, Out);
+}
+
+void IncrementalCycleDetector::insertInconsistent(Transaction *Src,
+                                                  Transaction *Dst,
+                                                  ClaimList &Out) {
+  const uint64_t HiOrd = ordOf(Src);
+  const uint64_t LoOrd = ordOf(Dst);
+  const uint64_t FStamp = ++VisitClock;
+  const uint64_t BStamp = ++VisitClock;
+
+  // Forward search from Dst over vertices with keys ≤ ord(Src). Visits are
+  // per condensation vertex (a group shares one stamp and one order key).
+  std::vector<Transaction *> VF;    // Forward-visited (members included).
+  std::vector<Transaction *> BOnly; // Backward-only.
+  std::vector<Transaction *> MemberV; // F∩B: the new component's vertices.
+  std::vector<Transaction *> Stack;
+
+  bool Oversize = false;
+  IcdGroup *Poison = nullptr; // Oversized group a search touched.
+  stampOf(Dst) = FStamp;
+  VF.push_back(Dst);
+  Stack.push_back(Dst);
+  while (!Stack.empty() && Poison == nullptr) {
+    if (VF.size() > Opts.MaxRegion) {
+      Oversize = true;
+      break;
+    }
+    Transaction *V = Stack.back();
+    Stack.pop_back();
+    auto Visit = [&](Transaction *N) {
+      if (N == nullptr || stampOf(N) == FStamp)
+        return;
+      if (N->IcdG != nullptr && N->IcdG->Oversized) {
+        // Lazy poison contact (a chain link published after the region
+        // was absorbed): abandon the search and absorb the new edge.
+        Poison = N->IcdG;
+        return;
+      }
+      if (ordOf(N) > HiOrd)
+        return;
+      stampOf(N) = FStamp;
+      VF.push_back(N);
+      Stack.push_back(N);
+    };
+    auto Expand = [&](Transaction *M) {
+      for (Transaction *N : M->IcdOut)
+        Visit(N);
+      Visit(M->IcdChainNext.load(std::memory_order_acquire));
+    };
+    if (V->IcdG != nullptr)
+      for (Transaction *M : V->IcdG->Members)
+        Expand(M);
+    else
+      Expand(V);
+  }
+
+  // Backward search from Src over keys ≥ ord(Dst). A vertex already
+  // carrying the forward stamp is in both frontiers — i.e. on the cycle
+  // the new edge closes.
+  if (!Oversize && Poison == nullptr) {
+    Stack.clear();
+    auto VisitB = [&](Transaction *N) {
+      const bool WasF = stampOf(N) == FStamp;
+      stampOf(N) = BStamp;
+      (WasF ? MemberV : BOnly).push_back(N);
+      Stack.push_back(N);
+    };
+    VisitB(Src);
+    while (!Stack.empty() && Poison == nullptr) {
+      if (VF.size() + BOnly.size() > Opts.MaxRegion) {
+        Oversize = true;
+        break;
+      }
+      Transaction *V = Stack.back();
+      Stack.pop_back();
+      auto Visit = [&](Transaction *N) {
+        if (N == nullptr || stampOf(N) == BStamp)
+          return;
+        if (N->IcdG != nullptr && N->IcdG->Oversized) {
+          Poison = N->IcdG;
+          return;
+        }
+        if (ordOf(N) < LoOrd)
+          return;
+        VisitB(N);
+      };
+      auto Expand = [&](Transaction *M) {
+        for (Transaction *N : M->IcdIn)
+          Visit(N);
+        Visit(M->IcdChainPrev.load(std::memory_order_acquire));
+      };
+      if (V->IcdG != nullptr)
+        for (Transaction *M : V->IcdG->Members)
+          Expand(M);
+      else
+        Expand(V);
+    }
+  }
+
+  if (Poison != nullptr) {
+    // Touching a poisoned region means the new edge connects to it:
+    // absorb both endpoints (and their undirected closure) instead of
+    // reordering. The stamps left behind are epoch-based garbage.
+    absorbInto(Poison, {Src, Dst}, Out);
+    return;
+  }
+
+  const size_t Region = VF.size() + BOnly.size();
+  RegionMax = std::max<uint64_t>(RegionMax, Region);
+
+  if (Oversize) {
+    // The region is too dense to keep reordering: poison it. Everything
+    // connected (in the undirected sense) to the new edge collapses into
+    // one oversized group whose members are reported as Potential; the
+    // stamps left behind are epoch-based and need no cleanup.
+    IcdGroup *G = new IcdGroup;
+    G->Oversized = true;
+    G->Claimed = true;
+    G->Ord = HiOrd; // Never consulted: searches skip oversized groups.
+    registerGroup(G);
+    absorbInto(G, {Src, Dst}, Out);
+    return;
+  }
+
+  ++NumReorders;
+  ReorderVisited += Region;
+  if (ReorderHook)
+    ReorderHook(Region);
+
+  // Restore order consistency by permuting the region's own keys:
+  // backward frontier gets the lowest keys, the merged component the next
+  // one, the forward frontier the highest. Relative order within each
+  // block is preserved, so every edge into, out of, or across the region
+  // stays consistent (see the proof sketch in DESIGN.md §12).
+  std::vector<uint64_t> Pool;
+  Pool.reserve(Region);
+  for (Transaction *V : VF)
+    Pool.push_back(ordOf(V));
+  for (Transaction *V : BOnly)
+    Pool.push_back(ordOf(V));
+  std::sort(Pool.begin(), Pool.end());
+
+  const auto ByOrd = [this](Transaction *A, Transaction *B) {
+    return ordOf(A) < ordOf(B);
+  };
+  std::sort(BOnly.begin(), BOnly.end(), ByOrd);
+  std::vector<Transaction *> FOnly; // VF minus members: stamp still FStamp
+  for (Transaction *V : VF)        // (members were restamped BStamp).
+    if (stampOf(V) == FStamp)
+      FOnly.push_back(V);
+  std::sort(FOnly.begin(), FOnly.end(), ByOrd);
+
+  size_t Slot = 0;
+  for (Transaction *V : BOnly)
+    setOrd(V, Pool[Slot++]);
+
+  if (!MemberV.empty()) {
+    // The edge closed a cycle: merge F∩B into one condensation vertex.
+    IcdGroup *G = new IcdGroup;
+    for (Transaction *V : MemberV) {
+      if (IcdGroup *Old = V->IcdG) {
+        for (Transaction *M : Old->Members) {
+          M->IcdG = G;
+          G->Members.push_back(M);
+        }
+        unregisterGroup(Old);
+        delete Old;
+      } else {
+        V->IcdG = G;
+        G->Members.push_back(V);
+      }
+    }
+    for (Transaction *M : G->Members)
+      if (!M->IcdRetired)
+        ++G->Unretired;
+    G->Ord = Pool[Slot]; // Between the backward and forward blocks.
+    G->Epoch = BStamp;
+    registerGroup(G);
+    ++NumCycles;
+    // The runtime's edges always target an unfinished (hence unretired)
+    // transaction, so the claim waits for retire(); hand-built graphs may
+    // close a cycle among finished nodes, in which case claim here.
+    if (G->Unretired == 0)
+      claimGroup(G, Out);
+  }
+
+  Slot = Pool.size() - FOnly.size();
+  for (Transaction *V : FOnly)
+    setOrd(V, Pool[Slot++]);
+}
+
+void IncrementalCycleDetector::absorbInto(
+    IcdGroup *G, const std::vector<Transaction *> &Seeds, ClaimList &Out) {
+  assert(G->Oversized && "absorption is the oversized-region valve");
+  // Fresh doubles as the BFS worklist and the claim's member list: the
+  // undirected closure of the seeds, minus what the group already holds.
+  std::vector<Transaction *> Fresh;
+  auto Absorb = [&](Transaction *N) {
+    if (N->IcdG == G)
+      return;
+    if (IcdGroup *Old = N->IcdG) {
+      // Members of another *oversized* group were already reported (and
+      // pinned) when that group absorbed them: splice them in silently.
+      const bool Report = !Old->Oversized;
+      for (Transaction *M : Old->Members) {
+        M->IcdG = G;
+        G->Members.push_back(M);
+        if (Report)
+          Fresh.push_back(M);
+      }
+      unregisterGroup(Old);
+      delete Old;
+    } else {
+      N->IcdG = G;
+      G->Members.push_back(N);
+      Fresh.push_back(N);
+    }
+  };
+  for (Transaction *S : Seeds)
+    Absorb(S);
+  for (size_t I = 0; I < Fresh.size(); ++I) {
+    Transaction *M = Fresh[I];
+    for (Transaction *N : M->IcdOut)
+      Absorb(N);
+    for (Transaction *N : M->IcdIn)
+      Absorb(N);
+    if (Transaction *N = M->IcdChainNext.load(std::memory_order_acquire))
+      Absorb(N);
+    if (Transaction *N = M->IcdChainPrev.load(std::memory_order_acquire))
+      Absorb(N);
+  }
+  if (Fresh.empty())
+    return;
+  ++CapDegrades;
+  for (Transaction *M : Fresh)
+    M->Pins.fetch_add(1, std::memory_order_relaxed);
+  Claim C;
+  C.Members = std::move(Fresh);
+  C.Oversized = true;
+  Out.push_back(std::move(C));
+}
+
+void IncrementalCycleDetector::retire(Transaction *Tx, ClaimList &Out) {
+  SpinLockGuard L(Mu);
+  if (Tx->IcdRetired)
+    return;
+  Tx->IcdRetired = true;
+  IcdGroup *G = Tx->IcdG;
+  if (G != nullptr && !G->Claimed && G->Unretired > 0 &&
+      --G->Unretired == 0)
+    claimGroup(G, Out); // Last member to finish claims the component —
+                        // the same instant a batched pass first could.
+}
+
+void IncrementalCycleDetector::removeNodes(
+    const std::vector<Transaction *> &Doomed) {
+  SpinLockGuard L(Mu);
+  for (Transaction *Tx : Doomed) {
+    for (Transaction *N : Tx->IcdOut)
+      if (N != Tx)
+        N->IcdIn.eraseValue(Tx);
+    for (Transaction *N : Tx->IcdIn)
+      if (N != Tx)
+        N->IcdOut.eraseValue(Tx);
+    Tx->IcdOut.clear();
+    Tx->IcdIn.clear();
+    // Chain unlink. In the runtime a doomed node's chain neighbours are
+    // doomed with it (the mark phase follows the same edges), so this is
+    // defensive, like the vector erasures above.
+    if (Transaction *N = Tx->IcdChainPrev.load(std::memory_order_relaxed))
+      if (N->IcdChainNext.load(std::memory_order_relaxed) == Tx)
+        N->IcdChainNext.store(nullptr, std::memory_order_relaxed);
+    if (Transaction *N = Tx->IcdChainNext.load(std::memory_order_relaxed))
+      if (N->IcdChainPrev.load(std::memory_order_relaxed) == Tx)
+        N->IcdChainPrev.store(nullptr, std::memory_order_relaxed);
+    Tx->IcdChainNext.store(nullptr, std::memory_order_relaxed);
+    Tx->IcdChainPrev.store(nullptr, std::memory_order_relaxed);
+    if (IcdGroup *G = Tx->IcdG) {
+      // Only claimed (processed or poisoned) groups can lose members: an
+      // unclaimed group has an unretired member rooting the whole
+      // component through the mark phase.
+      G->Members.erase(
+          std::remove(G->Members.begin(), G->Members.end(), Tx),
+          G->Members.end());
+      if (!Tx->IcdRetired && G->Unretired > 0)
+        --G->Unretired;
+      Tx->IcdG = nullptr;
+      if (G->Members.empty()) {
+        unregisterGroup(G);
+        delete G;
+      }
+    }
+  }
+}
+
+void IncrementalCycleDetector::finalize(ClaimList &Out) {
+  SpinLockGuard L(Mu);
+  for (size_t I = 0; I < Groups.size(); ++I) {
+    IcdGroup *G = Groups[I];
+    if (!G->Claimed) {
+      ++FinalizeClaims;
+      claimGroup(G, Out);
+    }
+  }
+}
+
+void IncrementalCycleDetector::flushStats(StatisticRegistry &Stats) {
+  SpinLockGuard L(Mu);
+  // Chain links are the ultimate fast path: consistent by construction.
+  const uint64_t Chain = ChainEdges.exchange(0, std::memory_order_relaxed);
+  Stats.get("icd.inc_edges").add(NumEdges + Chain);
+  Stats.get("icd.inc_fast_edges").add(NumFastEdges + Chain);
+  Stats.get("icd.reorders").add(NumReorders);
+  Stats.get("icd.reorder_visited").add(ReorderVisited);
+  Stats.get("icd.region_max").updateMax(RegionMax);
+  Stats.get("icd.cycles_incremental").add(NumCycles);
+  Stats.get("icd.region_cap_degrades").add(CapDegrades);
+  Stats.get("icd.finalize_claims").add(FinalizeClaims);
+  NumEdges = NumFastEdges = NumReorders = ReorderVisited = 0;
+  RegionMax = NumCycles = CapDegrades = FinalizeClaims = 0;
+}
+
+} // namespace analysis
+} // namespace dc

@@ -1,0 +1,226 @@
+//===- analysis/IncrementalCycles.h - Online IDG cycle detection -*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental online cycle detection over the IDG (DESIGN.md §12). Instead
+/// of batching Tarjan passes that freeze every IDG stripe, the detector
+/// maintains a topological order of the condensation of the live+finished
+/// transaction graph under edge insertion, Pearce–Kelly style:
+///
+///  * every transaction gets a monotonically increasing order key at
+///    creation (new nodes are maximal, so the intra-thread chain is free);
+///  * a cross edge u→v with ord(u) < ord(v) is consistent — O(1), no
+///    traversal, no stripe beyond the two the edge writer already holds;
+///  * an inconsistent edge triggers a bounded two-way search of the
+///    affected region (forward from v over keys ≤ ord(u), backward from u
+///    over keys ≥ ord(v)). If the searches meet, the edge closed a cycle:
+///    the meeting vertices are exactly the new SCC, which is merged into
+///    one condensation vertex (IcdGroup) so later searches cross it in one
+///    step. Either way the region's keys are permuted — backward frontier
+///    below, merged component in the middle, forward frontier on top — to
+///    restore order consistency.
+///
+/// Claiming mirrors the batched pass's exactly-once discipline: a confirmed
+/// component is handed to PCD by the *last member to finish* (retire()),
+/// which is the same instant a batched pass could first have claimed it, so
+/// the two modes blame identical method sets on identical schedules. The
+/// caller executes claims (pinning, degradation checks, PCD hand-off)
+/// outside the detector lock.
+///
+/// Soundness valve (the Bender-style dense-end bound): when an affected
+/// region exceeds Options::MaxRegion, the detector stops reordering that
+/// neighbourhood. The region collapses into one poisoned "oversized" group
+/// that absorbs — via undirected closure — everything an edge ever connects
+/// to it, and every absorbed transaction is reported as a Potential
+/// violation (Pcd::reportPotential path). Order consistency among
+/// non-absorbed vertices is preserved (deleting vertices from a DAG cannot
+/// invalidate a topological order), and any future cycle that touches the
+/// poisoned region has all its members absorbed and reported, so no
+/// violation is lost — precision degrades, soundness does not.
+///
+/// Locking: one internal spin lock, strictly *after* IDG stripes in the
+/// acquisition order (edge writers hold ≤ 2 stripes, the collector holds
+/// all of them; the detector never takes a stripe). The per-transaction
+/// hot path never touches it: key assignment (addNode) is a relaxed
+/// fetch-add, and the program-order edge (addChainEdge) is two atomic
+/// pointer stores — consistent by construction because the new vertex's
+/// key is maximal. Only cross edges (addEdge), retirement, collection,
+/// and finalize take the lock; the remaining Transaction::Icd* scratch
+/// fields are guarded by it. The collector unlinks
+/// doomed nodes (removeNodes) while it still holds every stripe and before
+/// it frees anything, so the detector never sees a dangling node: a swept
+/// transaction is unreachable and finished, hence can never appear on a
+/// future cycle, and dropping it cannot invalidate the remaining order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_ANALYSIS_INCREMENTALCYCLES_H
+#define DC_ANALYSIS_INCREMENTALCYCLES_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "analysis/Transaction.h"
+#include "support/SpinLock.h"
+#include "support/Statistic.h"
+
+namespace dc {
+namespace analysis {
+
+/// A condensation vertex: the members of one confirmed (or poisoned) SCC,
+/// sharing a single order key and visit stamp. Guarded by the detector's
+/// internal lock.
+struct IcdGroup {
+  std::vector<Transaction *> Members;
+  uint64_t Ord = 0;
+  uint64_t Epoch = 0;   ///< Visit stamp shared by all members.
+  uint32_t Unretired = 0;
+  size_t RegIdx = 0;    ///< Position in the detector's registry.
+  bool Claimed = false; ///< Handed to the PCD path (or poisoned).
+  bool Oversized = false;
+};
+
+class IncrementalCycleDetector {
+public:
+  struct Options {
+    /// Affected-region cap: searches visiting more vertices than this stop
+    /// reordering and degrade the region to Potential reports. The default
+    /// is far beyond any region a bounded live graph can produce; tests
+    /// shrink it to force the valve.
+    uint32_t MaxRegion = 1u << 20;
+  };
+
+  /// One component the caller must hand to the PCD/refinement path. The
+  /// detector has already pinned every member (Transaction::Pins), exactly
+  /// like the batched pass pins before releasing the stripes; the caller
+  /// unpins with release order when it is done with the members' logs.
+  struct Claim {
+    std::vector<Transaction *> Members;
+    /// Poisoned-region absorption (only the newly absorbed transactions):
+    /// report Potential, never replay.
+    bool Oversized = false;
+  };
+  using ClaimList = std::vector<Claim>;
+
+  explicit IncrementalCycleDetector(const Options &O) : Opts(O) {}
+  ~IncrementalCycleDetector();
+
+  IncrementalCycleDetector(const IncrementalCycleDetector &) = delete;
+  IncrementalCycleDetector &
+  operator=(const IncrementalCycleDetector &) = delete;
+
+  /// Registers a new transaction as a maximal vertex. Called at
+  /// transaction creation (the caller holds the owner's stripe; any stripe
+  /// set composes with the internal lock).
+  void addNode(Transaction *Tx);
+
+  /// Observes an IDG edge (intra or cross). The caller holds the stripes
+  /// it already holds for the IDG append — the detector takes none. Only
+  /// Oversized claims can be produced here (a cycle's precise claim always
+  /// waits for retire(), because an edge's target is unfinished).
+  void addEdge(Transaction *Src, Transaction *Dst, ClaimList &Out);
+
+  /// Observes the program-order edge \p Prev → \p Tx at \p Tx's creation —
+  /// the per-transaction hot path, and entirely lock-free: \p Tx just
+  /// received a maximal order key (addNode), so the edge is consistent by
+  /// construction, and the chain pointer publishes with release order
+  /// under the owner's stripe. If \p Prev's region is poisoned the
+  /// contact is repaired lazily — the first search that reaches the
+  /// poisoned group through the chain absorbs the toucher (soundness is
+  /// preserved because pruning at a poisoned group now implies
+  /// absorption, never a silently missed path).
+  void addChainEdge(Transaction *Prev, Transaction *Tx);
+
+  /// Observes a transaction's end. Must be called with *no* stripes held:
+  /// a produced precise Claim is executed by the caller right after, and
+  /// that execution may block (PCD queue backpressure).
+  void retire(Transaction *Tx, ClaimList &Out);
+
+  /// Unlinks doomed transactions before the collector frees them. Must be
+  /// called under all stripes (collectNow), before any free. An unclaimed
+  /// component can never be doomed — some member is unretired, hence still
+  /// a thread's CurrTx (a strong root), and the members are mutually
+  /// reachable through Out edges the mark phase follows.
+  void removeNodes(const std::vector<Transaction *> &Doomed);
+
+  /// End-of-run sweep: claims any complete-but-unclaimed components. With
+  /// every transaction retired through the normal path this finds nothing;
+  /// it exists so shutdown is sound even if a future caller forgets a
+  /// retire. Counted in icd.finalize_claims (expected 0).
+  void finalize(ClaimList &Out);
+
+  /// Adds the detector's counters to the run's registry (endRun).
+  void flushStats(StatisticRegistry &Stats);
+
+  /// Test hook: invoked (under the detector lock) on every reorder with
+  /// the affected-region vertex count. The stripe-locality test asserts
+  /// from inside the hook that the reordering thread holds at most the two
+  /// stripes of the edge it is inserting.
+  void setReorderHook(std::function<void(size_t)> Hook) {
+    ReorderHook = std::move(Hook);
+  }
+
+private:
+  Transaction *repOf(Transaction *Tx) const {
+    return Tx->IcdG && !Tx->IcdG->Members.empty() ? Tx->IcdG->Members.front()
+                                                  : Tx;
+  }
+  bool sameVertex(const Transaction *A, const Transaction *B) const {
+    return A == B || (A->IcdG != nullptr && A->IcdG == B->IcdG);
+  }
+  uint64_t ordOf(const Transaction *Tx) const {
+    return Tx->IcdG ? Tx->IcdG->Ord : Tx->IcdOrd;
+  }
+  uint64_t &stampOf(Transaction *Tx) {
+    return Tx->IcdG ? Tx->IcdG->Epoch : Tx->IcdEpoch;
+  }
+  void setOrd(Transaction *Tx, uint64_t Ord) {
+    if (Tx->IcdG)
+      Tx->IcdG->Ord = Ord;
+    else
+      Tx->IcdOrd = Ord;
+  }
+
+  void claimGroup(IcdGroup *G, ClaimList &Out);
+  void registerGroup(IcdGroup *G);
+  void unregisterGroup(IcdGroup *G);
+  /// Slow path for an inconsistent edge: two-way search, reorder, merge.
+  void insertInconsistent(Transaction *Src, Transaction *Dst, ClaimList &Out);
+  /// Absorbs the undirected closure of \p Seeds into oversized group \p G,
+  /// reporting the newly absorbed transactions as one Oversized claim.
+  void absorbInto(IcdGroup *G, const std::vector<Transaction *> &Seeds,
+                  ClaimList &Out);
+
+  Options Opts;
+  SpinLock Mu;
+  /// Outside Mu: key assignment is a relaxed fetch-add so transaction
+  /// creation (addNode) never touches the detector lock. Monotonicity is
+  /// all addNode needs — a new node is maximal under any interleaving,
+  /// because every existing key was drawn earlier and reorders only
+  /// permute keys already drawn (all below any fresh one).
+  std::atomic<uint64_t> NextOrd{1};
+  uint64_t VisitClock = 0;
+  std::vector<IcdGroup *> Groups;
+  std::function<void(size_t)> ReorderHook;
+
+  // Counters (under Mu except ChainEdges), flushed at endRun.
+  std::atomic<uint64_t> ChainEdges{0}; ///< Lock-free program-order links.
+  uint64_t NumEdges = 0;       ///< Edges observed (intra + cross).
+  uint64_t NumFastEdges = 0;   ///< Order-consistent: no traversal at all.
+  uint64_t NumReorders = 0;    ///< Inconsistent edges that ran the search.
+  uint64_t ReorderVisited = 0; ///< Total affected-region vertices.
+  uint64_t RegionMax = 0;      ///< Largest single affected region.
+  uint64_t NumCycles = 0;      ///< Components confirmed incrementally.
+  uint64_t CapDegrades = 0;    ///< Oversized absorption batches.
+  uint64_t FinalizeClaims = 0; ///< Leftovers claimed at finalize (want 0).
+};
+
+} // namespace analysis
+} // namespace dc
+
+#endif // DC_ANALYSIS_INCREMENTALCYCLES_H

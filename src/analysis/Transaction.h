@@ -55,11 +55,13 @@
 #include "analysis/LogArena.h"
 #include "ir/Ir.h"
 #include "rt/Heap.h"
+#include "support/InlineVec.h"
 
 namespace dc {
 namespace analysis {
 
 class Transaction;
+struct IcdGroup; // IncrementalCycles.h
 
 /// One decoded entry of a transaction's read/write log (also the legacy
 /// path's stored representation). EdgeIn markers record the edge's *source
@@ -202,6 +204,42 @@ public:
 
   // --- Scratch state for the mark-sweep collector ---
   uint64_t MarkEpoch = 0;
+
+  // --- Scratch state for incremental cycle detection (IncrementalCycles.h)
+  //
+  // All of it is guarded by the detector's internal lock, *not* by IDG
+  // stripes: edge inserts reorder transactions owned by threads whose
+  // stripes the inserting thread does not hold, so the stripe discipline
+  // cannot cover these fields. The detector never dereferences a
+  // transaction the collector has freed — collectNow unlinks doomed nodes
+  // (IncrementalCycleDetector::removeNodes) while it still holds every
+  // stripe, before any free.
+  /// Position in the maintained topological order (vertices that were
+  /// merged into a confirmed cycle share their group's order key instead).
+  uint64_t IcdOrd = 0;
+  /// Condensation vertex this node was merged into, once it is known to be
+  /// on a cycle; null while the node is a singleton vertex.
+  IcdGroup *IcdG = nullptr;
+  /// Detector-private adjacency (the IDG's Out is stripe-guarded and
+  /// append-only, so the detector keeps its own symmetric lists it can
+  /// traverse backwards and unlink from). Small-buffer storage: a typical
+  /// transaction carries one or two program-order edges and no cross
+  /// edges, so the common case never allocates.
+  InlineVec<Transaction *, 4> IcdIn;
+  InlineVec<Transaction *, 4> IcdOut;
+  /// Program-order chain: consecutive transactions of one thread. Kept
+  /// outside IcdIn/IcdOut so linking a new transaction is lock-free — the
+  /// owner writes the pointer once (release) while it still holds its own
+  /// stripe, and detector searches (acquire) see it happens-before any
+  /// cross edge that could put the new transaction on a cycle.
+  std::atomic<Transaction *> IcdChainNext{nullptr};
+  std::atomic<Transaction *> IcdChainPrev{nullptr};
+  /// Visit stamp for the detector's bounded searches.
+  uint64_t IcdEpoch = 0;
+  /// Set by IncrementalCycleDetector::retire when the transaction's end has
+  /// been observed; the last member of a confirmed cycle to retire claims
+  /// the component.
+  bool IcdRetired = false;
 
   /// Pin count held across PCD replays: the detecting thread pins every
   /// member (under all stripes) before releasing them, and the replaying

@@ -126,6 +126,9 @@ RunOutcome core::runChecker(const ir::Program &Source,
     DOpts.SerializedIdg = Cfg.SerializedIdg;
     DOpts.LegacyLog = Cfg.LegacyLog;
     DOpts.SerialRoundtrips = Cfg.SerialRoundtrips;
+    DOpts.BatchedScc = Cfg.BatchedScc;
+    if (Cfg.IcdMaxRegion != 0)
+      DOpts.IcdMaxRegion = Cfg.IcdMaxRegion;
     DOpts.EagerSccRoots = Cfg.EagerSccRoots;
     DOpts.ElideDuplicates = Cfg.ElideDuplicates;
     DOpts.TestOnlyUnsoundFilter = Cfg.TestOnlyUnsoundIcdFilter;

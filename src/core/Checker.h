@@ -75,10 +75,20 @@ struct RunConfig {
   /// protocol instead of the pipelined fan-out (DESIGN.md §11). For
   /// old-vs-new comparisons; violations must be identical.
   bool SerialRoundtrips = false;
-  /// Escape hatch: pend every cross-touched transaction as a Tarjan root
-  /// and walk every chain node, instead of the out-cross root filter with
-  /// chain compression. Same detected components either way; violations
-  /// must be identical.
+  /// Escape hatch: answer cycle queries with the batched stop-the-world
+  /// Tarjan passes instead of the default incremental order-maintenance
+  /// detector (DESIGN.md §12). Same claimed components at the same claim
+  /// points; violations must be identical.
+  bool BatchedScc = false;
+  /// Incremental detector's affected-region cap (0 = keep the
+  /// DoubleCheckerOptions default). Tiny values force the sound
+  /// degradation valve: oversized regions report Potential instead of
+  /// reordering.
+  uint32_t IcdMaxRegion = 0;
+  /// Escape hatch (BatchedScc only): pend every cross-touched transaction
+  /// as a Tarjan root and walk every chain node, instead of the out-cross
+  /// root filter with chain compression. Same detected components either
+  /// way; violations must be identical.
   bool EagerSccRoots = false;
   /// Log duplicate elision (paper §4); off logs every access — a
   /// differential-testing mode that must not change violations.

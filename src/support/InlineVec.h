@@ -1,0 +1,95 @@
+//===- support/InlineVec.h - Small-buffer vector ----------------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal small-buffer vector for trivially-copyable element types: the
+/// first N elements live inline in the object, so containers that usually
+/// stay tiny (a transaction's detector adjacency averages a couple of
+/// entries) never touch the allocator on the hot path. Deliberately much
+/// smaller than std::vector's interface — push, iterate, clear, and
+/// erase-by-value are all the incremental cycle detector needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_SUPPORT_INLINEVEC_H
+#define DC_SUPPORT_INLINEVEC_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+
+namespace dc {
+
+template <typename T, unsigned N> class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec memcpy-moves its elements");
+
+public:
+  InlineVec() = default;
+  ~InlineVec() {
+    if (Data != Inline)
+      std::free(Data);
+  }
+  InlineVec(const InlineVec &) = delete;
+  InlineVec &operator=(const InlineVec &) = delete;
+
+  T *begin() { return Data; }
+  T *end() { return Data + Sz; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Sz; }
+  uint32_t size() const { return Sz; }
+  bool empty() const { return Sz == 0; }
+  T &back() { return Data[Sz - 1]; }
+  const T &back() const { return Data[Sz - 1]; }
+  T &operator[](uint32_t I) { return Data[I]; }
+  const T &operator[](uint32_t I) const { return Data[I]; }
+
+  void push_back(const T &V) {
+    if (Sz == Cap)
+      grow();
+    Data[Sz++] = V;
+  }
+
+  /// Removes every element equal to \p V, preserving the others' order.
+  void eraseValue(const T &V) {
+    uint32_t Out = 0;
+    for (uint32_t I = 0; I < Sz; ++I)
+      if (!(Data[I] == V))
+        Data[Out++] = Data[I];
+    Sz = Out;
+  }
+
+  /// Drops the elements and returns any heap block to the allocator.
+  void clear() {
+    if (Data != Inline) {
+      std::free(Data);
+      Data = Inline;
+      Cap = N;
+    }
+    Sz = 0;
+  }
+
+private:
+  void grow() {
+    const uint32_t NewCap = Cap * 2;
+    T *Heap = static_cast<T *>(std::malloc(sizeof(T) * NewCap));
+    std::memcpy(Heap, Data, sizeof(T) * Sz);
+    if (Data != Inline)
+      std::free(Data);
+    Data = Heap;
+    Cap = NewCap;
+  }
+
+  T Inline[N];
+  T *Data = Inline;
+  uint32_t Sz = 0;
+  uint32_t Cap = N;
+};
+
+} // namespace dc
+
+#endif // DC_SUPPORT_INLINEVEC_H

@@ -21,6 +21,7 @@
 #ifndef DC_SUPPORT_STRIPEDLOCK_H
 #define DC_SUPPORT_STRIPEDLOCK_H
 
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -53,12 +54,31 @@ public:
     if (Handoff)
       ++S.Handoffs;
     S.LastHolder = Holder;
+    S.CurHolder.store(Holder, std::memory_order_relaxed);
     return Handoff;
   }
 
   void unlock(uint32_t I) {
     assert(I < N && "stripe index out of range");
+    Stripes[I].CurHolder.store(NoHolder, std::memory_order_relaxed);
     Stripes[I].L.unlock();
+  }
+
+  /// True when \p Holder currently holds stripe \p I. Only exact for the
+  /// *calling* holder asking about itself (another holder's acquisition or
+  /// release races with the read); that is the one query the tests need —
+  /// "which stripes do I hold right now?".
+  bool heldBy(uint32_t I, uint32_t Holder) const {
+    assert(I < N && "stripe index out of range");
+    return Stripes[I].CurHolder.load(std::memory_order_relaxed) == Holder;
+  }
+
+  /// Number of stripes currently held by \p Holder (see heldBy).
+  uint32_t heldCount(uint32_t Holder) const {
+    uint32_t Count = 0;
+    for (uint32_t I = 0; I < N; ++I)
+      Count += heldBy(I, Holder) ? 1 : 0;
+    return Count;
   }
 
   /// Total cross-holder handoffs across all stripes. Racy if called while
@@ -75,6 +95,9 @@ private:
     SpinLock L;
     uint32_t LastHolder = NoHolder; ///< Guarded by L.
     uint64_t Handoffs = 0;          ///< Guarded by L.
+    /// Current holder (NoHolder when free). Written while holding L;
+    /// atomic so a holder can ask "do I hold this?" without taking locks.
+    std::atomic<uint32_t> CurHolder{NoHolder};
   };
 
   std::unique_ptr<Stripe[]> Stripes;

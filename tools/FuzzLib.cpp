@@ -247,17 +247,59 @@ PairResult fuzz::checkPair(const ir::Program &Source,
           return R;
       }
 
-  // SCC-root scheduling axis, collapsed to one extra config (it is
-  // orthogonal to the other knobs): eager roots pend every cross-touched
+  // Cycle-detection axis, collapsed to extra configs (orthogonal to the
+  // other knobs). The 2×2×2 grid above runs the default *incremental*
+  // order-maintenance detector (DESIGN.md §12); these replay the same
+  // schedule through the batched stop-the-world Tarjan passes — the
+  // differential partner that claims the same components at the same claim
+  // points, so violations must be identical.
+  {
+    core::RunConfig Cfg = BaseCfg(core::Mode::SingleRun, false, false, false);
+    Cfg.BatchedScc = true;
+    core::RunOutcome O = core::runChecker(Source, Spec, Cfg);
+    if (!Admit("single/batched-scc", O))
+      return R;
+  }
+  // Batched-mode root scheduling: eager roots pend every cross-touched
   // transaction and walk every chain node, instead of the out-cross root
   // filter with chain compression. Detected components — and therefore
   // violations — must be identical.
   {
     core::RunConfig Cfg = BaseCfg(core::Mode::SingleRun, false, false, false);
+    Cfg.BatchedScc = true;
     Cfg.EagerSccRoots = true;
     core::RunOutcome O = core::runChecker(Source, Spec, Cfg);
-    if (!Admit("single/eager-scc-roots", O))
+    if (!Admit("single/batched-scc-eager-roots", O))
       return R;
+  }
+  // Incremental detector with a region cap of 1: every inconsistent edge
+  // trips the oversized valve, so *all* cycles must surface as potential
+  // violations — never vanish. Checked against the oracle only (the valve
+  // intentionally trades blame precision for bounded reorder cost, so the
+  // blamed set legitimately differs from the precise configs).
+  {
+    core::RunConfig Cfg = BaseCfg(core::Mode::SingleRun, false, false, false);
+    Cfg.IcdMaxRegion = 1;
+    core::RunOutcome O = core::runChecker(Source, Spec, Cfg);
+    if (O.Result.ScheduleDiverged || O.Result.Aborted) {
+      Fail("single/icd-region-cap-1: recorded schedule did not replay");
+      return R;
+    }
+    std::set<std::string> Reported = O.BlamedMethods;
+    Reported.insert(O.PotentialMethods.begin(), O.PotentialMethods.end());
+    if (!V.Serializable && Reported.empty()) {
+      Fail("single/icd-region-cap-1: reports nothing on a trace the oracle "
+           "proves non-serializable");
+      return R;
+    }
+    // The degraded report must stay inside the oracle's cycles ∪ the
+    // methods the valve pessimistically flags; precise blame (if any) must
+    // stay a subset of the reference config's.
+    if (!isSubset(O.BlamedMethods, V.CycleMethods)) {
+      Fail("single/icd-region-cap-1: blames methods outside the oracle's "
+           "dependence cycles");
+      return R;
+    }
   }
 
   // Velodrome baseline (its own instrumentation; no DC knobs, no injected
@@ -316,6 +358,10 @@ std::string FaultCase::name() const {
     N += " max-scc-txs=" + std::to_string(MaxSccTxs);
   if (PcdTimeoutMs != 0)
     N += " timeout-ms=" + std::to_string(PcdTimeoutMs);
+  if (BatchedScc)
+    N += " batched-scc";
+  if (IcdMaxRegion != 0)
+    N += " icd-max-region=" + std::to_string(IcdMaxRegion);
   return N + "]";
 }
 
@@ -382,6 +428,30 @@ std::vector<FaultCase> fuzz::faultSweepCases() {
     C.ParallelPcd = true;
     Cases.push_back(C);
   }
+  // Shedding under the batched Tarjan escape hatch: the degradation ladder
+  // must stay sound in both cycle-detection paths.
+  {
+    FaultCase C;
+    C.Plan.AllocFailAt = 1;
+    C.BatchedScc = true;
+    Cases.push_back(C);
+  }
+  // Delayed collector against the *incremental* detector: the collector's
+  // removeNodes unlink races against live order maintenance, and claimed
+  // components must survive the sweep unchanged.
+  {
+    FaultCase C;
+    C.Plan.CollectorDelayMs = 5;
+    C.IcdMaxRegion = 2;
+    Cases.push_back(C);
+  }
+  // Incremental region cap of 1: every inconsistent edge trips the
+  // oversized valve, so cycles surface as potential violations.
+  {
+    FaultCase C;
+    C.IcdMaxRegion = 1;
+    Cases.push_back(C);
+  }
   return Cases;
 }
 
@@ -410,6 +480,8 @@ fuzz::checkFaultCase(const ir::Program &Source,
   Cfg.PcdQueueDepth = Case.PcdQueueDepth;
   Cfg.MaxSccTxs = Case.MaxSccTxs;
   Cfg.PcdTimeoutMs = Case.PcdTimeoutMs;
+  Cfg.BatchedScc = Case.BatchedScc;
+  Cfg.IcdMaxRegion = Case.IcdMaxRegion;
   core::RunOutcome O = core::runChecker(Source, Spec, Cfg);
   const std::string Name = Case.name();
 
@@ -605,6 +677,10 @@ bool fuzz::writeWitness(const std::string &Path, const Divergence &D,
       Out << "# fault-max-scc-txs: " << D.Fault.MaxSccTxs << "\n";
     if (D.Fault.PcdTimeoutMs != 0)
       Out << "# fault-timeout-ms: " << D.Fault.PcdTimeoutMs << "\n";
+    if (D.Fault.BatchedScc)
+      Out << "# fault-batched-scc: 1\n";
+    if (D.Fault.IcdMaxRegion != 0)
+      Out << "# fault-icd-max-region: " << D.Fault.IcdMaxRegion << "\n";
   }
   Out << "# schedule:";
   for (uint32_t T : D.Schedule)
@@ -663,6 +739,12 @@ bool fuzz::readWitness(const std::string &Path, Witness &W,
       LS >> W.Fault.MaxSccTxs;
     } else if (Tag == "fault-timeout-ms:") {
       LS >> W.Fault.PcdTimeoutMs;
+    } else if (Tag == "fault-batched-scc:") {
+      int V = 0;
+      LS >> V;
+      W.Fault.BatchedScc = V != 0;
+    } else if (Tag == "fault-icd-max-region:") {
+      LS >> W.Fault.IcdMaxRegion;
     }
   }
 

@@ -105,10 +105,18 @@ struct FaultCase {
   uint32_t PcdQueueDepth = 0;
   uint32_t MaxSccTxs = 0;
   uint32_t PcdTimeoutMs = 0;
+  /// Run the case under the batched Tarjan escape hatch instead of the
+  /// default incremental detector, so faults are swept through both cycle
+  /// detection paths.
+  bool BatchedScc = false;
+  /// Incremental detector's affected-region cap (0 = default): tiny values
+  /// force the oversized-region sound-degradation valve.
+  uint32_t IcdMaxRegion = 0;
 
   bool any() const {
     return Plan.any() || ParallelPcd || PcdQueueDepth != 0 ||
-           MaxSccTxs != 0 || PcdTimeoutMs != 0;
+           MaxSccTxs != 0 || PcdTimeoutMs != 0 || BatchedScc ||
+           IcdMaxRegion != 0;
   }
   /// Human-readable label, also used in witness headers.
   std::string name() const;

@@ -35,6 +35,13 @@ DC_BENCH_SCALE=0.02 DC_BENCH_TRIALS=1 \
 DC_BENCH_SCALE=0.02 DC_BENCH_TRIALS=1 \
   build-ci/bench/octet_coordination build-ci/bench_octet_smoke.json
 
+echo "== Incremental cycle detection (bounded) =="
+# Incremental-vs-batched microbench at smoke scale: catches detector hot
+# path regressions (cross-edge latency, order maintenance) and asserts
+# nothing crashed across both modes and both workload shapes.
+DC_BENCH_SCALE=0.02 DC_BENCH_TRIALS=1 \
+  build-ci/bench/cycle_detection build-ci/bench_icd_smoke.json
+
 echo "== Differential schedule fuzz (bounded) =="
 # Fixed seed set, wall-clock bounded: PCT + bounded-exhaustive schedules on
 # tiny generated programs, every pair swept through the full config matrix
@@ -80,7 +87,7 @@ cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDC_SANITIZE=thread >/dev/null
 cmake --build build-ci-tsan -j "$JOBS" --target idg_stress_test \
   octet_stress_test octet_coord_test log_elision_test log_srcpos_test \
-  fault_injection_test dcfuzz
+  fault_injection_test icd_test dcfuzz
 
 echo "== Differential schedule fuzz under TSan (smoke) =="
 # Much slower per pair under TSan; a short fixed-seed slice is enough to
@@ -94,9 +101,11 @@ build-ci-tsan/tools/dcfuzz --seed 7 --pairs 10 --fault-sweep
 # logging tests are in that set: LogSrcPos races a lock-free LogLen
 # sampler against an appender, and LogElision stresses both log paths.
 # FaultInjection exercises the watchdog, worker stall/death, and the
-# destruction-under-saturated-queue teardown.
+# destruction-under-saturated-queue teardown. Icd covers the detector's
+# lock-free hot path (atomic order keys, program-order chain pointers)
+# plus the stripe-locality stress test.
 ctest --test-dir build-ci-tsan --output-on-failure \
-  -R "Idg|Octet|ElisionFilter|LogDifferential|SrcPosSampling|FaultInjection"
+  -R "Idg|Octet|ElisionFilter|LogDifferential|SrcPosSampling|FaultInjection|Icd"
 
 echo "== AddressSanitizer build + abort-mid-coordination regression =="
 # The seed's serial protocol could return from an aborted roundtrip while a

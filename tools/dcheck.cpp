@@ -57,6 +57,7 @@ struct CliOptions {
   bool SerializedIdg = false;
   bool LegacyLog = false;
   bool SerialRoundtrips = false;
+  bool BatchedScc = false;
   bool Refine = false;
   bool DumpIr = false;
   bool DumpCompiledIr = false;
@@ -104,6 +105,8 @@ void printUsage() {
       "                        lock, inline collection (for comparisons)\n"
       "  --serial-roundtrips   pre-pipelining escape hatch: serial spin-\n"
       "                        only Octet coordination (for comparisons)\n"
+      "  --batched-scc         pre-incremental escape hatch: batched\n"
+      "                        stop-the-world Tarjan cycle passes\n"
       "  --static-info <path>  second-run input (from --emit-static)\n"
       "  --emit-static <path>  write first-run static transaction info\n"
       "\n"
@@ -167,6 +170,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.LegacyLog = true;
     else if (Arg == "--serial-roundtrips")
       Opts.SerialRoundtrips = true;
+    else if (Arg == "--batched-scc")
+      Opts.BatchedScc = true;
     else if (Arg == "--refine")
       Opts.Refine = true;
     else if (Arg == "--dump-ir")
@@ -370,6 +375,7 @@ int main(int Argc, char **Argv) {
   Cfg.SerializedIdg = Opts.SerializedIdg;
   Cfg.LegacyLog = Opts.LegacyLog;
   Cfg.SerialRoundtrips = Opts.SerialRoundtrips;
+  Cfg.BatchedScc = Opts.BatchedScc;
   Cfg.MemBudgetMB = Opts.MemBudgetMB;
   Cfg.PcdTimeoutMs = Opts.PcdTimeoutMs;
   if (!Opts.FaultPlanSpec.empty()) {
