@@ -78,6 +78,12 @@ struct SweepPoint {
   // order-inconsistent.
   uint64_t IcdReorders = 0;
   uint64_t SccPasses = 0;
+  // Contention on the detector's internal lock: how often a cross-edge
+  // writer / retire actually blocked, and for how long in total. This is
+  // the one serialization point the sharded design left in the cross-edge
+  // path, so it is the first suspect when edges/s stops scaling.
+  uint64_t IcdLockWaits = 0;
+  uint64_t IcdLockWaitNs = 0;
   // Octet coordination profile (DESIGN.md §11). This harness keeps every
   // logical thread in the blocked state, so all conflicts resolve through
   // the implicit protocol: explicit roundtrips, spins, and parks should
@@ -167,6 +173,8 @@ SweepPoint runOnce(const ir::Program &P, uint32_t Threads,
   Pt.Sccs = Stats.value("icd.sccs");
   Pt.IcdReorders = Stats.value("icd.reorders");
   Pt.SccPasses = Stats.value("icd.scc_passes");
+  Pt.IcdLockWaits = Stats.value("icd.lock_waits");
+  Pt.IcdLockWaitNs = Stats.value("icd.lock_wait_ns");
   Pt.Conflicting = Stats.value("octet.conflicting");
   Pt.ExplicitRoundtrips = Stats.value("octet.explicit_roundtrips");
   Pt.ImplicitRoundtrips = Stats.value("octet.implicit_roundtrips");
@@ -203,7 +211,8 @@ int main(int argc, char **argv) {
   TextTable Table;
   Table.setHeader({"threads", "old wall s", "legacy-log s", "new wall s",
                    "old tx/s", "new tx/s", "new edges/s", "conflicts",
-                   "icd reorders", "scc passes", "speedup"});
+                   "icd reorders", "icd lock waits", "scc passes",
+                   "speedup"});
   JsonRows Json;
 
   const std::vector<uint32_t> Rows = {1u, 2u, 4u, 8u};
@@ -256,6 +265,7 @@ int main(int argc, char **argv) {
                   formatWithCommas(static_cast<uint64_t>(New.EdgesPerSec)),
                   formatWithCommas(New.Conflicting),
                   formatWithCommas(New.IcdReorders),
+                  formatWithCommas(New.IcdLockWaits),
                   formatWithCommas(New.SccPasses),
                   formatDouble(Speedup, 2) + "x"});
     Json.beginRow();
@@ -277,6 +287,10 @@ int main(int argc, char **argv) {
     Json.add("sharded_icd_reorders", New.IcdReorders);
     Json.add("serialized_scc_passes", Old.SccPasses);
     Json.add("sharded_scc_passes", New.SccPasses);
+    Json.add("serialized_icd_lock_waits", Old.IcdLockWaits);
+    Json.add("sharded_icd_lock_waits", New.IcdLockWaits);
+    Json.add("serialized_icd_lock_wait_ns", Old.IcdLockWaitNs);
+    Json.add("sharded_icd_lock_wait_ns", New.IcdLockWaitNs);
     Json.add("serialized_octet_conflicting", Old.Conflicting);
     Json.add("sharded_octet_conflicting", New.Conflicting);
     Json.add("serialized_explicit_roundtrips", Old.ExplicitRoundtrips);

@@ -43,6 +43,7 @@
 
 #include <memory>
 #include <set>
+#include <thread>
 
 #include "analysis/IncrementalCycles.h"
 #include "analysis/OnlinePcd.h"
@@ -150,6 +151,23 @@ struct DoubleCheckerOptions {
   /// bench/logging_throughput can compare the two paths; both must produce
   /// identical violations.
   bool LegacyLog = false;
+  /// Escape hatch mirroring LegacyLog, one generation up: keep the PR-2
+  /// per-thread arena as the log *publication* path instead of the default
+  /// per-CPU ring transport (DESIGN.md §13). In arena mode every thread
+  /// appends directly into its transaction's chunk chain from a private
+  /// chunk cache (footprint O(threads)); in ring mode mutators publish
+  /// records into O(cores) bounded rings and a drain side materializes the
+  /// chains off the hot path. Kept as the differential partner — both must
+  /// produce identical violations on identical schedules. PcdOnly forces
+  /// arena (its online analysis consumes each log synchronously at
+  /// transaction end, before any drain could run).
+  bool ThreadArenaLog = false;
+  /// Ring transport geometry. RingCount 0 sizes the array to the host's
+  /// hardware concurrency; RingBytes 0 selects RingLog::DefaultRingBytes.
+  /// Both round up to powers of two. Tests shrink RingBytes to force the
+  /// full-ring ladder.
+  uint32_t RingCount = 0;
+  uint32_t RingBytes = 0;
   /// Log duplicate elision (paper §4). On by default; off is a
   /// differential-testing mode that logs every access.
   bool ElideDuplicates = true;
@@ -295,7 +313,21 @@ private:
     /// are CurTs values, so the existing bumps invalidate it for free.
     ElisionFilter Filter;
     /// Chunk source for this thread's appends, refilled from ChunkPool.
+    /// Arena/PcdOnly transports only; in ring mode it stays detached and
+    /// empty — the drain side owns the only chunk cache (O(1), not
+    /// O(threads)).
     LogChunkCache ChunkCache;
+    // -- Ring transport (owner thread only) --------------------------------
+    /// Cached target ring, derived from the CPU hint and refreshed every
+    /// CpuHintRefresh commits; a stale hint after a migration is harmless
+    /// (every ring is MPMC), it just shares a ring until the refresh.
+    uint32_t RingIdx = 0;
+    uint32_t CpuHintCountdown = 0;
+    bool RingHintValid = false;
+    uint64_t RingCommits = 0;
+    uint64_t RingFullEvents = 0;
+    uint64_t RingMigrations = 0;
+    uint64_t RingSelfDrains = 0;
   };
 
   class PcdPool;
@@ -366,6 +398,26 @@ private:
   void logAccess(rt::ThreadContext &TC, PerThread &PT, Transaction *Cur,
                  const rt::AccessInfo &Info);
 
+  // -- Ring log transport (DESIGN.md §13) ----------------------------------
+  /// Commits \p N slots of \p Tx's log at position \p Pos into the ring
+  /// array: hinted ring first, one neighbour hop on contention, then a
+  /// bounded self-drain-and-retry ladder when rings are full. Returns false
+  /// when every rung failed — the caller sheds (never blocks, never drops
+  /// silently). Callers publish Tx->LogLen only after a true return, so a
+  /// concurrently sampled SrcPos always refers to published records.
+  bool ringPublish(PerThread &PT, Transaction *Tx, uint32_t Pos,
+                   const LogSlot *S, uint32_t N);
+  /// Blocks (bounded by PcdStallTimeoutMs, helping the drain on the way)
+  /// until every member's log is fully materialized — DrainedSlots has
+  /// caught up with LogLen — or the member was shed. Returns false when a
+  /// member is shed or the deadline passes: the caller must degrade the
+  /// SCC to Potential instead of replaying. True (trivially) without the
+  /// ring transport.
+  bool awaitLogComplete(const std::vector<Transaction *> &Members);
+  /// Body of the background drainer thread: drain all rings, sleep
+  /// adaptively while idle, heartbeat the watchdog.
+  void ringDrainLoop();
+
   // -- Overload / fault tolerance (DESIGN.md §10) --------------------------
   /// Records the first checker-internal fault (later ones only count).
   void recordFault(rt::CheckerFault F, std::string Diagnosis);
@@ -387,6 +439,12 @@ private:
   ViolationLog &Violations;
   StatisticRegistry &Stats;
 
+  /// Log publication path for this run, resolved once in the constructor:
+  /// LegacyLog beats everything, then ThreadArenaLog / PcdOnly select the
+  /// arena, and the per-CPU ring transport is the default.
+  enum class LogTransport : uint8_t { Ring, Arena, Legacy };
+  LogTransport Transport = LogTransport::Ring;
+
   std::unique_ptr<octet::OctetManager> Octet;
   std::unique_ptr<PreciseCycleDetector> Pcd;
   /// Incremental online cycle detection (the default); null selects the
@@ -407,6 +465,16 @@ private:
   /// Global free list backing every thread's chunk cache; the collector
   /// splices swept transactions' chunks back into it.
   LogChunkPool ChunkPool;
+
+  /// Ring transport state (Transport == Ring and LogAccesses only). The
+  /// drainer thread owns the steady-state drain; mutators self-drain when
+  /// they find their ring full, and completeness waits drain too. DrainMu
+  /// (inside RingLog) orders after any IDG stripes in the lock order.
+  std::unique_ptr<RingLog> Ring;
+  std::thread RingDrainer;
+  std::atomic<bool> DrainerStop{false};
+  /// Completeness waits that hit the deadline (SCC degraded instead).
+  std::atomic<uint64_t> RingDrainStalls{0};
 
   /// Legacy path (LegacyLog): packed (tid | wasWrite | ts) cells for log
   /// duplicate elision, indexed by field address and shared by all threads.
@@ -462,6 +530,7 @@ private:
   /// Watchdog slot ids (valid while Dog is set).
   uint32_t DogGateSlot = 0;
   uint32_t DogCollectorSlot = 0;
+  uint32_t DogDrainerSlot = 0;
   /// Guards the health report below (innermost; never held while taking
   /// any other checker lock).
   mutable SpinLock HealthLock;

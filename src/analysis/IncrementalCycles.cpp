@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace dc {
 namespace analysis {
@@ -15,6 +16,18 @@ namespace analysis {
 IncrementalCycleDetector::~IncrementalCycleDetector() {
   for (IcdGroup *G : Groups)
     delete G;
+}
+
+void IncrementalCycleDetector::lockMu() {
+  if (Mu.tryLock())
+    return;
+  const auto Start = std::chrono::steady_clock::now();
+  Mu.lock();
+  const auto Waited = std::chrono::steady_clock::now() - Start;
+  LockWaits.fetch_add(1, std::memory_order_relaxed);
+  LockWaitNs.fetch_add(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Waited).count(),
+      std::memory_order_relaxed);
 }
 
 void IncrementalCycleDetector::addNode(Transaction *Tx) {
@@ -62,7 +75,7 @@ void IncrementalCycleDetector::addEdge(Transaction *Src, Transaction *Dst,
                                        ClaimList &Out) {
   if (Src == nullptr || Dst == nullptr || Src == Dst)
     return;
-  SpinLockGuard L(Mu);
+  TimedGuard L(*this);
   ++NumEdges;
   if (sameVertex(Src, Dst))
     return; // Internal to an already-merged component: changes neither
@@ -334,7 +347,7 @@ void IncrementalCycleDetector::absorbInto(
 }
 
 void IncrementalCycleDetector::retire(Transaction *Tx, ClaimList &Out) {
-  SpinLockGuard L(Mu);
+  TimedGuard L(*this);
   if (Tx->IcdRetired)
     return;
   Tx->IcdRetired = true;
@@ -347,7 +360,7 @@ void IncrementalCycleDetector::retire(Transaction *Tx, ClaimList &Out) {
 
 void IncrementalCycleDetector::removeNodes(
     const std::vector<Transaction *> &Doomed) {
-  SpinLockGuard L(Mu);
+  TimedGuard L(*this);
   for (Transaction *Tx : Doomed) {
     for (Transaction *N : Tx->IcdOut)
       if (N != Tx)
@@ -387,7 +400,7 @@ void IncrementalCycleDetector::removeNodes(
 }
 
 void IncrementalCycleDetector::finalize(ClaimList &Out) {
-  SpinLockGuard L(Mu);
+  TimedGuard L(*this);
   for (size_t I = 0; I < Groups.size(); ++I) {
     IcdGroup *G = Groups[I];
     if (!G->Claimed) {
@@ -398,7 +411,7 @@ void IncrementalCycleDetector::finalize(ClaimList &Out) {
 }
 
 void IncrementalCycleDetector::flushStats(StatisticRegistry &Stats) {
-  SpinLockGuard L(Mu);
+  TimedGuard L(*this);
   // Chain links are the ultimate fast path: consistent by construction.
   const uint64_t Chain = ChainEdges.exchange(0, std::memory_order_relaxed);
   Stats.get("icd.inc_edges").add(NumEdges + Chain);
@@ -409,6 +422,10 @@ void IncrementalCycleDetector::flushStats(StatisticRegistry &Stats) {
   Stats.get("icd.cycles_incremental").add(NumCycles);
   Stats.get("icd.region_cap_degrades").add(CapDegrades);
   Stats.get("icd.finalize_claims").add(FinalizeClaims);
+  Stats.get("icd.lock_waits")
+      .add(LockWaits.exchange(0, std::memory_order_relaxed));
+  Stats.get("icd.lock_wait_ns")
+      .add(LockWaitNs.exchange(0, std::memory_order_relaxed));
   NumEdges = NumFastEdges = NumReorders = ReorderVisited = 0;
   RegionMax = NumCycles = CapDegrades = FinalizeClaims = 0;
 }

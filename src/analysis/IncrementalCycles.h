@@ -196,6 +196,22 @@ private:
   void absorbInto(IcdGroup *G, const std::vector<Transaction *> &Seeds,
                   ClaimList &Out);
 
+  /// Takes Mu, charging any contention to the lock-wait counters: a failed
+  /// tryLock means some other edge writer / the retire path holds the
+  /// detector, and the blocked interval is exactly the serialization the
+  /// scaling bench wants to see. Uncontended acquisitions stay one CAS.
+  class TimedGuard {
+  public:
+    explicit TimedGuard(IncrementalCycleDetector &D) : D(D) { D.lockMu(); }
+    ~TimedGuard() { D.Mu.unlock(); }
+    TimedGuard(const TimedGuard &) = delete;
+    TimedGuard &operator=(const TimedGuard &) = delete;
+
+  private:
+    IncrementalCycleDetector &D;
+  };
+  void lockMu();
+
   Options Opts;
   SpinLock Mu;
   /// Outside Mu: key assignment is a relaxed fetch-add so transaction
@@ -208,8 +224,15 @@ private:
   std::vector<IcdGroup *> Groups;
   std::function<void(size_t)> ReorderHook;
 
-  // Counters (under Mu except ChainEdges), flushed at endRun.
+  // Counters (under Mu except the atomics), flushed at endRun.
   std::atomic<uint64_t> ChainEdges{0}; ///< Lock-free program-order links.
+  /// Contended acquisitions of Mu and the nanoseconds spent blocked in
+  /// them (outside Mu: charged before the lock is held). The detector is
+  /// the one shared serialization point the sharded-IDG design left in the
+  /// cross-edge path, so these are the first numbers to read when
+  /// bench/scaling_threads stops scaling.
+  std::atomic<uint64_t> LockWaits{0};
+  std::atomic<uint64_t> LockWaitNs{0};
   uint64_t NumEdges = 0;       ///< Edges observed (intra + cross).
   uint64_t NumFastEdges = 0;   ///< Order-consistent: no traversal at all.
   uint64_t NumReorders = 0;    ///< Inconsistent edges that ran the search.

@@ -24,6 +24,8 @@ const char *dc::rt::toString(CheckerFault F) {
     return "collector-stall";
   case CheckerFault::GateStall:
     return "gate-stall";
+  case CheckerFault::RingDrainStall:
+    return "ring-drain-stall";
   }
   return "unknown";
 }

@@ -48,6 +48,7 @@ enum class CheckerFault : uint8_t {
                    ///< timeout (queue saturated and no worker progress).
   CollectorStall,  ///< The transaction collector stopped heartbeating.
   GateStall,       ///< The scheduler gate made no progress (wedged run).
+  RingDrainStall,  ///< The ring-log drainer stopped heartbeating.
 };
 
 const char *toString(CheckerFault F);

@@ -1,0 +1,215 @@
+//===- support/PerCpuRings.h - Bounded per-CPU MPMC ring array --*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed array of bounded, cache-line-aligned ring queues sized O(cores),
+/// indexed by a CPU hint. Producers commit records with a wait-free-bounded
+/// reserve-then-publish protocol (Vyukov-style per-cell sequence numbers):
+/// a producer never spins unboundedly — every attempt either publishes,
+/// reports the ring Full (consumer behind), or reports Contended after a
+/// bounded number of CAS losses so the caller can hop to a neighbour ring.
+/// That last case is what makes the array migration-safe: a thread whose
+/// sched_getcpu() hint went stale after a migration may race producers that
+/// are actually on that CPU, but it can never block them or be blocked.
+///
+/// Consumption is explicitly single-consumer-at-a-time: drain() and peek()
+/// must be called under one external lock (the owner decides which — the
+/// checker uses a dedicated DrainMu). Keeping Head plain (not atomic)
+/// under that contract keeps the consumer loop branch-cheap.
+///
+/// A claimed-but-unpublished cell (producer between its Tail CAS and its
+/// sequence store) is a *gap*: it stalls drain() at that position but never
+/// stalls producers, which keep claiming later cells. peek() skips gaps so
+/// the collector can still observe every published record.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_SUPPORT_PERCPURINGS_H
+#define DC_SUPPORT_PERCPURINGS_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace dc {
+
+/// Outcome of one bounded commit attempt.
+enum class RingCommit : uint8_t {
+  Ok,        ///< Record claimed, filled, and published.
+  Full,      ///< No free cell: the consumer is a full lap behind.
+  Contended, ///< Lost the claim CAS a bounded number of times.
+};
+
+/// Fixed array of bounded MPMC rings over payload type \p T.
+///
+/// Both the ring count and per-ring capacity are rounded up to powers of
+/// two at construction. Cells are cache-line aligned so concurrent
+/// producers on adjacent cells never false-share.
+template <typename T> class PerCpuRings {
+  struct alignas(64) Cell {
+    /// Vyukov sequence: == pos, free for the producer claiming turn pos;
+    /// == pos + 1, published and waiting for the consumer;
+    /// == pos + Capacity, consumed (free for the next lap's producer).
+    std::atomic<uint64_t> Seq;
+    T Payload;
+  };
+
+  struct alignas(64) Ring {
+    /// Next position producers claim (shared, CAS-advanced).
+    std::atomic<uint64_t> Tail{0};
+    /// Next position the consumer pops. Plain on purpose: guarded by the
+    /// caller's external drain lock, never touched by producers.
+    alignas(64) uint64_t Head = 0;
+  };
+
+public:
+  /// Bounded CAS losses before tryCommit gives up with Contended. Losing
+  /// this many times in a row means the ring is genuinely hot, and the
+  /// caller's hop-to-neighbour policy spreads the load better than
+  /// spinning would.
+  static constexpr uint32_t ClaimAttempts = 8;
+
+  PerCpuRings(uint32_t NumRings, uint32_t CellsPerRing)
+      : NRings(roundPow2(NumRings ? NumRings : 1)),
+        Capacity(roundPow2(CellsPerRing < 2 ? 2 : CellsPerRing)),
+        RingMask(NRings - 1), PosMask(Capacity - 1),
+        Rings(new Ring[NRings]), Cells(new Cell[uint64_t(NRings) * Capacity]) {
+    for (uint64_t I = 0; I < uint64_t(NRings) * Capacity; ++I)
+      Cells[I].Seq.store(I & PosMask, std::memory_order_relaxed);
+  }
+
+  PerCpuRings(const PerCpuRings &) = delete;
+  PerCpuRings &operator=(const PerCpuRings &) = delete;
+
+  uint32_t numRings() const { return NRings; }
+  uint32_t capacity() const { return Capacity; }
+  uint64_t footprintBytes() const {
+    return uint64_t(NRings) * Capacity * sizeof(Cell) +
+           uint64_t(NRings) * sizeof(Ring);
+  }
+
+  /// Maps an arbitrary CPU hint (sched_getcpu, tid hash, ...) to a ring.
+  uint32_t ringFor(uint32_t CpuHint) const { return CpuHint & RingMask; }
+
+  /// Best-effort current-CPU hint. Linux: sched_getcpu (cheap vDSO call);
+  /// elsewhere a thread-id hash, which still spreads producers and is
+  /// stable within a thread.
+  static uint32_t currentCpu() {
+#if defined(__linux__)
+    int Cpu = sched_getcpu();
+    if (Cpu >= 0)
+      return static_cast<uint32_t>(Cpu);
+#endif
+    return static_cast<uint32_t>(
+        std::hash<std::thread::id>()(std::this_thread::get_id()));
+  }
+
+  /// Bounded reserve-then-publish. \p Fill is invoked with a T& to
+  /// populate exactly when a cell was claimed; the record becomes visible
+  /// to the consumer only at the release-store that follows it.
+  template <typename FillFn> RingCommit tryCommit(uint32_t RingIdx, FillFn &&Fill) {
+    Ring &R = Rings[RingIdx];
+    Cell *Base = &Cells[uint64_t(RingIdx) * Capacity];
+    uint64_t Pos = R.Tail.load(std::memory_order_relaxed);
+    for (uint32_t Attempt = 0; Attempt < ClaimAttempts; ++Attempt) {
+      Cell &C = Base[Pos & PosMask];
+      uint64_t Seq = C.Seq.load(std::memory_order_acquire);
+      int64_t Diff = int64_t(Seq) - int64_t(expectedSeq(Pos));
+      if (Diff == 0) {
+        if (R.Tail.compare_exchange_weak(Pos, Pos + 1,
+                                         std::memory_order_relaxed)) {
+          Fill(C.Payload);
+          C.Seq.store(expectedSeq(Pos) + 1, std::memory_order_release);
+          return RingCommit::Ok;
+        }
+        // CAS lost: Pos was reloaded by compare_exchange_weak; retry.
+      } else if (Diff < 0) {
+        return RingCommit::Full;
+      } else {
+        // A later lap already claimed this turn; catch up.
+        Pos = R.Tail.load(std::memory_order_relaxed);
+      }
+    }
+    return RingCommit::Contended;
+  }
+
+  /// Pops published records in order until the first gap or empty cell.
+  /// \p Consume receives each payload by reference before its cell is
+  /// released to producers. Returns the number consumed. Caller must hold
+  /// the external drain lock.
+  template <typename ConsumeFn>
+  uint32_t drain(uint32_t RingIdx, ConsumeFn &&Consume) {
+    Ring &R = Rings[RingIdx];
+    Cell *Base = &Cells[uint64_t(RingIdx) * Capacity];
+    uint32_t N = 0;
+    for (;;) {
+      Cell &C = Base[R.Head & PosMask];
+      uint64_t Seq = C.Seq.load(std::memory_order_acquire);
+      if (int64_t(Seq) - int64_t(expectedSeq(R.Head) + 1) != 0)
+        break; // Empty, or a claimed-but-unpublished gap.
+      Consume(C.Payload);
+      C.Seq.store(expectedSeq(R.Head) + Capacity, std::memory_order_release);
+      ++R.Head;
+      ++N;
+    }
+    return N;
+  }
+
+  /// Visits every *published, unconsumed* record — including those past a
+  /// gap that drain() cannot reach yet — without consuming anything.
+  /// Caller must hold the external drain lock; producers may still be
+  /// appending, so records published after the Tail snapshot are missed
+  /// (callers serialize against producers by other means when they need a
+  /// complete view).
+  template <typename VisitFn> void peek(uint32_t RingIdx, VisitFn &&Visit) {
+    Ring &R = Rings[RingIdx];
+    Cell *Base = &Cells[uint64_t(RingIdx) * Capacity];
+    uint64_t Tail = R.Tail.load(std::memory_order_acquire);
+    for (uint64_t Pos = R.Head; Pos != Tail; ++Pos) {
+      Cell &C = Base[Pos & PosMask];
+      if (C.Seq.load(std::memory_order_acquire) == expectedSeq(Pos) + 1)
+        Visit(C.Payload);
+    }
+  }
+
+  /// Approximate: true when the consumer has caught up with the producers
+  /// of ring \p RingIdx. Caller must hold the external drain lock.
+  bool empty(uint32_t RingIdx) const {
+    const Ring &R = Rings[RingIdx];
+    return R.Head == R.Tail.load(std::memory_order_acquire);
+  }
+
+private:
+  static uint32_t roundPow2(uint32_t V) {
+    uint32_t P = 1;
+    while (P < V)
+      P <<= 1;
+    return P;
+  }
+  /// The sequence value a free cell holds when it is producer-claimable at
+  /// position \p Pos: cells start at their index and advance by Capacity
+  /// per lap, so claimable == Pos exactly (index + laps * Capacity).
+  uint64_t expectedSeq(uint64_t Pos) const { return Pos; }
+
+  const uint32_t NRings;
+  const uint32_t Capacity;
+  const uint32_t RingMask;
+  const uint32_t PosMask;
+  std::unique_ptr<Ring[]> Rings;
+  std::unique_ptr<Cell[]> Cells;
+};
+
+} // namespace dc
+
+#endif // DC_SUPPORT_PERCPURINGS_H

@@ -217,33 +217,37 @@ PairResult fuzz::checkPair(const ir::Program &Source,
     return true;
   };
 
-  auto BaseCfg = [&](core::Mode M, bool SerIdg, bool Legacy,
+  // Transport axis values: 0 = ring (default), 1 = arena, 2 = legacy.
+  auto BaseCfg = [&](core::Mode M, bool SerIdg, int Transport,
                      bool SerialOctet) {
     core::RunConfig Cfg;
     Cfg.M = M;
     Cfg.RunOpts = replayOpts(Trace.Schedule);
     Cfg.SerializedIdg = SerIdg;
-    Cfg.LegacyLog = Legacy;
+    Cfg.ThreadArenaLog = Transport == 1;
+    Cfg.LegacyLog = Transport == 2;
     Cfg.SerialRoundtrips = SerialOctet;
     Cfg.TestOnlyUnsoundIcdFilter = InjectIcdBug;
     return Cfg;
   };
-  auto KnobName = [](bool SerIdg, bool Legacy, bool SerialOctet) {
+  auto KnobName = [](bool SerIdg, int Transport, bool SerialOctet) {
     return std::string(SerIdg ? "serialized-idg" : "sharded-idg") + "/" +
-           (Legacy ? "legacy-log" : "arena-log") + "/" +
-           (SerialOctet ? "serial-octet" : "fanout-octet");
+           (Transport == 0 ? "ring-log"
+                           : Transport == 1 ? "arena-log" : "legacy-log") +
+           "/" + (SerialOctet ? "serial-octet" : "fanout-octet");
   };
 
-  // Single-run DoubleChecker across the 2×2×2 knob grid (IDG sharding ×
-  // log path × Octet coordination protocol, DESIGN.md §11) — pipelined
-  // fan-out and serial roundtrips must blame identically on one schedule.
+  // Single-run DoubleChecker across the 2×3×2 knob grid (IDG sharding ×
+  // log transport × Octet coordination protocol, DESIGN.md §11–§13) — the
+  // per-CPU ring transport, the per-thread arena escape hatch, and the
+  // legacy path must blame identically on one schedule.
   for (bool SerIdg : {false, true})
-    for (bool Legacy : {false, true})
+    for (int Transport : {0, 1, 2})
       for (bool SerialOctet : {false, true}) {
         core::RunOutcome O = core::runChecker(
             Source, Spec,
-            BaseCfg(core::Mode::SingleRun, SerIdg, Legacy, SerialOctet));
-        if (!Admit("single/" + KnobName(SerIdg, Legacy, SerialOctet), O))
+            BaseCfg(core::Mode::SingleRun, SerIdg, Transport, SerialOctet));
+        if (!Admit("single/" + KnobName(SerIdg, Transport, SerialOctet), O))
           return R;
       }
 
@@ -254,7 +258,7 @@ PairResult fuzz::checkPair(const ir::Program &Source,
   // differential partner that claims the same components at the same claim
   // points, so violations must be identical.
   {
-    core::RunConfig Cfg = BaseCfg(core::Mode::SingleRun, false, false, false);
+    core::RunConfig Cfg = BaseCfg(core::Mode::SingleRun, false, 0, false);
     Cfg.BatchedScc = true;
     core::RunOutcome O = core::runChecker(Source, Spec, Cfg);
     if (!Admit("single/batched-scc", O))
@@ -265,7 +269,7 @@ PairResult fuzz::checkPair(const ir::Program &Source,
   // filter with chain compression. Detected components — and therefore
   // violations — must be identical.
   {
-    core::RunConfig Cfg = BaseCfg(core::Mode::SingleRun, false, false, false);
+    core::RunConfig Cfg = BaseCfg(core::Mode::SingleRun, false, 0, false);
     Cfg.BatchedScc = true;
     Cfg.EagerSccRoots = true;
     core::RunOutcome O = core::runChecker(Source, Spec, Cfg);
@@ -278,7 +282,7 @@ PairResult fuzz::checkPair(const ir::Program &Source,
   // intentionally trades blame precision for bounded reorder cost, so the
   // blamed set legitimately differs from the precise configs).
   {
-    core::RunConfig Cfg = BaseCfg(core::Mode::SingleRun, false, false, false);
+    core::RunConfig Cfg = BaseCfg(core::Mode::SingleRun, false, 0, false);
     Cfg.IcdMaxRegion = 1;
     core::RunOutcome O = core::runChecker(Source, Spec, Cfg);
     if (O.Result.ScheduleDiverged || O.Result.Aborted) {
@@ -321,23 +325,24 @@ PairResult fuzz::checkPair(const ir::Program &Source,
   // coordination protocol is orthogonal to the first-run/second-run split
   // the other knobs interact with.
   for (bool SerIdg : {false, true})
-    for (bool Legacy : {false, true})
+    for (int Transport : {0, 1, 2})
       for (bool SerialOctet : {false, true}) {
-        if (SerialOctet && (SerIdg || Legacy))
+        if (SerialOctet && (SerIdg || Transport != 0))
           continue;
         core::RunOutcome First = core::runChecker(
             Source, Spec,
-            BaseCfg(core::Mode::FirstRun, SerIdg, Legacy, SerialOctet));
+            BaseCfg(core::Mode::FirstRun, SerIdg, Transport, SerialOctet));
         if (First.Result.ScheduleDiverged || First.Result.Aborted) {
-          Fail("multi(first)/" + KnobName(SerIdg, Legacy, SerialOctet) +
+          Fail("multi(first)/" + KnobName(SerIdg, Transport, SerialOctet) +
                ": recorded schedule did not replay");
           return R;
         }
         core::RunConfig Cfg =
-            BaseCfg(core::Mode::SecondRun, SerIdg, Legacy, SerialOctet);
+            BaseCfg(core::Mode::SecondRun, SerIdg, Transport, SerialOctet);
         Cfg.StaticInfo = &First.StaticInfo;
         core::RunOutcome Second = core::runChecker(Source, Spec, Cfg);
-        if (!Admit("multi/" + KnobName(SerIdg, Legacy, SerialOctet), Second))
+        if (!Admit("multi/" + KnobName(SerIdg, Transport, SerialOctet),
+                   Second))
           return R;
       }
 
@@ -362,6 +367,10 @@ std::string FaultCase::name() const {
     N += " batched-scc";
   if (IcdMaxRegion != 0)
     N += " icd-max-region=" + std::to_string(IcdMaxRegion);
+  if (LogTransport == Transport::Arena)
+    N += " arena-log";
+  else if (LogTransport == Transport::Legacy)
+    N += " legacy-log";
   return N + "]";
 }
 
@@ -418,6 +427,16 @@ std::vector<FaultCase> fuzz::faultSweepCases() {
   {
     FaultCase C;
     C.MaxSccTxs = 1;
+    Cases.push_back(C);
+  }
+  // Allocation failure under the arena transport: the refusal fires on
+  // the *mutator's* per-thread cache instead of the ring drainer's — the
+  // shed decision travels the other side of the ring and must degrade
+  // identically soundly.
+  {
+    FaultCase C;
+    C.Plan.AllocFailAt = 1;
+    C.LogTransport = FaultCase::Transport::Arena;
     Cases.push_back(C);
   }
   // Combination: shedding and a dying worker in the same run.
@@ -482,6 +501,8 @@ fuzz::checkFaultCase(const ir::Program &Source,
   Cfg.PcdTimeoutMs = Case.PcdTimeoutMs;
   Cfg.BatchedScc = Case.BatchedScc;
   Cfg.IcdMaxRegion = Case.IcdMaxRegion;
+  Cfg.ThreadArenaLog = Case.LogTransport == FaultCase::Transport::Arena;
+  Cfg.LegacyLog = Case.LogTransport == FaultCase::Transport::Legacy;
   core::RunOutcome O = core::runChecker(Source, Spec, Cfg);
   const std::string Name = Case.name();
 
@@ -681,6 +702,10 @@ bool fuzz::writeWitness(const std::string &Path, const Divergence &D,
       Out << "# fault-batched-scc: 1\n";
     if (D.Fault.IcdMaxRegion != 0)
       Out << "# fault-icd-max-region: " << D.Fault.IcdMaxRegion << "\n";
+    if (D.Fault.LogTransport == FaultCase::Transport::Arena)
+      Out << "# fault-transport: arena\n";
+    else if (D.Fault.LogTransport == FaultCase::Transport::Legacy)
+      Out << "# fault-transport: legacy\n";
   }
   Out << "# schedule:";
   for (uint32_t T : D.Schedule)
@@ -745,6 +770,17 @@ bool fuzz::readWitness(const std::string &Path, Witness &W,
       W.Fault.BatchedScc = V != 0;
     } else if (Tag == "fault-icd-max-region:") {
       LS >> W.Fault.IcdMaxRegion;
+    } else if (Tag == "fault-transport:") {
+      std::string T;
+      LS >> T;
+      if (T == "arena")
+        W.Fault.LogTransport = FaultCase::Transport::Arena;
+      else if (T == "legacy")
+        W.Fault.LogTransport = FaultCase::Transport::Legacy;
+      else if (T != "ring") {
+        Error = "bad '# fault-transport:' value: " + T;
+        return false;
+      }
     }
   }
 

@@ -10,14 +10,16 @@
 /// bounded-exhaustive, or uniform random), record the trace, and run the
 /// same (program, schedule) pair through the full checker config matrix —
 ///
-///   single-run: {ShardedIdg, SerializedIdg} × {ArenaLog, LegacyLog} ×
+///   single-run: {ShardedIdg, SerializedIdg} ×
+///               {RingLog, ArenaLog, LegacyLog} ×
 ///               {FanoutOctet, SerialRoundtrips}
-///   multi-run:  {ShardedIdg, SerializedIdg} × {ArenaLog, LegacyLog}
-///               + sharded/arena/SerialRoundtrips
-///   + Velodrome
+///   multi-run:  {ShardedIdg, SerializedIdg} ×
+///               {RingLog, ArenaLog, LegacyLog}
+///               + sharded/ring/SerialRoundtrips
+///   + batched-Tarjan extras + Velodrome
 ///
-/// — asserting that all fourteen agree with each other and with the ground-
-/// truth serializability oracle (tests/oracle.h). On divergence, the
+/// — asserting that all twenty-two agree with each other and with the
+/// ground-truth serializability oracle (tests/oracle.h). On divergence, the
 /// (program, schedule) witness is delta-debugged down: drop workers, calls,
 /// accesses, and locks while a bounded re-search keeps finding a divergent
 /// schedule for the reduced program. The minimal witness is written as a
@@ -100,6 +102,11 @@ PairResult checkPair(const ir::Program &Source,
 /// worker stall needs the parallel pool; queue saturation needs a tiny
 /// queue). Zero-valued knobs keep the checker defaults.
 struct FaultCase {
+  /// Log publication transport the case runs under: the same fault can
+  /// trigger on different sides of the ring (the drain thread's chunk
+  /// refill vs. the mutator's), so the sweep pins it explicitly.
+  enum class Transport : uint8_t { Ring, Arena, Legacy };
+
   FaultPlan Plan;
   bool ParallelPcd = false;
   uint32_t PcdQueueDepth = 0;
@@ -112,11 +119,12 @@ struct FaultCase {
   /// Incremental detector's affected-region cap (0 = default): tiny values
   /// force the oversized-region sound-degradation valve.
   uint32_t IcdMaxRegion = 0;
+  Transport LogTransport = Transport::Ring;
 
   bool any() const {
     return Plan.any() || ParallelPcd || PcdQueueDepth != 0 ||
            MaxSccTxs != 0 || PcdTimeoutMs != 0 || BatchedScc ||
-           IcdMaxRegion != 0;
+           IcdMaxRegion != 0 || LogTransport != Transport::Ring;
   }
   /// Human-readable label, also used in witness headers.
   std::string name() const;

@@ -22,7 +22,11 @@ ctest --test-dir build-ci --output-on-failure -j 1
 
 echo "== Logging hot-path bench (smoke) =="
 # A tiny-scale run to catch regressions that only show up under the bench
-# harness (chunk recycling, the legacy escape hatch). The JSON goes to a
+# harness (ring commit/drain plumbing, chunk recycling, the arena and
+# legacy escape hatches). The sweep spawns real OS threads up to 256 —
+# far past any CI host's cores — so even the smoke run exercises the ring
+# transport's oversubscribed 64/128/256-thread rows (producers descheduled
+# mid-commit, mutator self-drains on full rings). The JSON goes to a
 # throwaway path so the checked-in BENCH_logging.json keeps the numbers
 # recorded on a quiet machine at full scale.
 DC_BENCH_SCALE=0.02 DC_BENCH_TRIALS=1 \
@@ -46,8 +50,9 @@ echo "== Differential schedule fuzz (bounded) =="
 # Fixed seed set, wall-clock bounded: PCT + bounded-exhaustive schedules on
 # tiny generated programs, every pair swept through the full config matrix
 # against the ground-truth oracle. The matrix includes the Octet protocol
-# axis (pipelined fan-out vs. SerialRoundtrips), so every pair also
-# differential-tests the new coordination path. DC_FUZZ_BUDGET_SECONDS=600
+# axis (pipelined fan-out vs. SerialRoundtrips) and the log-transport axis
+# (ring vs. arena vs. legacy), so every pair also differential-tests the
+# coordination path and the ring publication protocol. DC_FUZZ_BUDGET_SECONDS=600
 # (or more) is the nightly setting; the default keeps the gate fast.
 FUZZ_BUDGET="${DC_FUZZ_BUDGET_SECONDS:-30}"
 build-ci/tools/dcfuzz --seed 1 --budget-seconds "$FUZZ_BUDGET" \
@@ -87,7 +92,7 @@ cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDC_SANITIZE=thread >/dev/null
 cmake --build build-ci-tsan -j "$JOBS" --target idg_stress_test \
   octet_stress_test octet_coord_test log_elision_test log_srcpos_test \
-  fault_injection_test icd_test dcfuzz
+  ring_log_test fault_injection_test icd_test dcfuzz
 
 echo "== Differential schedule fuzz under TSan (smoke) =="
 # Much slower per pair under TSan; a short fixed-seed slice is enough to
@@ -103,9 +108,12 @@ build-ci-tsan/tools/dcfuzz --seed 7 --pairs 10 --fault-sweep
 # FaultInjection exercises the watchdog, worker stall/death, and the
 # destruction-under-saturated-queue teardown. Icd covers the detector's
 # lock-free hot path (atomic order keys, program-order chain pointers)
-# plus the stripe-locality stress test.
+# plus the stripe-locality stress test. The Ring suites drive the per-CPU
+# ring transport's wait-free commit / concurrent-drain protocol with real
+# producer threads racing the drainer (wraparound, migration mid-commit,
+# full-ring self-drain) — the prime TSan target this file has.
 ctest --test-dir build-ci-tsan --output-on-failure \
-  -R "Idg|Octet|ElisionFilter|LogDifferential|SrcPosSampling|FaultInjection|Icd"
+  -R "Idg|Octet|ElisionFilter|LogDifferential|SrcPosSampling|FaultInjection|Icd|Ring"
 
 echo "== AddressSanitizer build + abort-mid-coordination regression =="
 # The seed's serial protocol could return from an aborted roundtrip while a

@@ -56,6 +56,7 @@ struct CliOptions {
   std::string FaultPlanSpec;
   bool SerializedIdg = false;
   bool LegacyLog = false;
+  bool ArenaLog = false;
   bool SerialRoundtrips = false;
   bool BatchedScc = false;
   bool Refine = false;
@@ -101,6 +102,8 @@ void printUsage() {
       "                        alloc-fail@1,worker-stall@2 (see dcfuzz)\n"
       "  --legacy-log          pre-arena escape hatch: shared elision\n"
       "                        cells + vector logs (for comparisons)\n"
+      "  --arena-log           pre-ring escape hatch: publish into per-\n"
+      "                        thread chunk arenas (for comparisons)\n"
       "  --serialized-idg      pre-sharding escape hatch: one global IDG\n"
       "                        lock, inline collection (for comparisons)\n"
       "  --serial-roundtrips   pre-pipelining escape hatch: serial spin-\n"
@@ -168,6 +171,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.SerializedIdg = true;
     else if (Arg == "--legacy-log")
       Opts.LegacyLog = true;
+    else if (Arg == "--arena-log")
+      Opts.ArenaLog = true;
     else if (Arg == "--serial-roundtrips")
       Opts.SerialRoundtrips = true;
     else if (Arg == "--batched-scc")
@@ -374,6 +379,7 @@ int main(int Argc, char **Argv) {
   Cfg.PcdWorkers = Opts.PcdWorkers;
   Cfg.SerializedIdg = Opts.SerializedIdg;
   Cfg.LegacyLog = Opts.LegacyLog;
+  Cfg.ThreadArenaLog = Opts.ArenaLog;
   Cfg.SerialRoundtrips = Opts.SerialRoundtrips;
   Cfg.BatchedScc = Opts.BatchedScc;
   Cfg.MemBudgetMB = Opts.MemBudgetMB;
