@@ -16,6 +16,11 @@
 /// cheapest checker, second run between first and single-run, and xalan6
 /// the adversarial outlier where Velodrome wins (§5.3).
 ///
+/// The vc column is the vector-clock engine (DESIGN.md §14) — the raw-speed
+/// contender with no dependence graph, no SCC passes, and no replay. The
+/// bench asserts that structurally: a vc run must report zero icd.* and
+/// pcd.* work.
+///
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtils.h"
@@ -33,9 +38,10 @@ int main() {
 
   TextTable Table;
   Table.setHeader({"benchmark", "velodrome", "single-run", "first-run",
-                   "second-run", "single gc%", "velo gc%"});
+                   "second-run", "vc", "single gc%", "velo gc%", "vc gc%"});
 
-  std::vector<double> GeoVelo, GeoSingle, GeoFirst, GeoSecond;
+  bool VcGraphFree = true;
+  std::vector<double> GeoVelo, GeoSingle, GeoFirst, GeoSecond, GeoVc;
   for (const workloads::WorkloadInfo &W : workloads::all()) {
     if (!W.ComputeBound)
       continue; // The paper excludes elevator, hedc, philo from Fig. 7.
@@ -60,6 +66,14 @@ int main() {
     // (the paper unions 10 first-run trials; we reuse the timed ones).
     analysis::StaticTransactionInfo Union = First.Outcome.StaticInfo;
     TimedResult Second = Timed(Mode::SecondRun, &Union);
+    TimedResult Vc = Timed(Mode::VectorClock);
+
+    // The vc column's claim to fame: zero graph/SCC/replay machinery ran.
+    for (const auto &Entry : Vc.Outcome.Stats)
+      if ((Entry.first.rfind("icd.", 0) == 0 ||
+           Entry.first.rfind("pcd.", 0) == 0) &&
+          Entry.second != 0)
+        VcGraphFree = false;
 
     auto Norm = [&](const TimedResult &R) {
       return R.MedianSeconds / Base.MedianSeconds;
@@ -73,19 +87,24 @@ int main() {
     GeoSingle.push_back(Norm(Single));
     GeoFirst.push_back(Norm(First));
     GeoSecond.push_back(Norm(Second));
+    GeoVc.push_back(Norm(Vc));
     Table.addRow({W.Name, formatDouble(Norm(Velo), 2),
                   formatDouble(Norm(Single), 2),
                   formatDouble(Norm(First), 2),
-                  formatDouble(Norm(Second), 2),
+                  formatDouble(Norm(Second), 2), formatDouble(Norm(Vc), 2),
                   formatDouble(GcPct(Single, "icd.collector_ns"), 1),
-                  formatDouble(GcPct(Velo, "velodrome.collector_ns"), 1)});
+                  formatDouble(GcPct(Velo, "velodrome.collector_ns"), 1),
+                  formatDouble(GcPct(Vc, "vc.collector_ns"), 1)});
   }
   Table.addRow({"geomean", formatDouble(geomean(GeoVelo), 2),
                 formatDouble(geomean(GeoSingle), 2),
                 formatDouble(geomean(GeoFirst), 2),
-                formatDouble(geomean(GeoSecond), 2), "-", "-"});
+                formatDouble(geomean(GeoSecond), 2),
+                formatDouble(geomean(GeoVc), 2), "-", "-", "-"});
   std::printf("%s\n", Table.render().c_str());
+  std::printf("vc runs with zero icd.*/pcd.* work: %s\n",
+              VcGraphFree ? "yes" : "NO (unexpected)");
   std::printf("paper (geomean): velodrome 6.1x, single-run 3.6x, "
               "first run 1.9x, second run 2.4x\n");
-  return 0;
+  return VcGraphFree ? 0 : 1;
 }

@@ -28,7 +28,10 @@
 /// path's background collector and PCD workers cost real context switches
 /// here, while on a multicore they would run on otherwise-idle cores. The
 /// rows that matter are 2+ threads, where the old path's per-transaction
-/// global-lock handoffs dominate. Also expect multi-thread rows below the
+/// global-lock handoffs dominate. The vc columns run the same round-robin
+/// workload through the vector-clock engine (DESIGN.md §14) — no Octet
+/// protocol, no dependence graph, one engine lock — as the raw-speed
+/// reference the sharded path is chasing. Also expect multi-thread rows below the
 /// 1-thread row on such a host: the 1-thread row has no cross-thread
 /// conflicts at all — no Octet coordination, no cross edges, no Tarjan
 /// passes, no PCD replay — and with every checker thread multiplexed onto
@@ -45,6 +48,7 @@
 #include "bench/BenchUtils.h"
 #include "ir/Builder.h"
 #include "support/Rng.h"
+#include "vc/VectorClockChecker.h"
 
 using namespace dc;
 using namespace dc::bench;
@@ -183,6 +187,69 @@ SweepPoint runOnce(const ir::Program &P, uint32_t Threads,
   return Pt;
 }
 
+/// Same round-robin driver against the vector-clock engine. No
+/// aboutToBlock: the engine has no Octet protocol, so the blocked-state
+/// parking is meaningless to it. Accesses carry IF_VelodromeBarrier — the
+/// filter the vc (and Velodrome) instrumentation path selects on.
+SweepPoint runOnceVc(const ir::Program &P, uint32_t Threads,
+                     uint64_t TxPerThread) {
+  StatisticRegistry Stats;
+  analysis::ViolationLog Violations;
+  vc::VectorClockOptions Opts;
+  Opts.CollectEveryTx = 1024; // Match the DoubleChecker rows' cadence.
+  auto VC = std::make_unique<vc::VectorClockRuntime>(P, Opts, Violations,
+                                                     Stats);
+  rt::Runtime RT(P, VC.get());
+  VC->beginRun(RT);
+
+  const ir::Method &Txn = P.Methods[P.findMethod("txn")];
+  std::vector<rt::ThreadContext> Tc(Threads);
+  std::vector<SplitMix64> Rng;
+  for (uint32_t T = 0; T < Threads; ++T) {
+    Tc[T].Tid = T;
+    Tc[T].RT = &RT;
+    Tc[T].Checker = VC.get();
+    VC->threadStarted(Tc[T]);
+    Rng.emplace_back(T * 9176 + 5);
+  }
+
+  const uint64_t StepsPerThread = TxPerThread * AccessesPerTx;
+  auto Begin = std::chrono::steady_clock::now();
+  for (uint64_t Step = 0; Step < StepsPerThread; ++Step) {
+    for (uint32_t T = 0; T < Threads; ++T) {
+      if (Step % AccessesPerTx == 0) {
+        if (Step != 0)
+          VC->txEnd(Tc[T], Txn);
+        VC->txBegin(Tc[T], Txn);
+      }
+      const bool SharedTx =
+          (Step / AccessesPerTx) % SharedTxPeriod == SharedTxPeriod - 1;
+      rt::AccessInfo Info;
+      Info.Obj = SharedTx && Step % AccessesPerTx == 1
+                     ? static_cast<rt::ObjectId>(
+                           Rng[T].nextBelow(SharedObjects))
+                     : static_cast<rt::ObjectId>(SharedObjects + T);
+      Info.Addr = RT.heap().fieldAddr(Info.Obj, Rng[T].nextBelow(2));
+      Info.IsWrite = SharedTx || Step % 2 == 1;
+      Info.Flags = ir::IF_VelodromeBarrier;
+      VC->instrumentedAccess(Tc[T], Info, [] {});
+    }
+  }
+  for (uint32_t T = 0; T < Threads; ++T) {
+    VC->txEnd(Tc[T], Txn);
+    VC->threadExiting(Tc[T]);
+  }
+  VC->endRun(RT);
+  auto End = std::chrono::steady_clock::now();
+
+  SweepPoint Pt;
+  Pt.Seconds = std::chrono::duration<double>(End - Begin).count();
+  Pt.TxPerSec = static_cast<double>(Threads) * TxPerThread / Pt.Seconds;
+  Pt.CrossEdges = Stats.value("vc.cross_edges");
+  Pt.EdgesPerSec = static_cast<double>(Pt.CrossEdges) / Pt.Seconds;
+  return Pt;
+}
+
 SweepPoint median(std::vector<SweepPoint> Runs) {
   std::sort(Runs.begin(), Runs.end(),
             [](const SweepPoint &A, const SweepPoint &B) {
@@ -210,17 +277,19 @@ int main(int argc, char **argv) {
 
   TextTable Table;
   Table.setHeader({"threads", "old wall s", "legacy-log s", "new wall s",
-                   "old tx/s", "new tx/s", "new edges/s", "conflicts",
-                   "icd reorders", "icd lock waits", "scc passes",
-                   "speedup"});
+                   "vc wall s", "old tx/s", "new tx/s", "vc tx/s",
+                   "new edges/s", "conflicts", "icd reorders",
+                   "icd lock waits", "scc passes", "speedup"});
   JsonRows Json;
 
   const std::vector<uint32_t> Rows = {1u, 2u, 4u, 8u};
-  // Three configurations per row: the pre-sharding global lock, today's
+  // Four configurations per row: the pre-sharding global lock, today's
   // sharded path with the legacy logging escape hatch (shared elision
-  // cells + vector logs + LogRemoteMissPenalty), and the full default
-  // (sharded IDG + arena logging). The middle column attributes how much
-  // of the old-vs-new gap the logging rework alone accounts for.
+  // cells + vector logs + LogRemoteMissPenalty), the full default
+  // (sharded IDG + arena logging), and the vector-clock engine. The
+  // legacy-log column attributes how much of the old-vs-new gap the
+  // logging rework alone accounts for; the vc column is the graph-free
+  // reference point.
   //
   // Trials are interleaved across every (row, configuration) combination
   // rather than run combination-by-combination: on a shared host, load
@@ -233,6 +302,7 @@ int main(int argc, char **argv) {
     uint64_t TxPerThread;
     bool Serialized;
     bool LegacyLog;
+    bool Vc;
     ir::Program P;
     std::vector<SweepPoint> Runs;
   };
@@ -241,27 +311,32 @@ int main(int argc, char **argv) {
     const uint64_t TxPerThread =
         std::max<uint64_t>(SharedTxPeriod, TotalTx / Threads) /
         SharedTxPeriod * SharedTxPeriod;
-    for (auto [Serialized, LegacyLog] :
-         {std::pair{true, true}, {false, true}, {false, false}})
-      Combos.push_back(Combo{Threads, TxPerThread, Serialized, LegacyLog,
+    for (auto [Serialized, LegacyLog, Vc] :
+         {std::tuple{true, true, false}, {false, true, false},
+          {false, false, false}, {false, false, true}})
+      Combos.push_back(Combo{Threads, TxPerThread, Serialized, LegacyLog, Vc,
                              benchProgram(Threads), {}});
   }
   for (unsigned R = 0; R < Trials; ++R)
     for (Combo &C : Combos)
-      C.Runs.push_back(
-          runOnce(C.P, C.Threads, C.TxPerThread, C.Serialized, C.LegacyLog));
+      C.Runs.push_back(C.Vc ? runOnceVc(C.P, C.Threads, C.TxPerThread)
+                            : runOnce(C.P, C.Threads, C.TxPerThread,
+                                      C.Serialized, C.LegacyLog));
 
   for (size_t Row = 0; Row < Rows.size(); ++Row) {
     const uint32_t Threads = Rows[Row];
-    const uint64_t TxPerThread = Combos[Row * 3].TxPerThread;
-    SweepPoint Old = median(Combos[Row * 3].Runs);
-    SweepPoint Leg = median(Combos[Row * 3 + 1].Runs);
-    SweepPoint New = median(Combos[Row * 3 + 2].Runs);
+    const uint64_t TxPerThread = Combos[Row * 4].TxPerThread;
+    SweepPoint Old = median(Combos[Row * 4].Runs);
+    SweepPoint Leg = median(Combos[Row * 4 + 1].Runs);
+    SweepPoint New = median(Combos[Row * 4 + 2].Runs);
+    SweepPoint Vc = median(Combos[Row * 4 + 3].Runs);
     double Speedup = Old.Seconds / New.Seconds;
     Table.addRow({std::to_string(Threads), formatDouble(Old.Seconds, 3),
                   formatDouble(Leg.Seconds, 3), formatDouble(New.Seconds, 3),
+                  formatDouble(Vc.Seconds, 3),
                   formatWithCommas(static_cast<uint64_t>(Old.TxPerSec)),
                   formatWithCommas(static_cast<uint64_t>(New.TxPerSec)),
+                  formatWithCommas(static_cast<uint64_t>(Vc.TxPerSec)),
                   formatWithCommas(static_cast<uint64_t>(New.EdgesPerSec)),
                   formatWithCommas(New.Conflicting),
                   formatWithCommas(New.IcdReorders),
@@ -274,9 +349,12 @@ int main(int argc, char **argv) {
     Json.add("serialized_wall_s", Old.Seconds);
     Json.add("sharded_legacylog_wall_s", Leg.Seconds);
     Json.add("sharded_wall_s", New.Seconds);
+    Json.add("vc_wall_s", Vc.Seconds);
     Json.add("serialized_tx_per_s", Old.TxPerSec);
     Json.add("sharded_legacylog_tx_per_s", Leg.TxPerSec);
     Json.add("sharded_tx_per_s", New.TxPerSec);
+    Json.add("vc_tx_per_s", Vc.TxPerSec);
+    Json.add("vc_cross_edges", Vc.CrossEdges);
     Json.add("serialized_edges_per_s", Old.EdgesPerSec);
     Json.add("sharded_edges_per_s", New.EdgesPerSec);
     Json.add("serialized_lock_handoffs", Old.Handoffs);
@@ -306,8 +384,9 @@ int main(int argc, char **argv) {
 
   std::printf("%s\n", Table.render().c_str());
   std::printf("(speedup = serialized wall / sharded wall; legacy-log = "
-              "sharded IDG with the LegacyLog escape hatch; identical total "
-              "work per row)\n");
+              "sharded IDG with the LegacyLog escape hatch; vc = the "
+              "graph-free vector-clock engine; identical total work per "
+              "row)\n");
   if (Json.write(OutPath, "scaling_threads"))
     std::printf("wrote %s\n", OutPath);
   return 0;

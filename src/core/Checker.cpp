@@ -12,6 +12,7 @@
 #include "analysis/DoubleChecker.h"
 #include "instr/Instrument.h"
 #include "support/Statistic.h"
+#include "vc/VectorClockChecker.h"
 #include "velodrome/Velodrome.h"
 
 using namespace dc;
@@ -35,8 +36,19 @@ std::string core::toString(Mode M) {
     return "second-run-velodrome";
   case Mode::PcdOnly:
     return "pcd-only";
+  case Mode::VectorClock:
+    return "vc";
   }
   return "?";
+}
+
+const std::vector<Mode> &core::allModes() {
+  static const std::vector<Mode> Modes = {
+      Mode::Unmodified, Mode::Velodrome,          Mode::VelodromeUnsound,
+      Mode::SingleRun,  Mode::FirstRun,           Mode::SecondRun,
+      Mode::SecondRunVelodrome, Mode::PcdOnly,    Mode::VectorClock,
+  };
+  return Modes;
 }
 
 static instr::InstrumentationOptions
@@ -51,6 +63,10 @@ instrOptionsFor(const RunConfig &Cfg) {
     break;
   case Mode::Velodrome:
   case Mode::VelodromeUnsound:
+  case Mode::VectorClock:
+    // The VC engine consumes the exact same barrier placement as Velodrome
+    // (per-field metadata, no access log), so their compiled programs — and
+    // therefore recorded schedules — are interchangeable.
     Opts.Checker = instr::CheckerKind::Velodrome;
     Opts.LogAccesses = false;
     break;
@@ -147,6 +163,16 @@ RunOutcome core::runChecker(const ir::Program &Source,
         Compiled, DOpts, Violations, Stats);
     DC = Owned.get();
     Checker = std::move(Owned);
+    break;
+  }
+  case Mode::VectorClock: {
+    vc::VectorClockOptions VcOpts;
+    VcOpts.DetectCycles = Cfg.DetectCycles;
+    if (Cfg.VcCollectEveryTx != 0)
+      VcOpts.CollectEveryTx = Cfg.VcCollectEveryTx;
+    VcOpts.Faults = Cfg.Faults;
+    Checker = std::make_unique<vc::VectorClockRuntime>(Compiled, VcOpts,
+                                                       Violations, Stats);
     break;
   }
   case Mode::Unmodified:

@@ -40,9 +40,16 @@ enum class Mode {
   SecondRun,          ///< Multi-run second run (ICD + PCD, selective).
   SecondRunVelodrome, ///< §5.3: Velodrome as the second run.
   PcdOnly,            ///< §5.4 straw man: PCD on every transaction.
+  VectorClock,        ///< Vector-clock engine (no graph/SCC/replay) —
+                      ///< DESIGN.md §14.
 };
 
 std::string toString(Mode M);
+
+/// All Mode values, in declaration order. The single source of truth for
+/// tools enumerating modes (dcheck --list-modes) — a new enumerator added
+/// here shows up everywhere without hand-maintained tables.
+const std::vector<Mode> &allModes();
 
 /// Everything configurable about one run.
 struct RunConfig {
@@ -121,6 +128,10 @@ struct RunConfig {
   /// Cap on SCC size handed to PCD (0 = keep the DoubleCheckerOptions
   /// default). Oversized SCCs degrade to potential violations.
   uint32_t MaxSccTxs = 0;
+  /// VectorClock mode: collector trigger in finished transactions (0 =
+  /// keep the VectorClockOptions default). Tiny values stress mark-sweep
+  /// over live subscription lists.
+  uint32_t VcCollectEveryTx = 0;
   /// Required for SecondRun / SecondRunVelodrome.
   const analysis::StaticTransactionInfo *StaticInfo = nullptr;
 };

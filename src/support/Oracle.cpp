@@ -1,12 +1,12 @@
-//===- tests/oracle.inc - Ground-truth oracle implementation --------------===//
+//===- support/Oracle.cpp - Ground-truth oracle implementation ------------===//
 //
 // Part of the DoubleChecker reproduction. MIT license.
 //
-// Definitions for tests/oracle.h. Include into exactly one translation
-// unit per binary.
-//
 //===----------------------------------------------------------------------===//
 
+#include "support/Oracle.h"
+
+#include <algorithm>
 #include <cassert>
 #include <mutex>
 #include <unordered_map>
@@ -14,7 +14,6 @@
 #include "instr/Instrument.h"
 #include "rt/CheckerRuntime.h"
 #include "rt/ThreadContext.h"
-#include "tests/oracle.h"
 
 namespace dc {
 namespace oracle {
@@ -119,7 +118,7 @@ OracleVerdict decideSerializability(const ir::Program &Source,
 
   auto NewNode = [&](uint32_t Tid, ir::MethodId Site, bool Regular) {
     int Idx = static_cast<int>(Nodes.size());
-    Nodes.push_back({Tid, Site, Regular});
+    Nodes.push_back({Tid, Site, Regular, false, {}});
     auto It = Cur.find(Tid);
     if (It != Cur.end() && It->second >= 0)
       Nodes[It->second].Out.push_back(Idx); // Program-order edge.

@@ -1,0 +1,135 @@
+//===- vc/VectorClock.h - Epoch-optimized vector clocks ---------*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The clock representation behind the vector-clock atomicity engine
+/// (vc/VectorClockChecker.h). One clock holds, per program thread, the
+/// highest transaction sequence number of that thread known to
+/// happen-before the clock's owner. Two representation tricks keep the
+/// common joins cheap, following the epoch/VC split popularized by FastTrack
+/// and reused by Mathur & Viswanathan's AeroDrome:
+///
+///  * small-buffer storage — clocks for runs of up to `InlineSlots` threads
+///    live entirely inside the object (no heap allocation, no pointer
+///    chase); wider runs spill to a heap vector transparently,
+///  * an epoch fast path — most clocks in mostly-thread-local workloads
+///    carry exactly one nonzero entry (the owner's own sequence number,
+///    i.e. an epoch `seq@tid`). A join from such a clock compares and
+///    updates a single slot instead of walking the width. The cached
+///    single-entry index is conservative: it may decay to "wide" without
+///    breaking correctness, only the fast path is skipped.
+///
+/// Joins are slot-wise max and return whether anything grew — the engine
+/// uses that bit to decide whether knowledge must be propagated further.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_VC_VECTORCLOCK_H
+#define DC_VC_VECTORCLOCK_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace dc {
+namespace vc {
+
+class VectorClock {
+public:
+  /// Widths up to this stay inline (no heap allocation per clock).
+  static constexpr uint32_t InlineSlots = 8;
+
+  VectorClock() = default;
+  explicit VectorClock(uint32_t NumThreads) { resize(NumThreads); }
+
+  void resize(uint32_t NumThreads) {
+    Width = NumThreads;
+    Single = kEmpty;
+    if (Width <= InlineSlots)
+      std::fill(Inline, Inline + InlineSlots, 0);
+    else
+      Spill.assign(Width, 0);
+  }
+
+  uint32_t width() const { return Width; }
+
+  uint64_t get(uint32_t Tid) const { return slots()[Tid]; }
+
+  /// Sets one entry (sequence numbers are nonzero; 0 means "unknown").
+  void set(uint32_t Tid, uint64_t Seq) {
+    uint64_t *S = slots();
+    const bool WasZero = S[Tid] == 0;
+    S[Tid] = Seq;
+    if (WasZero) {
+      if (Single == kEmpty)
+        Single = static_cast<int32_t>(Tid);
+      else if (Single != static_cast<int32_t>(Tid))
+        Single = kWide;
+    }
+  }
+
+  /// True iff the cached representation is a single-entry epoch (at most
+  /// one nonzero slot). May conservatively report false on such clocks
+  /// after joins, never true on multi-entry ones.
+  bool isEpoch() const { return Single >= 0 || Single == kEmpty; }
+
+  /// Slot-wise max of \p Other into this. Returns true iff any slot grew.
+  bool joinFrom(const VectorClock &Other) {
+    if (Other.Single == kEmpty)
+      return false;
+    uint64_t *S = slots();
+    if (Other.Single >= 0) {
+      // Epoch fast path: the source has one nonzero entry.
+      const uint32_t T = static_cast<uint32_t>(Other.Single);
+      const uint64_t Seq = Other.slots()[T];
+      if (S[T] >= Seq)
+        return false;
+      set(T, Seq);
+      return true;
+    }
+    const uint64_t *O = Other.slots();
+    bool Grew = false;
+    for (uint32_t T = 0; T < Width; ++T) {
+      if (O[T] > S[T]) {
+        S[T] = O[T];
+        Grew = true;
+      }
+    }
+    if (Grew)
+      Single = kWide; // Conservative: recomputing exactly is not worth it.
+    return Grew;
+  }
+
+  bool operator==(const VectorClock &Other) const {
+    if (Width != Other.Width)
+      return false;
+    const uint64_t *A = slots(), *B = Other.slots();
+    return std::equal(A, A + Width, B);
+  }
+
+private:
+  static constexpr int32_t kEmpty = -2;
+  static constexpr int32_t kWide = -1;
+
+  uint64_t *slots() {
+    return Width <= InlineSlots ? Inline : Spill.data();
+  }
+  const uint64_t *slots() const {
+    return Width <= InlineSlots ? Inline : Spill.data();
+  }
+
+  uint32_t Width = 0;
+  /// Epoch cache: slot index of the single nonzero entry, kEmpty when all
+  /// zero, kWide when (possibly) more than one entry is set.
+  int32_t Single = kEmpty;
+  uint64_t Inline[InlineSlots] = {};
+  std::vector<uint64_t> Spill;
+};
+
+} // namespace vc
+} // namespace dc
+
+#endif // DC_VC_VECTORCLOCK_H

@@ -1,0 +1,317 @@
+//===- vc/VectorClockChecker.cpp ------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vc/VectorClockChecker.h"
+
+#include <cassert>
+#include <chrono>
+#include <thread>
+
+using namespace dc;
+using namespace dc::vc;
+using analysis::CycleMember;
+using analysis::ViolationRecord;
+
+VectorClockRuntime::VectorClockRuntime(const ir::Program &P,
+                                       VectorClockOptions Opts,
+                                       analysis::ViolationLog &Violations,
+                                       StatisticRegistry &Stats)
+    : P(P), Opts(Opts), Violations(Violations), Stats(Stats) {}
+
+VectorClockRuntime::~VectorClockRuntime() {
+  for (uint32_t T = 0; T < NumThreads; ++T)
+    for (VcTxn *Tx : Threads[T].Owned)
+      delete Tx;
+}
+
+void VectorClockRuntime::beginRun(rt::Runtime &RT) {
+  NumThreads = RT.numThreads();
+  Threads = std::make_unique<PerThread[]>(NumThreads);
+  FieldLocks = std::vector<SpinLock>(RT.heap().numFieldAddrs());
+  Fields = std::vector<FieldMeta>(RT.heap().numFieldAddrs());
+}
+
+void VectorClockRuntime::endRun(rt::Runtime &RT) {
+  uint64_t Acc = 0;
+  for (uint32_t T = 0; T < NumThreads; ++T)
+    Acc += Threads[T].Accesses;
+  Stats.get("vc.accesses").add(Acc);
+  SpinLockGuard Guard(EngineLock);
+  Stats.get("vc.txs").add(NextTxId);
+  Stats.get("vc.cross_edges").add(CrossEdges);
+  Stats.get("vc.joins").add(Joins);
+  Stats.get("vc.epoch_joins").add(EpochJoins);
+  Stats.get("vc.propagations").add(Propagations);
+  Stats.get("vc.violations").add(ViolationCount);
+  Stats.get("vc.collector_runs").add(CollectorRuns);
+  Stats.get("vc.collector_ns").add(CollectorNs);
+  Stats.get("vc.txs_swept").add(TxsSwept);
+}
+
+void VectorClockRuntime::threadStarted(rt::ThreadContext &TC) {
+  SpinLockGuard Guard(EngineLock);
+  newTransactionLocked(TC.Tid, ir::InvalidMethodId, /*Regular=*/false);
+}
+
+void VectorClockRuntime::threadExiting(rt::ThreadContext &TC) {
+  SpinLockGuard Guard(EngineLock);
+  endCurrentTxLocked(TC.Tid);
+  Threads[TC.Tid].CurrTx.store(nullptr, std::memory_order_release);
+}
+
+void VectorClockRuntime::txBegin(rt::ThreadContext &TC, const ir::Method &M) {
+  SpinLockGuard Guard(EngineLock);
+  endCurrentTxLocked(TC.Tid);
+  newTransactionLocked(TC.Tid, P.originalOf(M.Id), /*Regular=*/true);
+}
+
+void VectorClockRuntime::txEnd(rt::ThreadContext &TC, const ir::Method &M) {
+  SpinLockGuard Guard(EngineLock);
+  endCurrentTxLocked(TC.Tid);
+  newTransactionLocked(TC.Tid, ir::InvalidMethodId, /*Regular=*/false);
+}
+
+VectorClockRuntime::VcTxn *
+VectorClockRuntime::currentForAccess(rt::ThreadContext &TC) {
+  PerThread &PT = Threads[TC.Tid];
+  VcTxn *Cur = PT.CurrTx.load(std::memory_order_relaxed);
+  assert(Cur && "access outside any transaction context");
+  if (Cur->Regular || !Cur->Interrupted.load(std::memory_order_relaxed))
+    return Cur;
+  SpinLockGuard Guard(EngineLock);
+  endCurrentTxLocked(TC.Tid);
+  return newTransactionLocked(TC.Tid, ir::InvalidMethodId,
+                              /*Regular=*/false);
+}
+
+void VectorClockRuntime::instrumentedAccess(rt::ThreadContext &TC,
+                                            const rt::AccessInfo &Info,
+                                            function_ref<void()> Access) {
+  if (!(Info.Flags & ir::IF_VelodromeBarrier)) {
+    Access();
+    return;
+  }
+  PerThread &PT = Threads[TC.Tid];
+  ++PT.Accesses;
+  VcTxn *Cur = currentForAccess(TC);
+  FieldMeta &Meta = Fields[Info.Addr];
+
+  // Lock order: field lock, then EngineLock. Metadata is mutated only while
+  // both are held, so the collector (under EngineLock) can scan field
+  // metadata as roots without racing vector mutations.
+  SpinLockGuard FieldGuard(FieldLocks[Info.Addr]);
+  if (Opts.RemoteMissPenalty != 0) {
+    // Same coherence-miss simulation as Velodrome: this engine also updates
+    // per-field metadata inside the access's critical section, so contended
+    // fields would ping-pong the metadata cache line on a real multicore.
+    if (Meta.LastToucher != TC.Tid) {
+      if (Meta.LastToucher != ~0u)
+        Meta.Contended = true;
+      Meta.LastToucher = TC.Tid;
+    }
+    if (Meta.Contended) {
+      uint64_t Acc = Info.Addr;
+      for (uint32_t I = 0; I < Opts.RemoteMissPenalty; ++I)
+        Acc = Acc * 6364136223846793005ULL + 1442695040888963407ULL;
+      PenaltySink.fetch_add(Acc, std::memory_order_relaxed);
+    }
+  }
+  VcTxn *W = Meta.LastWrite.load(std::memory_order_relaxed);
+  if (!Info.IsWrite) {
+    // READ rule (Velodrome Fig. 5): write-read edge, then record the reader.
+    VcTxn **Slot = nullptr;
+    for (auto &R : Meta.Readers)
+      if (R.first == TC.Tid)
+        Slot = &R.second;
+    bool AlreadyRecorded = Slot != nullptr && *Slot == Cur;
+    if (!AlreadyRecorded) {
+      SpinLockGuard EngineGuard(EngineLock);
+      if (W != nullptr && W->Tid != TC.Tid)
+        addEdgeLocked(W, Cur);
+      if (Slot != nullptr)
+        *Slot = Cur;
+      else
+        Meta.Readers.emplace_back(TC.Tid, Cur);
+    }
+  } else {
+    // WRITE rule: write-write and read-write edges, then update.
+    bool NeedsChange = W != Cur || !Meta.Readers.empty();
+    if (NeedsChange) {
+      SpinLockGuard EngineGuard(EngineLock);
+      if (W != nullptr && W->Tid != TC.Tid)
+        addEdgeLocked(W, Cur);
+      for (const auto &R : Meta.Readers)
+        if (R.first != TC.Tid)
+          addEdgeLocked(R.second, Cur);
+      Meta.LastWrite.store(Cur, std::memory_order_relaxed);
+      Meta.Readers.clear();
+    }
+  }
+  Access();
+}
+
+void VectorClockRuntime::syncOp(rt::ThreadContext &TC,
+                                const rt::AccessInfo &Info,
+                                rt::SyncKind Kind) {
+  if (Info.Flags == ir::IF_None)
+    return;
+  // Release-acquire dependences modelled as accesses of the sync slot,
+  // exactly like the graph engines.
+  instrumentedAccess(TC, Info, [] {});
+}
+
+VectorClockRuntime::VcTxn *
+VectorClockRuntime::newTransactionLocked(uint32_t Tid, ir::MethodId Site,
+                                         bool Regular) {
+  PerThread &PT = Threads[Tid];
+  auto *Tx = new VcTxn(++NextTxId, Tid, PT.NextSeq++, Site, Regular,
+                       NumThreads);
+  {
+    SpinLockGuard Guard(PT.OwnedLock);
+    PT.Owned.push_back(Tx);
+  }
+  VcTxn *Prev = PT.CurrTx.load(std::memory_order_relaxed);
+  if (Prev != nullptr) {
+    // Program-order edge Prev->Tx: join and subscribe, like any edge. The
+    // subscription is what keeps each thread's clock component downward-
+    // closed even when Prev learns of predecessors after Tx started — the
+    // exactness of the single reachability comparison depends on it.
+    ++Joins;
+    if (Prev->Known.isEpoch())
+      ++EpochJoins;
+    Tx->Known.joinFrom(Prev->Known);
+    Prev->Subs.push_back(Tx);
+  }
+  PT.CurrTx.store(Tx, std::memory_order_release);
+  return Tx;
+}
+
+void VectorClockRuntime::endCurrentTxLocked(uint32_t Tid) {
+  PerThread &PT = Threads[Tid];
+  if (PT.CurrTx.load(std::memory_order_relaxed) == nullptr)
+    return;
+  if (++FinishedTxs % Opts.CollectEveryTx == 0)
+    collectLocked();
+}
+
+void VectorClockRuntime::addEdgeLocked(VcTxn *Src, VcTxn *Dst) {
+  if (Src == nullptr || Src == Dst)
+    return;
+  // Cheap dedupe of the common consecutive-duplicate case (safe: the first
+  // instance already ran the reachability check, and a duplicate edge can
+  // never close a cycle the original did not).
+  if (!Src->Subs.empty() && Src->Subs.back() == Dst)
+    return;
+  // Edges interrupt unary-transaction merging (same demarcation as the
+  // graph engines).
+  if (!Src->Regular)
+    Src->Interrupted.store(true, std::memory_order_relaxed);
+  if (!Dst->Regular)
+    Dst->Interrupted.store(true, std::memory_order_relaxed);
+  ++CrossEdges;
+  // The new edge Src->Dst closes a cycle iff Dst already reaches Src, i.e.
+  // Src's clock has caught up to Dst's own sequence number. Checked before
+  // the join (which only grows Dst's clock, not Src's).
+  if (Opts.DetectCycles && Src->Known.get(Dst->Tid) >= Dst->Seq)
+    reportViolationLocked(Src, Dst);
+  ++Joins;
+  if (Src->Known.isEpoch())
+    ++EpochJoins;
+  bool Grew = Dst->Known.joinFrom(Src->Known);
+  Src->Subs.push_back(Dst);
+  if (Grew)
+    propagateLocked(Dst);
+}
+
+void VectorClockRuntime::propagateLocked(VcTxn *From) {
+  // Monotone worklist: push grown clocks to subscribers until fixpoint.
+  // Terminates because clocks only grow and are bounded by the per-thread
+  // sequence counters.
+  assert(Worklist.empty());
+  Worklist.push_back(From);
+  while (!Worklist.empty()) {
+    VcTxn *N = Worklist.back();
+    Worklist.pop_back();
+    for (VcTxn *S : N->Subs) {
+      if (S->Known.joinFrom(N->Known)) {
+        ++Propagations;
+        Worklist.push_back(S);
+      }
+    }
+  }
+}
+
+void VectorClockRuntime::reportViolationLocked(VcTxn *Src, VcTxn *Dst) {
+  // One report per completing target, matching the graph engines' one
+  // report per detected cycle.
+  if (Dst->Reported)
+    return;
+  Dst->Reported = true;
+  ++ViolationCount;
+  // Blame the closing edge's endpoints: the engine sees no full cycle to
+  // scan, so this is coarser than graph blame but always a subset of the
+  // cycle's method set (see DESIGN.md §14). A record with Invalid blame
+  // still counts as a detection.
+  ViolationRecord R;
+  if (Dst->Regular)
+    R.Blamed = Dst->Site;
+  else if (Src->Regular)
+    R.Blamed = Src->Site;
+  R.Cycle.push_back(CycleMember{Dst->Tid, Dst->Site, Dst->Id});
+  R.Cycle.push_back(CycleMember{Src->Tid, Src->Site, Src->Id});
+  Violations.report(std::move(R));
+}
+
+void VectorClockRuntime::collectLocked() {
+  auto StartTime = std::chrono::steady_clock::now();
+  if (Opts.Faults.CollectorDelayMs != 0)
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(Opts.Faults.CollectorDelayMs));
+  const uint64_t Epoch = ++MarkEpoch;
+  std::vector<VcTxn *> Work;
+  auto AddRoot = [&](VcTxn *Tx) {
+    if (Tx != nullptr && Tx->MarkEpoch != Epoch) {
+      Tx->MarkEpoch = Epoch;
+      Work.push_back(Tx);
+    }
+  };
+  for (uint32_t T = 0; T < NumThreads; ++T)
+    AddRoot(Threads[T].CurrTx.load(std::memory_order_relaxed));
+  // Field metadata references are roots: a last-writer/reader can still
+  // source a future edge, which reads its clock and appends to its Subs.
+  for (FieldMeta &Meta : Fields) {
+    AddRoot(Meta.LastWrite.load(std::memory_order_relaxed));
+    for (const auto &R : Meta.Readers)
+      AddRoot(R.second);
+  }
+  // Traverse subscriptions: anything a live transaction can push to must
+  // survive (so no dangling pointers can be reached by propagateLocked).
+  while (!Work.empty()) {
+    VcTxn *Tx = Work.back();
+    Work.pop_back();
+    for (VcTxn *S : Tx->Subs)
+      AddRoot(S);
+  }
+  for (uint32_t T = 0; T < NumThreads; ++T) {
+    PerThread &PT = Threads[T];
+    SpinLockGuard Guard(PT.OwnedLock);
+    size_t Kept = 0;
+    for (VcTxn *Tx : PT.Owned) {
+      if (Tx->MarkEpoch == Epoch)
+        PT.Owned[Kept++] = Tx;
+      else {
+        delete Tx;
+        ++TxsSwept;
+      }
+    }
+    PT.Owned.resize(Kept);
+  }
+  ++CollectorRuns;
+  CollectorNs += static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - StartTime)
+          .count());
+}

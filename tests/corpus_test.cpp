@@ -1,0 +1,60 @@
+//===- tests/corpus_test.cpp - Witness-corpus regression replay -----------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Replays every committed witness under tests/corpus/ through the full
+/// engine matrix (all DoubleChecker configs, Velodrome, the vector-clock
+/// engine) and the ground-truth oracle on every CTest run. The corpus holds
+/// (program, schedule) shapes with history — pairs that once exposed a
+/// divergence (e.g. the injected unsound ICD filter) or that pin down an
+/// agreed verdict — so any engine change that breaks agreement on them
+/// fails here with the exact witness file to replay by hand:
+///
+///   dcfuzz --replay tests/corpus/<name>.witness
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/FuzzLib.h"
+
+using namespace dc;
+
+namespace {
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(DC_CORPUS_DIR))
+    if (Entry.is_regular_file() &&
+        Entry.path().extension() == ".witness")
+      Files.push_back(Entry.path().string());
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}
+
+TEST(WitnessCorpus, HasCommittedWitnesses) {
+  EXPECT_GE(corpusFiles().size(), 3u)
+      << "the committed corpus under " << DC_CORPUS_DIR << " went missing";
+}
+
+TEST(WitnessCorpus, EveryWitnessReplaysClean) {
+  for (const std::string &Path : corpusFiles()) {
+    SCOPED_TRACE(Path);
+    fuzz::Witness W;
+    std::string Error;
+    ASSERT_TRUE(fuzz::readWitness(Path, W, Error)) << Error;
+    std::optional<std::string> Divergence = fuzz::replayWitness(W);
+    EXPECT_FALSE(Divergence.has_value())
+        << "corpus witness diverged: " << *Divergence;
+  }
+}
+
+} // namespace

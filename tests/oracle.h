@@ -1,98 +1,17 @@
-//===- tests/oracle.h - Ground-truth serializability oracle -----*- C++ -*-===//
+//===- tests/oracle.h - Shim over support/Oracle.h --------------*- C++ -*-===//
 //
 // Part of the DoubleChecker reproduction. MIT license.
 //
-//===----------------------------------------------------------------------===//
-///
-/// \file
-/// A brute-force ground-truth oracle for the schedule fuzzer: record the
-/// exact sequence of transaction-demarcation and shared-access events one
-/// deterministic execution performs, then decide conflict-serializability
-/// of that trace *offline* — build the full precise dependence graph
-/// (Velodrome Fig. 5 rules: write→read, write→write, read→write conflict
-/// edges across threads, program-order edges within a thread, unary spans
-/// between regular transactions that split at incoming/outgoing cross
-/// edges) and cycle-check it with one final SCC pass. The decision shares
-/// no code with ICD, PCD, or the online Velodrome baseline: no Octet
-/// states, no SCC filtering, no log replay, no garbage collection — every
-/// node and edge is kept, so the verdict is exact for any trace small
-/// enough to hold in memory (the fuzzer stays ≤ ~40 shared accesses).
-///
-/// "Conflict-serializability" here is at the same abstraction level the
-/// checkers use: synchronization operations count as reads (acquire-like)
-/// and writes (release-like) of the object's sync slot, per the paper §4.
-///
-/// Declarations only; tests/oracle.inc defines them. Compile oracle.inc
-/// into exactly one translation unit per binary (dc_fuzzlib does this for
-/// dcfuzz and the fuzz tests).
-///
+// The oracle used to live here as a header + include-twice .inc pair; it is
+// now the dc_oracle library (src/support/Oracle.{h,cpp}) shared by dcfuzz,
+// the property tests, and the engine-agreement tests. This shim keeps the
+// historical include path working.
+//
 //===----------------------------------------------------------------------===//
 
 #ifndef DC_TESTS_ORACLE_H
 #define DC_TESTS_ORACLE_H
 
-#include <set>
-#include <string>
-#include <vector>
-
-#include "core/AtomicitySpec.h"
-#include "ir/Ir.h"
-#include "rt/Runtime.h"
-
-namespace dc {
-namespace oracle {
-
-/// One recorded event, in global gate order.
-struct TraceEvent {
-  enum class Kind : uint8_t {
-    ThreadStart,
-    ThreadEnd,
-    TxBegin,
-    TxEnd,
-    Access,
-  };
-  Kind K = Kind::Access;
-  uint32_t Tid = 0;
-  ir::MethodId Site = ir::InvalidMethodId; ///< TxBegin: source method id.
-  rt::FieldAddr Addr = 0;                  ///< Access: field or sync slot.
-  bool IsWrite = false;
-  bool IsSync = false;
-};
-
-/// One recorded deterministic execution.
-struct RecordedTrace {
-  std::vector<TraceEvent> Events;
-  /// Thread id admitted at each gate decision — replayable through
-  /// RunOptions::ExplicitSchedule.
-  std::vector<uint32_t> Schedule;
-  rt::RunResult Result;
-  /// Shared *data* accesses recorded (excludes sync-slot events) — the
-  /// witness-size metric.
-  uint64_t dataAccesses() const;
-};
-
-/// Executes \p Source (compiled with transaction demarcation and Velodrome
-/// barrier flags, but no checker analysis) under \p RO and records the
-/// event trace plus the schedule actually taken. \p RO must request
-/// deterministic mode; ScheduleOut is managed internally.
-RecordedTrace recordTrace(const ir::Program &Source,
-                          const core::AtomicitySpec &Spec, rt::RunOptions RO);
-
-/// The oracle's answer.
-struct OracleVerdict {
-  bool Serializable = true;
-  /// Source method names of regular transactions on dependence cycles —
-  /// the superset any precise checker's blame must come from.
-  std::set<std::string> CycleMethods;
-  uint64_t Nodes = 0;
-  uint64_t ConflictEdges = 0;
-};
-
-/// Decides conflict-serializability of \p Trace exactly (see file comment).
-OracleVerdict decideSerializability(const ir::Program &Source,
-                                    const RecordedTrace &Trace);
-
-} // namespace oracle
-} // namespace dc
+#include "support/Oracle.h"
 
 #endif // DC_TESTS_ORACLE_H

@@ -16,6 +16,11 @@
 ///  3. *No false positives*: programs whose shared accesses are all
 ///     two-phase-locked under one global lock are serializable by
 ///     construction; no checker may report anything, on any schedule.
+///  4. *Engine agreement*: on one recorded schedule, all three engines
+///     (single-run DoubleChecker, Velodrome, the vector-clock engine) must
+///     match the ground-truth oracle's serializability verdict; the two
+///     graph engines must blame identically, and the vector-clock engine's
+///     closing-edge blame must fall inside the oracle's cycle methods.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,6 +29,7 @@
 #include "core/Checker.h"
 #include "core/Refinement.h"
 #include "ir/Builder.h"
+#include "support/Oracle.h"
 #include "support/Rng.h"
 
 using namespace dc;
@@ -32,78 +38,10 @@ using namespace dc::ir;
 
 namespace {
 
-/// Random mix of racy read-modify-writes, correctly locked updates,
-/// unlocked readers, and thread-local churn.
-Program randomProgram(uint64_t Seed, bool SerializableOnly) {
-  SplitMix64 Rng(Seed * 2654435761u + 1);
-  ProgramBuilder B("prop" + std::to_string(Seed), Seed);
-  const uint32_t Workers = 2 + Rng.nextBelow(2);
-  PoolId Shared = B.addPool("shared", 4, 2);
-  PoolId Lock = B.addPool("lock", 1, 1);
-  PoolId Local = B.addPool("local", Workers + 1, 4);
-
-  std::vector<MethodId> Methods;
-  const uint32_t NumMethods = 3 + Rng.nextBelow(3);
-  for (uint32_t M = 0; M < NumMethods; ++M) {
-    std::string Name = "op" + std::to_string(M);
-    uint32_t Kind = SerializableOnly ? 1 + Rng.nextBelow(2) * 2
-                                     : Rng.nextBelow(4);
-    switch (Kind) {
-    case 0: // Racy read-modify-write (potential violation).
-      Methods.push_back(B.beginMethod(Name, true)
-                            .read(Shared, idxParam(1, 0, 4), 0u)
-                            .work(2 + Rng.nextBelow(6))
-                            .write(Shared, idxParam(1, 0, 4), 0u)
-                            .endMethod());
-      break;
-    case 1: // Two-phase locked update under the global lock.
-      Methods.push_back(B.beginMethod(Name, true)
-                            .acquire(Lock, idxConst(0))
-                            .read(Shared, idxParam(1, 0, 4), 0u)
-                            .write(Shared, idxParam(1, 0, 4), 0u)
-                            .read(Shared, idxParam(1, 1, 4), 1u)
-                            .write(Shared, idxParam(1, 1, 4), 1u)
-                            .release(Lock, idxConst(0))
-                            .endMethod());
-      break;
-    case 2: // Unlocked multi-read (racy against writers).
-      Methods.push_back(B.beginMethod(Name, true)
-                            .read(Shared, idxParam(1, 0, 4), 0u)
-                            .work(1 + Rng.nextBelow(4))
-                            .read(Shared, idxParam(1, 1, 4), 0u)
-                            .endMethod());
-      break;
-    default: // Thread-local churn.
-      Methods.push_back(B.beginMethod(Name, true)
-                            .beginLoop(idxConst(4 + Rng.nextBelow(8)))
-                            .read(Local, idxThread(), idxRandom(4))
-                            .write(Local, idxThread(), idxRandom(4))
-                            .endLoop()
-                            .endMethod());
-      break;
-    }
-  }
-  // In serializable mode, kind 2 (unlocked reads) was remapped to kinds
-  // {1,3} above, so every shared access holds the global lock.
-
-  auto &Worker = B.beginMethod("worker", false)
-                     .beginLoop(idxConst(30 + Rng.nextBelow(30)));
-  for (uint32_t C = 0; C < 3; ++C)
-    Worker.call(Methods[Rng.nextBelow(Methods.size())], idxRandom(4));
-  Worker.endLoop();
-  MethodId WorkerId = Worker.endMethod();
-
-  auto &Main = B.beginMethod("main", false);
-  for (uint32_t W = 1; W <= Workers; ++W)
-    Main.forkThread(idxConst(W));
-  for (uint32_t W = 1; W <= Workers; ++W)
-    Main.joinThread(idxConst(W));
-  MethodId MainId = Main.endMethod();
-  B.addThread(MainId);
-  for (uint32_t W = 0; W < Workers; ++W)
-    B.addThread(WorkerId);
-  return B.build();
-}
+// Random mix of racy read-modify-writes, correctly locked updates,
+// unlocked readers, and thread-local churn — shared with other harnesses
+// that generate the same program family.
+#include "tests/prop_gen.inc"
 
 RunConfig detCfg(Mode M, uint64_t ScheduleSeed) {
   RunConfig Cfg;
@@ -170,11 +108,72 @@ TEST_P(SerializableProperty, NoCheckerReportsOnTwoPhaseLockedPrograms) {
     RunOutcome Velo = runChecker(P, Spec, detCfg(Mode::Velodrome, Schedule));
     EXPECT_TRUE(Velo.Violations.empty())
         << "Velodrome false positive, seed " << GetParam();
+    RunOutcome Vc = runChecker(P, Spec, detCfg(Mode::VectorClock, Schedule));
+    EXPECT_TRUE(Vc.Violations.empty())
+        << "vector-clock false positive, seed " << GetParam();
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomPrograms, SerializableProperty,
                          ::testing::Range<uint64_t>(100, 110));
+
+class EngineAgreementProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineAgreementProperty, ThreeEnginesMatchOracleOnOneSchedule) {
+  // All checker modes compile to the same instruction stream (only barrier
+  // flags differ), so a schedule the oracle records replays exactly in
+  // every engine — HardError below turns any accidental divergence into a
+  // test failure rather than a silent re-randomization.
+  Program P = randomProgram(GetParam(), /*SerializableOnly=*/false);
+  AtomicitySpec Spec = AtomicitySpec::initial(P);
+  for (uint64_t Schedule = 0; Schedule < 2; ++Schedule) {
+    rt::RunOptions RO;
+    RO.Deterministic = true;
+    RO.ScheduleSeed = Schedule;
+    oracle::RecordedTrace Trace = oracle::recordTrace(P, Spec, RO);
+    ASSERT_FALSE(Trace.Result.Aborted);
+    oracle::OracleVerdict Truth = oracle::decideSerializability(P, Trace);
+
+    auto Replay = [&](Mode M) {
+      RunConfig Cfg = detCfg(M, Schedule);
+      Cfg.RunOpts.ExplicitSchedule = Trace.Schedule;
+      Cfg.RunOpts.OnScheduleExhausted =
+          rt::ScheduleExhaustPolicy::HardError;
+      return runChecker(P, Spec, Cfg);
+    };
+    RunOutcome DC = Replay(Mode::SingleRun);
+    RunOutcome Velo = Replay(Mode::Velodrome);
+    RunOutcome Vc = Replay(Mode::VectorClock);
+    for (const RunOutcome *O : {&DC, &Velo, &Vc}) {
+      ASSERT_FALSE(O->Result.Aborted);
+      ASSERT_FALSE(O->Result.ScheduleDiverged);
+    }
+
+    // Verdict: every engine agrees with the oracle.
+    EXPECT_EQ(!DC.Violations.empty(), !Truth.Serializable)
+        << "single-run vs oracle, program seed " << GetParam()
+        << ", schedule " << Schedule;
+    EXPECT_EQ(!Velo.Violations.empty(), !Truth.Serializable)
+        << "velodrome vs oracle, program seed " << GetParam()
+        << ", schedule " << Schedule;
+    EXPECT_EQ(!Vc.Violations.empty(), !Truth.Serializable)
+        << "vc vs oracle, program seed " << GetParam() << ", schedule "
+        << Schedule;
+
+    // Blame: the graph engines scan whole cycles and must agree exactly;
+    // the vector-clock engine blames per closing edge — legitimately
+    // coarser (DESIGN.md §14), but never outside the oracle's cycle.
+    EXPECT_EQ(DC.BlamedMethods, Velo.BlamedMethods)
+        << "program seed " << GetParam() << ", schedule " << Schedule;
+    for (const std::string &Name : Vc.BlamedMethods)
+      EXPECT_TRUE(Truth.CycleMethods.count(Name))
+          << "vc blamed '" << Name << "' outside the oracle cycle, "
+          << "program seed " << GetParam() << ", schedule " << Schedule;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, EngineAgreementProperty,
+                         ::testing::Range<uint64_t>(400, 412));
 
 class MultiRunProperty : public ::testing::TestWithParam<uint64_t> {};
 

@@ -1,0 +1,423 @@
+//===- tests/vc_test.cpp - Vector-clock engine unit tests -----------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit tests for the vector-clock atomicity engine (DESIGN.md §14): the
+/// clock representation's epoch/spill fast paths, transaction-boundary
+/// sequence advance, the push-based propagation that keeps late-arriving
+/// edges exact, the collector's root discipline, and a free-running
+/// OS-thread stress that gives TSan real concurrency to bite on.
+///
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ir/Builder.h"
+#include "rt/Runtime.h"
+#include "vc/VectorClock.h"
+#include "vc/VectorClockChecker.h"
+
+using namespace dc;
+using namespace dc::vc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// VectorClock representation
+//===----------------------------------------------------------------------===//
+
+TEST(VcClock, SetAndGetRoundTrip) {
+  VectorClock C(4);
+  EXPECT_EQ(C.width(), 4u);
+  for (uint32_t T = 0; T < 4; ++T)
+    EXPECT_EQ(C.get(T), 0u);
+  C.set(2, 7);
+  EXPECT_EQ(C.get(2), 7u);
+  EXPECT_TRUE(C.isEpoch()) << "one nonzero entry is an epoch";
+  C.set(0, 3);
+  EXPECT_EQ(C.get(0), 3u);
+  EXPECT_FALSE(C.isEpoch()) << "two nonzero entries cannot be an epoch";
+}
+
+TEST(VcClock, EpochJoinFastPathGrowsOneSlot) {
+  VectorClock Src(4), Dst(4);
+  Src.set(1, 5); // Epoch 5@1.
+  ASSERT_TRUE(Src.isEpoch());
+  EXPECT_TRUE(Dst.joinFrom(Src));
+  EXPECT_EQ(Dst.get(1), 5u);
+  // Same join again: nothing grows.
+  EXPECT_FALSE(Dst.joinFrom(Src));
+  // A stale epoch (lower sequence) never shrinks the target.
+  VectorClock Old(4);
+  Old.set(1, 2);
+  EXPECT_FALSE(Dst.joinFrom(Old));
+  EXPECT_EQ(Dst.get(1), 5u);
+}
+
+TEST(VcClock, WideJoinIsSlotwiseMax) {
+  VectorClock A(4), B(4);
+  A.set(0, 4);
+  A.set(1, 1);
+  B.set(1, 6);
+  B.set(2, 2);
+  EXPECT_TRUE(A.joinFrom(B));
+  EXPECT_EQ(A.get(0), 4u);
+  EXPECT_EQ(A.get(1), 6u);
+  EXPECT_EQ(A.get(2), 2u);
+  EXPECT_EQ(A.get(3), 0u);
+  // B already dominated by A on every slot it holds: no growth.
+  EXPECT_FALSE(A.joinFrom(B));
+}
+
+TEST(VcClock, JoinFromEmptyIsNoop) {
+  VectorClock A(4), Empty(4);
+  A.set(3, 9);
+  EXPECT_FALSE(A.joinFrom(Empty));
+  EXPECT_EQ(A.get(3), 9u);
+}
+
+TEST(VcClock, SpillBeyondInlineSlots) {
+  const uint32_t Wide = VectorClock::InlineSlots * 4; // Forces heap spill.
+  VectorClock A(Wide), B(Wide);
+  A.set(0, 1);
+  A.set(Wide - 1, 11);
+  B.set(VectorClock::InlineSlots + 1, 5);
+  ASSERT_TRUE(B.isEpoch());
+  EXPECT_TRUE(A.joinFrom(B)) << "epoch fast path must work on spilled clocks";
+  EXPECT_EQ(A.get(VectorClock::InlineSlots + 1), 5u);
+  EXPECT_EQ(A.get(Wide - 1), 11u);
+  VectorClock C(Wide);
+  EXPECT_TRUE(C.joinFrom(A));
+  EXPECT_TRUE(C == A);
+}
+
+TEST(VcClock, EqualityComparesAllSlots) {
+  VectorClock A(3), B(3);
+  EXPECT_TRUE(A == B);
+  A.set(1, 2);
+  EXPECT_FALSE(A == B);
+  B.set(1, 2);
+  EXPECT_TRUE(A == B);
+}
+
+//===----------------------------------------------------------------------===//
+// Engine scenarios (direct hook driving, same harness shape as
+// velodrome_test.cpp — the two engines must behave alike on these)
+//===----------------------------------------------------------------------===//
+
+ir::Program scenarioProgram(uint32_t Threads = 2) {
+  ir::ProgramBuilder B("vc");
+  B.addPool("objs", 8, 2);
+  ir::MethodId M1 = B.beginMethod("m1", true).work(1).endMethod();
+  ir::MethodId M2 = B.beginMethod("m2", true).work(1).endMethod();
+  ir::MethodId M3 = B.beginMethod("m3", true).work(1).endMethod();
+  (void)M1;
+  (void)M2;
+  (void)M3;
+  ir::MethodId Main = B.beginMethod("main", false).work(1).endMethod();
+  for (uint32_t T = 0; T < Threads; ++T)
+    B.addThread(Main);
+  return B.build();
+}
+
+class VcScenario : public ::testing::Test {
+protected:
+  VcScenario() : P(scenarioProgram(3)) {}
+
+  void start(VectorClockOptions Opts = VectorClockOptions()) {
+    Opts.RemoteMissPenalty = 0; // Not under test here.
+    VC = std::make_unique<VectorClockRuntime>(P, Opts, Violations, Stats);
+    RT = std::make_unique<rt::Runtime>(P, VC.get());
+    VC->beginRun(*RT);
+    for (uint32_t T = 0; T < 3; ++T) {
+      Tc[T].Tid = T;
+      Tc[T].RT = RT.get();
+      Tc[T].Checker = VC.get();
+      VC->threadStarted(Tc[T]);
+    }
+  }
+
+  void finish() {
+    for (uint32_t T = 0; T < 3; ++T)
+      VC->threadExiting(Tc[T]);
+    VC->endRun(*RT);
+  }
+
+  void access(uint32_t Tid, rt::ObjectId Obj, uint32_t Field, bool IsWrite) {
+    rt::AccessInfo Info;
+    Info.Obj = Obj;
+    Info.Addr = RT->heap().fieldAddr(Obj, Field);
+    Info.IsWrite = IsWrite;
+    Info.Flags = ir::IF_VelodromeBarrier;
+    VC->instrumentedAccess(Tc[Tid], Info, [] {});
+  }
+
+  void begin(uint32_t Tid, const char *M) {
+    VC->txBegin(Tc[Tid], P.Methods[P.findMethod(M)]);
+  }
+  void end(uint32_t Tid, const char *M) {
+    VC->txEnd(Tc[Tid], P.Methods[P.findMethod(M)]);
+  }
+
+  ir::Program P;
+  StatisticRegistry Stats;
+  analysis::ViolationLog Violations;
+  std::unique_ptr<VectorClockRuntime> VC;
+  std::unique_ptr<rt::Runtime> RT;
+  rt::ThreadContext Tc[3];
+};
+
+TEST_F(VcScenario, DetectsInterleavedRmwCycle) {
+  start();
+  begin(0, "m1");
+  begin(1, "m2");
+  access(0, 0, 0, false); // T0 rd f.
+  access(1, 0, 0, false); // T1 rd f.
+  access(1, 0, 0, true);  // T1 wr f: edge m1 -> m2 (rd-wr).
+  access(0, 0, 0, true);  // T0 wr f: edge m2 -> m1 => cycle.
+  end(1, "m2");
+  end(0, "m1");
+  finish();
+  EXPECT_GE(Violations.count(), 1u);
+  EXPECT_GE(Stats.value("vc.violations"), 1u);
+}
+
+TEST_F(VcScenario, OneDirectionalDependenceIsClean) {
+  start();
+  begin(0, "m1");
+  access(0, 0, 0, true);
+  end(0, "m1");
+  begin(1, "m2");
+  access(1, 0, 0, false);
+  end(1, "m2");
+  finish();
+  EXPECT_EQ(Violations.count(), 0u);
+  EXPECT_GE(Stats.value("vc.cross_edges"), 1u);
+}
+
+TEST_F(VcScenario, BlameFallsOnClosingEdge) {
+  start();
+  begin(0, "m1");
+  begin(1, "m2");
+  access(0, 0, 0, false);
+  access(1, 0, 0, true); // m1 -> m2.
+  access(0, 0, 0, true); // m2 -> m1 closes the cycle inside m1's access.
+  end(1, "m2");
+  end(0, "m1");
+  finish();
+  ASSERT_GE(Violations.count(), 1u);
+  auto Blamed = Violations.blamedMethods();
+  // The closing edge targets m1 (the accessing transaction) — both
+  // endpoints sit on the cycle, so either way blame stays inside it.
+  EXPECT_TRUE(Blamed.count(P.findMethod("m1")) ||
+              Blamed.count(P.findMethod("m2")));
+}
+
+TEST_F(VcScenario, TransactionBoundaryAdvancesSequence) {
+  start();
+  const uint64_t N = 5;
+  for (uint64_t I = 0; I < N; ++I) {
+    begin(0, "m1");
+    access(0, 1, 0, true);
+    end(0, "m1");
+  }
+  finish();
+  // Exact accounting: one unary transaction per threadStarted (3), then a
+  // regular + a unary per begin/end pair. Nothing is double-counted and no
+  // boundary is merged away — each boundary advances the thread sequence.
+  EXPECT_EQ(Stats.value("vc.txs"), 3u + 2 * N);
+  EXPECT_EQ(Stats.value("vc.accesses"), N);
+  EXPECT_EQ(Violations.count(), 0u);
+}
+
+TEST_F(VcScenario, ReentrantTxBeginStartsFreshTransaction) {
+  // The runtime flattens reentrant atomic calls: an inner txBegin retires
+  // the outer transaction (same demarcation the graph engines use). The
+  // engine must neither crash nor leak a violation out of the harmless
+  // sequence below.
+  start();
+  begin(0, "m1");
+  access(0, 0, 0, true);
+  begin(0, "m2"); // Reentrant begin without an end(m1).
+  access(0, 0, 0, true);
+  end(0, "m2");
+  end(0, "m1"); // Unbalanced end degrades to a unary boundary.
+  finish();
+  EXPECT_EQ(Violations.count(), 0u);
+  // threadStarted x3 + m1 + m2 + two unary spans from the two ends.
+  EXPECT_EQ(Stats.value("vc.txs"), 3u + 4u);
+}
+
+TEST_F(VcScenario, RepeatedAccessSkipsMetadataUpdate) {
+  start();
+  begin(0, "m1");
+  access(0, 0, 0, true);
+  for (int I = 0; I < 10; ++I)
+    access(0, 0, 0, true); // Already last writer: no metadata change.
+  end(0, "m1");
+  finish();
+  EXPECT_EQ(Stats.value("vc.accesses"), 11u);
+  EXPECT_EQ(Stats.value("vc.cross_edges"), 0u);
+}
+
+TEST_F(VcScenario, LateEdgeCycleNeedsPropagation) {
+  // The schedule that separates push-based propagation from naive eager
+  // joins: the edge C->A arrives after A->B already exists, so B only
+  // learns of C through A pushing its grown clock to subscribers. The
+  // closing edge B->C then must see C in B's clock.
+  start();
+  begin(0, "m1"); // A
+  begin(1, "m2"); // B
+  begin(2, "m3"); // C
+  access(0, 0, 0, true);  // A wr f0.
+  access(1, 0, 0, false); // B rd f0: edge A->B.
+  access(2, 1, 0, true);  // C wr f1.
+  access(0, 1, 0, false); // A rd f1: edge C->A (late in-edge; propagates
+                          // C's knowledge through A to B).
+  access(1, 2, 0, true);  // B wr f2.
+  access(2, 2, 0, false); // C rd f2: edge B->C closes C->A->B->C.
+  end(0, "m1");
+  end(1, "m2");
+  end(2, "m3");
+  finish();
+  EXPECT_GE(Violations.count(), 1u)
+      << "cycle only detectable through clock propagation";
+  EXPECT_GE(Stats.value("vc.propagations"), 1u);
+}
+
+TEST_F(VcScenario, CollectorReclaimsOldTransactions) {
+  VectorClockOptions Opts;
+  Opts.CollectEveryTx = 4;
+  start(Opts);
+  for (int I = 0; I < 40; ++I) {
+    begin(0, "m1");
+    access(0, 1, 0, true);
+    end(0, "m1");
+  }
+  finish();
+  EXPECT_GT(Stats.value("vc.collector_runs"), 0u);
+  EXPECT_GT(Stats.value("vc.txs_swept"), 10u);
+}
+
+TEST_F(VcScenario, MetadataRootsSurviveCollection) {
+  // The last writer must never be swept while field metadata can still
+  // source an edge from it: write once, churn transactions through many
+  // collections, then read from another thread — the edge must appear.
+  VectorClockOptions Opts;
+  Opts.CollectEveryTx = 2;
+  start(Opts);
+  begin(0, "m1");
+  access(0, 0, 0, true);
+  end(0, "m1");
+  for (int I = 0; I < 20; ++I) {
+    begin(0, "m2");
+    end(0, "m2"); // Churn to force collections.
+  }
+  begin(1, "m2");
+  access(1, 0, 0, false); // Must find the (uncollected) last writer.
+  end(1, "m2");
+  finish();
+  EXPECT_GE(Stats.value("vc.cross_edges"), 1u);
+}
+
+TEST_F(VcScenario, SyncOpsTrackedAsAccesses) {
+  start();
+  begin(0, "m1");
+  rt::AccessInfo Info;
+  Info.Obj = 0;
+  Info.Addr = RT->heap().syncAddr(0);
+  Info.IsWrite = true; // Release-like.
+  Info.IsSync = true;
+  Info.Flags = ir::IF_VelodromeBarrier;
+  VC->syncOp(Tc[0], Info, rt::SyncKind::MonitorExit);
+  end(0, "m1");
+  begin(1, "m2");
+  Info.IsWrite = false; // Acquire-like.
+  VC->syncOp(Tc[1], Info, rt::SyncKind::MonitorEnter);
+  end(1, "m2");
+  finish();
+  EXPECT_GE(Stats.value("vc.cross_edges"), 1u)
+      << "release-acquire must create a dependence edge";
+}
+
+TEST_F(VcScenario, DetectCyclesOffStillTracksClocks) {
+  VectorClockOptions Opts;
+  Opts.DetectCycles = false;
+  start(Opts);
+  begin(0, "m1");
+  begin(1, "m2");
+  access(0, 0, 0, false);
+  access(1, 0, 0, true);
+  access(0, 0, 0, true); // Would close a cycle with detection on.
+  end(1, "m2");
+  end(0, "m1");
+  finish();
+  EXPECT_EQ(Violations.count(), 0u);
+  EXPECT_GE(Stats.value("vc.cross_edges"), 2u)
+      << "edge tracking continues with the check disabled";
+}
+
+//===----------------------------------------------------------------------===//
+// Free-running stress (the TSan target: real threads, real interleavings)
+//===----------------------------------------------------------------------===//
+
+TEST(VcStress, ConcurrentHookDrivingIsRaceFree) {
+  const uint32_t NumThreads = 4;
+  const int TxPerThread = 400;
+  ir::Program P = scenarioProgram(NumThreads);
+  StatisticRegistry Stats;
+  analysis::ViolationLog Violations;
+  VectorClockOptions Opts;
+  Opts.RemoteMissPenalty = 0;
+  Opts.CollectEveryTx = 64; // Collect often: sweeps race against accesses.
+  auto VC =
+      std::make_unique<VectorClockRuntime>(P, Opts, Violations, Stats);
+  rt::Runtime RT(P, VC.get());
+  VC->beginRun(RT);
+
+  std::vector<rt::ThreadContext> Tc(NumThreads);
+  std::vector<std::thread> Workers;
+  const ir::Method &M1 = P.Methods[P.findMethod("m1")];
+  for (uint32_t T = 0; T < NumThreads; ++T) {
+    Tc[T].Tid = T;
+    Tc[T].RT = &RT;
+    Tc[T].Checker = VC.get();
+    Workers.emplace_back([&, T] {
+      VC->threadStarted(Tc[T]);
+      uint64_t State = T * 7919 + 13;
+      for (int I = 0; I < TxPerThread; ++I) {
+        VC->txBegin(Tc[T], M1);
+        for (int A = 0; A < 3; ++A) {
+          State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+          rt::AccessInfo Info;
+          // Mostly thread-private with a shared object mixed in, so the
+          // stress exercises conflict edges, propagation, and collection
+          // concurrently.
+          Info.Obj = (State >> 33) % 4 == 0
+                         ? static_cast<rt::ObjectId>((State >> 17) % 2)
+                         : static_cast<rt::ObjectId>(4 + T);
+          Info.Addr = RT.heap().fieldAddr(Info.Obj, (State >> 9) % 2);
+          Info.IsWrite = (State >> 5) % 2 == 0;
+          Info.Flags = ir::IF_VelodromeBarrier;
+          VC->instrumentedAccess(Tc[T], Info, [] {});
+        }
+        VC->txEnd(Tc[T], M1);
+      }
+      VC->threadExiting(Tc[T]);
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+  VC->endRun(RT);
+
+  EXPECT_EQ(Stats.value("vc.accesses"),
+            static_cast<uint64_t>(NumThreads) * TxPerThread * 3);
+  EXPECT_GT(Stats.value("vc.collector_runs"), 0u);
+}
+
+} // namespace

@@ -18,10 +18,6 @@
 #include "rt/Scheduler.h"
 #include "support/Rng.h"
 
-// The oracle is header + .inc by design (it lives with the tests); this TU
-// is its single definition site for every binary linking dc_fuzzlib.
-#include "tests/oracle.inc"
-
 using namespace dc;
 using namespace dc::fuzz;
 
@@ -317,6 +313,39 @@ PairResult fuzz::checkPair(const ir::Program &Source,
       return R;
   }
 
+  // Vector-clock engine (DESIGN.md §14): the third independent backend. Its
+  // verdict must match the oracle (and hence every other config) exactly.
+  // Blame is checked for oracle-subset only: the engine sees just the
+  // closing edge of each cycle, so its blamed set legitimately differs from
+  // the graph engines' whole-cycle blame scan.
+  {
+    core::RunConfig Cfg;
+    Cfg.M = core::Mode::VectorClock;
+    Cfg.RunOpts = replayOpts(Trace.Schedule);
+    core::RunOutcome O = core::runChecker(Source, Spec, Cfg);
+    if (O.Result.ScheduleDiverged) {
+      Fail("vc: recorded schedule did not replay (gate divergence)");
+      return R;
+    }
+    if (O.Result.Aborted) {
+      Fail("vc: replay aborted");
+      return R;
+    }
+    ConfigOutcome C{"vc", O.BlamedMethods, !O.Violations.empty()};
+    Outcomes.push_back(C);
+    if (C.Records != !V.Serializable) {
+      Fail("vc" + std::string(C.Records
+                                  ? ": reports a violation on a serializable "
+                                    "trace"
+                                  : ": misses a violation the oracle proves"));
+      return R;
+    }
+    if (!isSubset(C.Blamed, V.CycleMethods)) {
+      Fail("vc: blames methods outside the oracle's dependence cycles");
+      return R;
+    }
+  }
+
   // Multi-run DoubleChecker: first run (ICD only, same schedule) feeding
   // the second run's selective instrumentation, replayed on the same
   // schedule again.
@@ -371,6 +400,8 @@ std::string FaultCase::name() const {
     N += " arena-log";
   else if (LogTransport == Transport::Legacy)
     N += " legacy-log";
+  if (Eng == Engine::Vc)
+    N += " engine=vc";
   return N + "]";
 }
 
@@ -471,6 +502,15 @@ std::vector<FaultCase> fuzz::faultSweepCases() {
     C.IcdMaxRegion = 1;
     Cases.push_back(C);
   }
+  // Delayed collector inside the vector-clock engine, under an aggressive
+  // collect cadence (every 4 finished transactions): mark-sweep over live
+  // subscription lists must not change the verdict or blame.
+  {
+    FaultCase C;
+    C.Plan.CollectorDelayMs = 5;
+    C.Eng = FaultCase::Engine::Vc;
+    Cases.push_back(C);
+  }
   return Cases;
 }
 
@@ -487,7 +527,8 @@ fuzz::checkFaultCase(const ir::Program &Source,
   // soundness bar for a degraded run is "reports at least what the
   // healthy checker reports", not "reports every oracle cycle method".
   core::RunConfig Base;
-  Base.M = core::Mode::SingleRun;
+  Base.M = Case.Eng == FaultCase::Engine::Vc ? core::Mode::VectorClock
+                                             : core::Mode::SingleRun;
   Base.RunOpts = replayOpts(Trace.Schedule);
   core::RunOutcome BO = core::runChecker(Source, Spec, Base);
   if (BO.Result.ScheduleDiverged || BO.Result.Aborted)
@@ -495,14 +536,20 @@ fuzz::checkFaultCase(const ir::Program &Source,
 
   core::RunConfig Cfg = Base;
   Cfg.Faults = Case.Plan;
-  Cfg.ParallelPcd = Case.ParallelPcd;
-  Cfg.PcdQueueDepth = Case.PcdQueueDepth;
-  Cfg.MaxSccTxs = Case.MaxSccTxs;
-  Cfg.PcdTimeoutMs = Case.PcdTimeoutMs;
-  Cfg.BatchedScc = Case.BatchedScc;
-  Cfg.IcdMaxRegion = Case.IcdMaxRegion;
-  Cfg.ThreadArenaLog = Case.LogTransport == FaultCase::Transport::Arena;
-  Cfg.LegacyLog = Case.LogTransport == FaultCase::Transport::Legacy;
+  if (Case.Eng == FaultCase::Engine::Vc) {
+    // Make the collector actually run on tiny fuzz programs so the delay
+    // (and the mark-sweep it delays) is exercised, not just configured.
+    Cfg.VcCollectEveryTx = 4;
+  } else {
+    Cfg.ParallelPcd = Case.ParallelPcd;
+    Cfg.PcdQueueDepth = Case.PcdQueueDepth;
+    Cfg.MaxSccTxs = Case.MaxSccTxs;
+    Cfg.PcdTimeoutMs = Case.PcdTimeoutMs;
+    Cfg.BatchedScc = Case.BatchedScc;
+    Cfg.IcdMaxRegion = Case.IcdMaxRegion;
+    Cfg.ThreadArenaLog = Case.LogTransport == FaultCase::Transport::Arena;
+    Cfg.LegacyLog = Case.LogTransport == FaultCase::Transport::Legacy;
+  }
   core::RunOutcome O = core::runChecker(Source, Spec, Cfg);
   const std::string Name = Case.name();
 
@@ -706,6 +753,8 @@ bool fuzz::writeWitness(const std::string &Path, const Divergence &D,
       Out << "# fault-transport: arena\n";
     else if (D.Fault.LogTransport == FaultCase::Transport::Legacy)
       Out << "# fault-transport: legacy\n";
+    if (D.Fault.Eng == FaultCase::Engine::Vc)
+      Out << "# fault-engine: vc\n";
   }
   Out << "# schedule:";
   for (uint32_t T : D.Schedule)
@@ -779,6 +828,15 @@ bool fuzz::readWitness(const std::string &Path, Witness &W,
         W.Fault.LogTransport = FaultCase::Transport::Legacy;
       else if (T != "ring") {
         Error = "bad '# fault-transport:' value: " + T;
+        return false;
+      }
+    } else if (Tag == "fault-engine:") {
+      std::string E;
+      LS >> E;
+      if (E == "vc")
+        W.Fault.Eng = FaultCase::Engine::Vc;
+      else if (E != "doublechecker") {
+        Error = "bad '# fault-engine:' value: " + E;
         return false;
       }
     }

@@ -16,10 +16,13 @@
 ///   multi-run:  {ShardedIdg, SerializedIdg} ×
 ///               {RingLog, ArenaLog, LegacyLog}
 ///               + sharded/ring/SerialRoundtrips
-///   + batched-Tarjan extras + Velodrome
+///   + batched-Tarjan extras + Velodrome + the vector-clock engine
 ///
-/// — asserting that all twenty-two agree with each other and with the
-/// ground-truth serializability oracle (tests/oracle.h). On divergence, the
+/// — asserting that all twenty-three agree with each other and with the
+/// ground-truth serializability oracle (src/support/Oracle.h). The
+/// vector-clock engine is held to verdict equality plus oracle-subset
+/// blame (its closing-edge blame is legitimately coarser than the graph
+/// engines' cycle scan — DESIGN.md §14). On divergence, the
 /// (program, schedule) witness is delta-debugged down: drop workers, calls,
 /// accesses, and locks while a bounded re-search keeps finding a divergent
 /// schedule for the reduced program. The minimal witness is written as a
@@ -39,7 +42,7 @@
 
 #include "ir/Ir.h"
 #include "support/FaultPlan.h"
-#include "tests/oracle.h"
+#include "support/Oracle.h"
 
 namespace dc {
 namespace fuzz {
@@ -106,6 +109,10 @@ struct FaultCase {
   /// trigger on different sides of the ring (the drain thread's chunk
   /// refill vs. the mutator's), so the sweep pins it explicitly.
   enum class Transport : uint8_t { Ring, Arena, Legacy };
+  /// Checker engine the fault plan is injected into. DoubleChecker cases
+  /// sweep the full plan; VectorClock cases exercise the one fault that
+  /// engine owns (a delayed collector) under an aggressive collect cadence.
+  enum class Engine : uint8_t { DoubleChecker, Vc };
 
   FaultPlan Plan;
   bool ParallelPcd = false;
@@ -120,11 +127,13 @@ struct FaultCase {
   /// force the oversized-region sound-degradation valve.
   uint32_t IcdMaxRegion = 0;
   Transport LogTransport = Transport::Ring;
+  Engine Eng = Engine::DoubleChecker;
 
   bool any() const {
     return Plan.any() || ParallelPcd || PcdQueueDepth != 0 ||
            MaxSccTxs != 0 || PcdTimeoutMs != 0 || BatchedScc ||
-           IcdMaxRegion != 0 || LogTransport != Transport::Ring;
+           IcdMaxRegion != 0 || LogTransport != Transport::Ring ||
+           Eng != Engine::DoubleChecker;
   }
   /// Human-readable label, also used in witness headers.
   std::string name() const;

@@ -46,13 +46,32 @@ echo "== Incremental cycle detection (bounded) =="
 DC_BENCH_SCALE=0.02 DC_BENCH_TRIALS=1 \
   build-ci/bench/cycle_detection build-ci/bench_icd_smoke.json
 
+echo "== Vector-clock engine smoke (engine axis) =="
+# The third backend end-to-end: a clean workload, the paper's outlier with
+# a known violation (expected exit 1), and the generated-from-enum mode
+# listing. The fuzz stages below then sweep the engine through the full
+# differential matrix (the vc config rides in every checkPair) and the
+# vc fault case in every fault sweep.
+build-ci/tools/dcheck --workload philo --scale 0.05 --engine vc --det --seed 3
+set +e
+build-ci/tools/dcheck --workload xalan6 --scale 0.2 --engine vc --det --seed 1 \
+  >/dev/null
+RC=$?
+set -e
+if [ "$RC" -ne 1 ]; then
+  echo "error: vc engine missed the xalan6 violation (exit $RC)"; exit 1
+fi
+build-ci/tools/dcheck --list-modes >/dev/null
+
 echo "== Differential schedule fuzz (bounded) =="
 # Fixed seed set, wall-clock bounded: PCT + bounded-exhaustive schedules on
 # tiny generated programs, every pair swept through the full config matrix
 # against the ground-truth oracle. The matrix includes the Octet protocol
-# axis (pipelined fan-out vs. SerialRoundtrips) and the log-transport axis
-# (ring vs. arena vs. legacy), so every pair also differential-tests the
-# coordination path and the ring publication protocol. DC_FUZZ_BUDGET_SECONDS=600
+# axis (pipelined fan-out vs. SerialRoundtrips), the log-transport axis
+# (ring vs. arena vs. legacy), and the engine axis (DoubleChecker configs +
+# Velodrome + the vector-clock engine), so every pair also
+# differential-tests the coordination path, the ring publication protocol,
+# and all three checking algorithms. DC_FUZZ_BUDGET_SECONDS=600
 # (or more) is the nightly setting; the default keeps the gate fast.
 FUZZ_BUDGET="${DC_FUZZ_BUDGET_SECONDS:-30}"
 build-ci/tools/dcfuzz --seed 1 --budget-seconds "$FUZZ_BUDGET" \
@@ -92,7 +111,7 @@ cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDC_SANITIZE=thread >/dev/null
 cmake --build build-ci-tsan -j "$JOBS" --target idg_stress_test \
   octet_stress_test octet_coord_test log_elision_test log_srcpos_test \
-  ring_log_test fault_injection_test icd_test dcfuzz
+  ring_log_test fault_injection_test icd_test vc_test property_test dcfuzz
 
 echo "== Differential schedule fuzz under TSan (smoke) =="
 # Much slower per pair under TSan; a short fixed-seed slice is enough to
@@ -111,9 +130,13 @@ build-ci-tsan/tools/dcfuzz --seed 7 --pairs 10 --fault-sweep
 # plus the stripe-locality stress test. The Ring suites drive the per-CPU
 # ring transport's wait-free commit / concurrent-drain protocol with real
 # producer threads racing the drainer (wraparound, migration mid-commit,
-# full-ring self-drain) — the prime TSan target this file has.
+# full-ring self-drain) — the prime TSan target this file has. The Vc
+# suites drive the vector-clock engine's hooks from free-running OS
+# threads (per-field spin locks racing the engine lock and the mark-sweep
+# collector), and the three-way EngineAgreement property replays one
+# recorded schedule through all engines under TSan.
 ctest --test-dir build-ci-tsan --output-on-failure \
-  -R "Idg|Octet|ElisionFilter|LogDifferential|SrcPosSampling|FaultInjection|Icd|Ring"
+  -R "Idg|Octet|ElisionFilter|LogDifferential|SrcPosSampling|FaultInjection|Icd|Ring|Vc|EngineAgreement"
 
 echo "== AddressSanitizer build + abort-mid-coordination regression =="
 # The seed's serial protocol could return from an aborted roundtrip while a

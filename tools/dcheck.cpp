@@ -8,13 +8,15 @@
 /// The command-line driver a downstream user runs:
 ///
 ///   dcheck --workload tsp --mode single-run --det --seed 3
-///   dcheck --file prog.dcir --mode velodrome --trials 5
+///   dcheck --file prog.dcir --engine velodrome --trials 5
 ///   dcheck --workload eclipse6 --refine
 ///   dcheck --workload avrora9 --dump-ir > avrora9.dcir
 ///
-/// Modes: unmodified, velodrome, velodrome-unsound, single-run, first-run,
-/// second-run (needs --static-info from a prior first run's --emit-static),
-/// pcd-only, multi-run (first runs + second run in one invocation).
+/// The engine/mode table (--list-modes) is generated from core::allModes()
+/// + core::toString(Mode), so it cannot drift from the enum. "multi-run"
+/// (first runs + second run in one invocation) is the one dcheck-level
+/// pseudo mode on top; second-run needs --static-info from a prior first
+/// run's --emit-static.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -64,7 +66,20 @@ struct CliOptions {
   bool DumpCompiledIr = false;
   bool ShowStats = false;
   bool ListWorkloads = false;
+  bool ListModes = false;
 };
+
+/// The mode list, generated from the enum so it cannot drift ("multi-run"
+/// is dcheck's own composite on top of the core modes).
+std::string modeListString() {
+  std::string Out;
+  for (Mode M : allModes()) {
+    if (!Out.empty())
+      Out += " | ";
+    Out += toString(M);
+  }
+  return Out + " | multi-run";
+}
 
 void printUsage() {
   std::printf(
@@ -77,9 +92,10 @@ void printUsage() {
       "  --list                list built-in workloads and exit\n"
       "\n"
       "checking:\n"
-      "  --mode <m>            unmodified | velodrome | velodrome-unsound |\n"
-      "                        single-run (default) | first-run | second-run\n"
-      "                        | multi-run | pcd-only\n"
+      "  --mode <m>            checker engine/configuration (--list-modes;\n"
+      "                        default single-run)\n"
+      "  --engine <m>          alias for --mode\n"
+      "  --list-modes          list modes (from core::toString) and exit\n"
       "  --det                 deterministic scheduler (replayable)\n"
       "  --seed <n>            schedule seed (default 1)\n"
       "  --sched <s>           random (default) | pct; needs --det\n"
@@ -135,8 +151,10 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.Workload = V;
     else if (Arg == "--file" && Value(V))
       Opts.File = V;
-    else if (Arg == "--mode" && Value(V))
+    else if ((Arg == "--mode" || Arg == "--engine") && Value(V))
       Opts.ModeName = V;
+    else if (Arg == "--list-modes")
+      Opts.ListModes = true;
     else if (Arg == "--scale" && Value(V))
       Opts.Scale = std::atof(V.c_str());
     else if (Arg == "--seed" && Value(V))
@@ -199,9 +217,7 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
 }
 
 bool modeFromName(const std::string &Name, Mode &Out) {
-  for (Mode M : {Mode::Unmodified, Mode::Velodrome, Mode::VelodromeUnsound,
-                 Mode::SingleRun, Mode::FirstRun, Mode::SecondRun,
-                 Mode::SecondRunVelodrome, Mode::PcdOnly})
+  for (Mode M : allModes())
     if (toString(M) == Name) {
       Out = M;
       return true;
@@ -266,6 +282,12 @@ int main(int Argc, char **Argv) {
   if (!parseArgs(Argc, Argv, Opts)) {
     printUsage();
     return 2;
+  }
+  if (Opts.ListModes) {
+    for (Mode M : allModes())
+      std::printf("%s\n", toString(M).c_str());
+    std::printf("multi-run\n"); // dcheck-level composite (first + second).
+    return 0;
   }
   if (Opts.ListWorkloads) {
     for (const workloads::WorkloadInfo &W : workloads::all())
@@ -344,8 +366,8 @@ int main(int Argc, char **Argv) {
   // --- Single configuration. -----------------------------------------------
   Mode M;
   if (!modeFromName(Opts.ModeName, M)) {
-    std::fprintf(stderr, "error: unknown mode '%s'\n",
-                 Opts.ModeName.c_str());
+    std::fprintf(stderr, "error: unknown mode '%s' (expected %s)\n",
+                 Opts.ModeName.c_str(), modeListString().c_str());
     return 2;
   }
 
