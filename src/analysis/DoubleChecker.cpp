@@ -6,6 +6,8 @@
 
 #include "analysis/DoubleChecker.h"
 
+#include "support/ChromeTrace.h"
+
 #include <algorithm>
 #include <cassert>
 #include <chrono>
@@ -215,6 +217,11 @@ public:
       if (std::chrono::steady_clock::now() >= Deadline)
         break;
       S->Idle.wait_for(L, std::chrono::milliseconds(5));
+      // Mid-run callers (window flushes) are gate-admitted program
+      // threads; beat the gate so a slow-but-healthy drain is not
+      // misdiagnosed as a wedged scheduler.
+      if (DC.Dog)
+        DC.Dog->heartbeat(DC.DogGateSlot);
     }
     std::deque<Item> Stolen;
     Stolen.swap(S->Queue);
@@ -226,8 +233,13 @@ public:
     L.lock();
     // Give in-flight replays one more timeout, then give up — the fault
     // is (or will be) recorded; correctness does not depend on them.
-    S->Idle.wait_for(L, std::chrono::milliseconds(StallTimeoutMs),
-                     [this] { return S->Active == 0; });
+    const auto Final = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(StallTimeoutMs);
+    while (S->Active != 0 && std::chrono::steady_clock::now() < Final) {
+      S->Idle.wait_for(L, std::chrono::milliseconds(5));
+      if (DC.Dog)
+        DC.Dog->heartbeat(DC.DogGateSlot);
+    }
   }
 
   /// True once an injected worker stall has actually parked a worker
@@ -545,7 +557,11 @@ void DoubleCheckerRuntime::beginRun(rt::Runtime &RT) {
       !Opts.SerializedIdg && Opts.CollectEveryTx != ~0u;
   const bool WantDrainer =
       Opts.LogAccesses && Transport == LogTransport::Ring;
-  if (WantPool || WantCollector || WantDrainer) {
+  // Streaming mode always arms the watchdog: the window slot is what turns
+  // a wedged flush into a structured WindowFlushStall instead of a stuck
+  // server.
+  const bool WantWindow = Opts.WindowTxs != 0;
+  if (WantPool || WantCollector || WantDrainer || WantWindow) {
     rt::Watchdog::Options WOpts;
     WOpts.TimeoutMs = std::max(1u, Opts.PcdStallTimeoutMs);
     WOpts.PollMs = std::max(1u, Opts.WatchdogPollMs);
@@ -558,6 +574,8 @@ void DoubleCheckerRuntime::beginRun(rt::Runtime &RT) {
       DogCollectorSlot = Dog->addComponent("collector");
     if (WantDrainer)
       DogDrainerSlot = Dog->addComponent("ring-drainer");
+    if (WantWindow)
+      DogWindowSlot = Dog->addComponent("window-flush");
   }
   if (WantPool)
     AsyncPcd = std::make_unique<PcdPool>(*this, *Pcd, Stats, Opts.PcdWorkers,
@@ -712,6 +730,9 @@ void DoubleCheckerRuntime::endRun(rt::Runtime &RT) {
   Stats.get("degradation.sheds")
       .add(Sheds + (Ring ? Ring->shedRefusals() : 0));
   Governor.flush(Stats);
+  if (Opts.WindowTxs != 0)
+    Stats.get("window.flushes_degraded")
+        .add(WindowDegraded.load(std::memory_order_relaxed));
   Stats.get("icd.idg_cross_edges")
       .add(CrossEdges.load(std::memory_order_relaxed));
   Stats.get("icd.sccs").add(SccCount.load(std::memory_order_relaxed));
@@ -1205,9 +1226,18 @@ void DoubleCheckerRuntime::endCurrentTx(uint32_t Tid) {
     executeIcdClaims(Claims);
   } else if (NeedScc)
     pendSccRoot(Cur, Tid);
-  if ((FinishedTxs.fetch_add(1, std::memory_order_relaxed) + 1) %
-          Opts.CollectEveryTx ==
-      0)
+  if (Opts.Trace)
+    Opts.Trace->instant("tx", Cur->Regular ? "tx-end" : "unary-end", Tid,
+                        TraceRecorder::Args().num("id", Cur->Id));
+  const uint64_t Finished =
+      FinishedTxs.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (Opts.WindowTxs != 0 && Finished % Opts.WindowTxs == 0)
+    // Streaming mode: this thread crossed a retirement-window boundary.
+    // Exactly one thread observes each multiple of WindowTxs (fetch_add),
+    // so the boundary election is deterministic per schedule. The flush
+    // subsumes a collection, so the periodic trigger below is skipped.
+    windowFlushNow(Tid);
+  else if (Finished % Opts.CollectEveryTx == 0)
     requestCollect(Tid);
   else if (Opts.CollectEveryTx != ~0u &&
            (Governor.pressure() & PressureLiveTxs) != 0)
@@ -1282,6 +1312,13 @@ void DoubleCheckerRuntime::addCrossEdgeLocked(Transaction *Src,
     }
   }
   CrossEdges.fetch_add(1, std::memory_order_relaxed);
+  if (Opts.Trace)
+    // TraceRecorder's lock is a leaf — safe under the endpoint stripes.
+    Opts.Trace->instant("edge", "cross-edge", Src->Tid,
+                        TraceRecorder::Args()
+                            .num("src", Src->Id)
+                            .num("dst", Dst->Id)
+                            .num("dst_tid", Dst->Tid));
   if (Icd) {
     // The caller holds exactly the two endpoint stripes — the detector
     // adds only its own internal lock, never another stripe. A precise
@@ -1406,6 +1443,11 @@ void DoubleCheckerRuntime::sccPass(uint32_t Holder) {
       if (Last->RootEpoch != Epoch)
         continue;
       SccCount.fetch_add(1, std::memory_order_relaxed);
+      if (Opts.Trace)
+        Opts.Trace->instant("scc", "scc-claim", Last->Tid,
+                            TraceRecorder::Args()
+                                .num("members", Members.size())
+                                .num("stamp", MaxEnd));
       {
         SpinLockGuard Guard(SccStateLock);
         for (Transaction *M : Members) {
@@ -1525,6 +1567,11 @@ void DoubleCheckerRuntime::executeIcdClaims(
       continue;
     }
     SccCount.fetch_add(1, std::memory_order_relaxed);
+    if (Opts.Trace)
+      Opts.Trace->instant("scc", "scc-claim", 0,
+                          TraceRecorder::Args()
+                              .num("members", Members.size())
+                              .num("stamp", MaxEnd));
     if (!Pcd) {
       Unpin(); // First run of multi-run mode: sites were all it wanted.
       continue;
@@ -1853,12 +1900,25 @@ void DoubleCheckerRuntime::collectNow(uint32_t Holder) {
 void DoubleCheckerRuntime::recordFault(rt::CheckerFault F,
                                        std::string Diagnosis) {
   Stats.get("faults.detected").add(1);
-  SpinLockGuard Guard(HealthLock);
-  // First fault wins: the earliest diagnosis names the root cause; later
-  // faults are usually its downstream symptoms.
-  if (Fault == rt::CheckerFault::None) {
-    Fault = F;
-    FaultDiagnosis = std::move(Diagnosis);
+  bool First = false;
+  {
+    SpinLockGuard Guard(HealthLock);
+    // First fault wins: the earliest diagnosis names the root cause; later
+    // faults are usually its downstream symptoms.
+    if (Fault == rt::CheckerFault::None) {
+      Fault = F;
+      FaultDiagnosis = Diagnosis;
+      First = true;
+    }
+  }
+  if (First) {
+    if (Opts.Trace)
+      Opts.Trace->instant("fault", toString(F), 0,
+                          TraceRecorder::Args().str("diagnosis", Diagnosis));
+    // Streaming observer (no checker lock held: the hook may take its
+    // own stream lock and do I/O).
+    if (Opts.FaultHook)
+      Opts.FaultHook(F, Diagnosis);
   }
 }
 
@@ -1876,6 +1936,8 @@ void DoubleCheckerRuntime::beginShed(PerThread &PT, uint32_t Tid,
   Cur->LogShed.store(true, std::memory_order_relaxed);
   recordDegradation({rt::DegradationEvent::Action::ShedLogging, Tid,
                      OrderClock.load(std::memory_order_relaxed)});
+  if (Opts.Trace)
+    Opts.Trace->instant("degrade", "shed-logging", Tid);
 }
 
 void DoubleCheckerRuntime::degradeScc(
@@ -1885,6 +1947,11 @@ void DoubleCheckerRuntime::degradeScc(
   Pcd->reportPotential(Members);
   recordDegradation(
       {rt::DegradationEvent::Action::PotentialOnly, 0, Stamp});
+  if (Opts.Trace)
+    Opts.Trace->instant("degrade", "potential-only", 0,
+                        TraceRecorder::Args()
+                            .num("members", Members.size())
+                            .num("stamp", Stamp));
 }
 
 void DoubleCheckerRuntime::onComponentStall(const std::string &Component,
@@ -1896,12 +1963,14 @@ void DoubleCheckerRuntime::onComponentStall(const std::string &Component,
     F = rt::CheckerFault::CollectorStall;
   else if (Component == "ring-drainer")
     F = rt::CheckerFault::RingDrainStall;
+  else if (Component == "window-flush")
+    F = rt::CheckerFault::WindowFlushStall;
   recordFault(F, Component + " made no progress for " +
                      std::to_string(SilentMs) + " ms");
-  // A stalled PCD worker or collector only delays analysis — the run can
-  // finish and the drains are timed. A stalled gate means no program
-  // thread is retiring instructions: the run itself is wedged, so convert
-  // the hang into a structured abort.
+  // A stalled PCD worker, collector, or window flush only delays analysis
+  // — the run can finish and the drains are timed. A stalled gate means no
+  // program thread is retiring instructions: the run itself is wedged, so
+  // convert the hang into a structured abort.
   if (F == rt::CheckerFault::GateStall && TheRT != nullptr)
     TheRT->requestAbort();
 }
@@ -1922,6 +1991,147 @@ void DoubleCheckerRuntime::reportHealth(rt::RunResult &R) {
                 return static_cast<uint8_t>(A.A) < static_cast<uint8_t>(B.A);
               return A.Tid < B.Tid;
             });
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming service mode: windowed retirement (DESIGN.md §15)
+//===----------------------------------------------------------------------===//
+
+void DoubleCheckerRuntime::fillHealth(rt::HealthSnapshot &H) {
+  H.WindowIndex = Governor.windowsFlushed();
+  H.FinishedTxs = FinishedTxs.load(std::memory_order_relaxed);
+  H.LiveTxs = Governor.liveTxs();
+  H.RetiredTxs = TxsSwept.load(std::memory_order_relaxed);
+  H.PinnedTxs = Governor.windowPinnedLast();
+  H.CrossEdges = CrossEdges.load(std::memory_order_relaxed);
+  H.Violations = Violations.count();
+  {
+    SpinLockGuard Guard(HealthLock);
+    H.Degradations = DegEvents.size();
+    H.Fault = Fault;
+    H.FaultDiagnosis = FaultDiagnosis;
+  }
+  StatisticRegistry::Snapshot Snap = Stats.snapshot();
+  H.StatsStable = Snap.Stable;
+  H.Stats = std::move(Snap.Values);
+}
+
+void DoubleCheckerRuntime::healthSnapshot(rt::HealthSnapshot &H) {
+  fillHealth(H);
+}
+
+bool DoubleCheckerRuntime::windowFlush() {
+  return windowFlushNow(HolderCollector);
+}
+
+bool DoubleCheckerRuntime::windowFlushNow(uint32_t Holder) {
+  // Two threads can cross consecutive boundaries while the first flush is
+  // still draining; serialize whole flushes so the second sees (and
+  // retires) the first's results instead of interleaving with them.
+  std::lock_guard<std::mutex> WindowGuard(WindowMu);
+  const uint64_t Nth =
+      WindowFlushCounter.fetch_add(1, std::memory_order_relaxed) + 1;
+  const uint64_t T0 = Opts.Trace ? Opts.Trace->nowUs() : 0;
+  if (Dog)
+    Dog->beginWork(DogWindowSlot);
+  if (Nth == Opts.Faults.WindowStallAt && Dog) {
+    // Injected wedged flush: park busy-and-silent on the window slot until
+    // the watchdog converts the stall into a structured WindowFlushStall,
+    // then complete the flush normally (faults degrade observability,
+    // never the run). The gate stays beaten — the program is healthy, only
+    // this boundary is stuck — so the fault classification is
+    // deterministic, not a race against GateStall.
+    const auto Deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(2 * std::max(1u, Opts.PcdStallTimeoutMs) +
+                                  50u * std::max(1u, Opts.WatchdogPollMs) +
+                                  200u);
+    for (;;) {
+      {
+        SpinLockGuard Guard(HealthLock);
+        if (Fault != rt::CheckerFault::None)
+          break;
+      }
+      if (std::chrono::steady_clock::now() >= Deadline)
+        break;
+      Dog->heartbeat(DogGateSlot);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  size_t DegBefore;
+  {
+    SpinLockGuard Guard(HealthLock);
+    DegBefore = DegEvents.size();
+  }
+  // Stage 1 — decide everything decidable as of the boundary. Batched mode
+  // claims pending roots now instead of waiting for a full SccBatch;
+  // incremental mode has nothing pending (cycles are claimed at their last
+  // member's retire, so mid-run there is no deferred detection state — and
+  // Icd->finalize must NOT run here, it assumes end-of-run quiescence).
+  if (Icd == nullptr && !PcdOnlyAnalysis && Opts.DetectIcdCycles &&
+      IdgShards != nullptr)
+    sccPass(Holder);
+  if (Dog) {
+    Dog->heartbeat(DogWindowSlot);
+    Dog->heartbeat(DogGateSlot);
+  }
+  // Stage 2 — materialize every published log record, so stage 3's replays
+  // never wait on the drain and the collector's in-flight marks are empty.
+  if (Ring)
+    Ring->drainAll();
+  if (Dog) {
+    Dog->heartbeat(DogWindowSlot);
+    Dog->heartbeat(DogGateSlot);
+  }
+  // Stage 3 — complete in-flight precise replays for cycles wholly inside
+  // the retiring window. A healthy pool drains without degrading anything
+  // (the replays happen either way — only their completion moves inside
+  // the boundary), which is what keeps the streamed verdict set equal to
+  // batch mode's. Only a wedged pool times out, and then the steal-and-
+  // degrade path turns the hang into Potential records + a fault.
+  if (AsyncPcd)
+    AsyncPcd->drain();
+  if (Dog) {
+    Dog->heartbeat(DogWindowSlot);
+    Dog->heartbeat(DogGateSlot);
+  }
+  // Stage 4 — sound retirement: mark-sweep over {current txs, pending
+  // detection roots, pins, in-flight ring records}. Everything the sweep
+  // keeps is exactly the cross-window state that cannot yet be proven
+  // cycle-free (still running, strongly reachable from a runner, or pinned
+  // by a replay) — those transactions are carried into the next window;
+  // nothing is silently dropped (DESIGN.md §15's soundness argument).
+  collectNow(Holder);
+  const uint64_t Pinned = Governor.liveTxs();
+  Governor.windowFlushed(Pinned);
+  if (Dog)
+    Dog->endWork(DogWindowSlot);
+  // A flush is "clean" when no stage moved work down the degradation
+  // ladder. Concurrent sheds on other threads can land in the scan window
+  // and mis-flag a clean flush — acceptable: the flag is a health signal,
+  // and both outcomes are sound. Re-arms are recoveries, not degradations.
+  bool Clean = true;
+  {
+    SpinLockGuard Guard(HealthLock);
+    for (size_t I = DegBefore; I < DegEvents.size(); ++I)
+      if (DegEvents[I].A != rt::DegradationEvent::Action::Rearm)
+        Clean = false;
+  }
+  if (!Clean)
+    WindowDegraded.fetch_add(1, std::memory_order_relaxed);
+  if (Opts.Trace)
+    Opts.Trace->complete("window", "window-flush", 0, T0,
+                         Opts.Trace->nowUs() - T0,
+                         TraceRecorder::Args()
+                             .num("window", Governor.windowsFlushed())
+                             .num("pinned", Pinned)
+                             .num("clean", Clean ? 1 : 0));
+  if (Opts.WindowHook) {
+    rt::HealthSnapshot H;
+    fillHealth(H);
+    Opts.WindowHook(H);
+  }
+  return Clean;
 }
 
 StaticTransactionInfo DoubleCheckerRuntime::staticInfo() {

@@ -41,7 +41,9 @@
 #ifndef DC_ANALYSIS_DOUBLECHECKER_H
 #define DC_ANALYSIS_DOUBLECHECKER_H
 
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <thread>
 
@@ -62,6 +64,9 @@
 #include "support/StripedLock.h"
 
 namespace dc {
+
+class TraceRecorder;
+
 namespace analysis {
 
 /// Knobs selecting between single-run mode and the runs of multi-run mode.
@@ -223,6 +228,26 @@ struct DoubleCheckerOptions {
   /// many of its transactions have started and the governor reports
   /// pressure subsided (hysteresis at half-budget).
   uint32_t RearmAfterTxs = 64;
+
+  // --- Streaming service mode (DESIGN.md §15) -----------------------------
+
+  /// Retirement-window size: every this many finished transactions, the
+  /// thread that crossed the boundary runs one window flush — pending
+  /// batched detection, a full ring drain, a PCD-pool drain, then a
+  /// synchronous collection — so everything decidable as of the boundary is
+  /// decided and swept. Transactions the flush cannot retire (still
+  /// running, strongly reachable, or pinned by an in-flight replay) are
+  /// carried — "pinned" — into the next window; nothing is dropped. 0
+  /// disables windowing (plain batch mode).
+  uint32_t WindowTxs = 0;
+  /// Chrome-trace timeline recorder (tools/dcheck --trace-out). Null
+  /// disables all trace hooks. Must outlive the runtime.
+  TraceRecorder *Trace = nullptr;
+  /// Streaming observer called after each window flush with the
+  /// post-flush health snapshot (no checker locks held).
+  std::function<void(const rt::HealthSnapshot &)> WindowHook;
+  /// Streaming observer for the first structured checker fault.
+  std::function<void(rt::CheckerFault, const std::string &)> FaultHook;
 };
 
 /// The DoubleChecker analysis for one run. Implements the interpreter's
@@ -252,6 +277,8 @@ public:
   void aboutToBlock(rt::ThreadContext &TC) override;
   void unblocked(rt::ThreadContext &TC) override;
   void reportHealth(rt::RunResult &R) override;
+  void healthSnapshot(rt::HealthSnapshot &H) override;
+  bool windowFlush() override;
 
   // -- octet::OctetListener -------------------------------------------------
   void onConflictingEdge(uint32_t RespTid, const octet::Transition &T)
@@ -434,6 +461,18 @@ private:
   /// Watchdog handler (monitor thread): map component -> CheckerFault.
   void onComponentStall(const std::string &Component, uint64_t SilentMs);
 
+  // -- Streaming service mode (DESIGN.md §15) ------------------------------
+  /// One retirement-window flush: force everything decidable as of the
+  /// boundary to a decision (batched detection, ring drain, PCD drain),
+  /// then collect synchronously so quiesced transactions retire. Returns
+  /// false when any stage degraded (stall-timeout steal, shed member) —
+  /// the window still completed, but some verdicts moved down the ladder
+  /// to Potential. Serialized by WindowMu; caller must hold no stripes.
+  bool windowFlushNow(uint32_t Holder);
+  /// Fills a point-in-time health snapshot from atomics + the stats
+  /// registry's stable-snapshot API. Safe mid-run from any thread.
+  void fillHealth(rt::HealthSnapshot &H);
+
   const ir::Program &P;
   DoubleCheckerOptions Opts;
   ViolationLog &Violations;
@@ -531,6 +570,15 @@ private:
   uint32_t DogGateSlot = 0;
   uint32_t DogCollectorSlot = 0;
   uint32_t DogDrainerSlot = 0;
+  uint32_t DogWindowSlot = 0;
+  /// Serializes window flushes against each other (two threads can cross
+  /// consecutive boundaries while the first flush is still draining).
+  /// Ordered outermost: acquired before any stripe or checker lock.
+  std::mutex WindowMu;
+  /// Windows whose flush degraded work instead of fully quiescing.
+  std::atomic<uint64_t> WindowDegraded{0};
+  /// Flush counter keying FaultPlan::WindowStallAt.
+  std::atomic<uint64_t> WindowFlushCounter{0};
   /// Guards the health report below (innermost; never held while taking
   /// any other checker lock).
   mutable SpinLock HealthLock;

@@ -16,6 +16,7 @@
 #ifndef DC_ANALYSIS_VIOLATION_H
 #define DC_ANALYSIS_VIOLATION_H
 
+#include <functional>
 #include <set>
 #include <string>
 #include <vector>
@@ -54,6 +55,17 @@ struct ViolationRecord {
 /// the degraded over-approximation (what a later precise run would check).
 class ViolationLog {
 public:
+  /// Streaming observer, invoked for every record as it is confirmed
+  /// (streaming service mode's live violation feed). Called *under* the
+  /// log's lock so stream order equals record order; the sink must be
+  /// cheap-ish and must never call back into this ViolationLog.
+  using Sink = std::function<void(const ViolationRecord &)>;
+
+  void setSink(Sink S) {
+    SpinLockGuard Guard(Lock);
+    TheSink = std::move(S);
+  }
+
   void report(ViolationRecord R) {
     SpinLockGuard Guard(Lock);
     if (R.K == ViolationRecord::Kind::Potential) {
@@ -63,6 +75,8 @@ public:
     } else if (R.Blamed != ir::InvalidMethodId) {
       Blamed.insert(R.Blamed);
     }
+    if (TheSink)
+      TheSink(R);
     Records.push_back(std::move(R));
   }
 
@@ -89,6 +103,7 @@ public:
 
 private:
   mutable SpinLock Lock;
+  Sink TheSink;
   std::vector<ViolationRecord> Records;
   std::set<ir::MethodId> Blamed;
   std::set<ir::MethodId> Potential;

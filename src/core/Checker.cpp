@@ -11,6 +11,8 @@
 
 #include "analysis/DoubleChecker.h"
 #include "instr/Instrument.h"
+#include "rt/StreamingSession.h"
+#include "support/ChromeTrace.h"
 #include "support/Statistic.h"
 #include "vc/VectorClockChecker.h"
 #include "velodrome/Velodrome.h"
@@ -111,6 +113,12 @@ RunOutcome core::runChecker(const ir::Program &Source,
 
   StatisticRegistry Stats;
   analysis::ViolationLog Violations;
+  // Stream verdicts live: the sink runs under the log's lock as each record
+  // is confirmed, so the NDJSON feed's order is the report order.
+  if (Cfg.Session != nullptr)
+    Violations.setSink([S = Cfg.Session](const analysis::ViolationRecord &R) {
+      S->onViolation(R);
+    });
   std::unique_ptr<rt::CheckerRuntime> Checker;
   analysis::DoubleCheckerRuntime *DC = nullptr;
 
@@ -159,6 +167,17 @@ RunOutcome core::runChecker(const ir::Program &Source,
       DOpts.PcdStallTimeoutMs = Cfg.PcdTimeoutMs;
     if (Cfg.MaxSccTxs != 0)
       DOpts.MaxSccTxsForPcd = Cfg.MaxSccTxs;
+    DOpts.WindowTxs = Cfg.WindowTxs;
+    DOpts.Trace = Cfg.Trace;
+    if (Cfg.Session != nullptr) {
+      DOpts.WindowHook = [S = Cfg.Session](const rt::HealthSnapshot &H) {
+        S->onWindow(H);
+      };
+      DOpts.FaultHook = [S = Cfg.Session](rt::CheckerFault F,
+                                          const std::string &Diagnosis) {
+        S->onFault(F, Diagnosis);
+      };
+    }
     auto Owned = std::make_unique<analysis::DoubleCheckerRuntime>(
         Compiled, DOpts, Violations, Stats);
     DC = Owned.get();
@@ -171,6 +190,11 @@ RunOutcome core::runChecker(const ir::Program &Source,
     if (Cfg.VcCollectEveryTx != 0)
       VcOpts.CollectEveryTx = Cfg.VcCollectEveryTx;
     VcOpts.Faults = Cfg.Faults;
+    VcOpts.WindowTxs = Cfg.WindowTxs;
+    if (Cfg.Session != nullptr)
+      VcOpts.WindowHook = [S = Cfg.Session](const rt::HealthSnapshot &H) {
+        S->onWindow(H);
+      };
     Checker = std::make_unique<vc::VectorClockRuntime>(Compiled, VcOpts,
                                                        Violations, Stats);
     break;

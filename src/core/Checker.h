@@ -28,6 +28,13 @@
 #include "support/FaultPlan.h"
 
 namespace dc {
+
+class TraceRecorder;
+
+namespace rt {
+class StreamingSession;
+} // namespace rt
+
 namespace core {
 
 /// Checker configurations evaluated in the paper (§5).
@@ -132,6 +139,18 @@ struct RunConfig {
   /// keep the VectorClockOptions default). Tiny values stress mark-sweep
   /// over live subscription lists.
   uint32_t VcCollectEveryTx = 0;
+  /// Streaming service mode (DESIGN.md §15): run a retirement-window flush
+  /// every N finished transactions (0 = batch mode, no windows). Honoured
+  /// by the DoubleChecker and VectorClock engines; Velodrome keeps its
+  /// whole-run graph and ignores it.
+  uint32_t WindowTxs = 0;
+  /// Live event stream: wired as the ViolationLog sink plus the engines'
+  /// window/fault hooks, so a supervisor sees verdicts as they are
+  /// confirmed instead of at end of run. Borrowed; may be null.
+  rt::StreamingSession *Session = nullptr;
+  /// Chrome-trace timeline recorder (chrome://tracing). Borrowed; null
+  /// disables trace capture.
+  TraceRecorder *Trace = nullptr;
   /// Required for SecondRun / SecondRunVelodrome.
   const analysis::StaticTransactionInfo *StaticInfo = nullptr;
 };

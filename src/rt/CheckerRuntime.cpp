@@ -26,6 +26,8 @@ const char *dc::rt::toString(CheckerFault F) {
     return "gate-stall";
   case CheckerFault::RingDrainStall:
     return "ring-drain-stall";
+  case CheckerFault::WindowFlushStall:
+    return "window-flush-stall";
   }
   return "unknown";
 }

@@ -24,6 +24,7 @@
 #define DC_RT_CHECKERRUNTIME_H
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "ir/Ir.h"
@@ -49,6 +50,8 @@ enum class CheckerFault : uint8_t {
   CollectorStall,  ///< The transaction collector stopped heartbeating.
   GateStall,       ///< The scheduler gate made no progress (wedged run).
   RingDrainStall,  ///< The ring-log drainer stopped heartbeating.
+  WindowFlushStall, ///< A streaming window flush could not quiesce within
+                    ///< its bounded waits (wedged drain inside a window).
 };
 
 const char *toString(CheckerFault F);
@@ -75,6 +78,28 @@ struct DegradationEvent {
 };
 
 const char *toString(DegradationEvent::Action A);
+
+/// A point-in-time view of a *running* checker, for streaming service mode
+/// (DESIGN.md §15). Unlike reportHealth — which runs once after endRun on
+/// quiesced state — healthSnapshot() is callable from any thread mid-run,
+/// so everything here is assembled from atomics plus the registry's
+/// consistent-cut snapshot; per-thread unsynchronized counters (flushed
+/// only at endRun) are deliberately absent.
+struct HealthSnapshot {
+  uint64_t WindowIndex = 0;  ///< Retirement windows flushed so far.
+  uint64_t FinishedTxs = 0;  ///< Transactions ended so far.
+  uint64_t LiveTxs = 0;      ///< Allocated, not-yet-retired transactions.
+  uint64_t RetiredTxs = 0;   ///< Cumulative transactions swept.
+  uint64_t PinnedTxs = 0;    ///< Live txs surviving the latest window flush
+                             ///< (cross-window state carried forward).
+  uint64_t CrossEdges = 0;   ///< Cross-thread dependence edges so far.
+  uint64_t Violations = 0;   ///< Violation records so far.
+  uint64_t Degradations = 0; ///< Degradation-ladder events so far.
+  CheckerFault Fault = CheckerFault::None;
+  std::string FaultDiagnosis;
+  bool StatsStable = true; ///< Stats below form one consistent cut.
+  std::map<std::string, uint64_t> Stats;
+};
 
 /// Kinds of synchronization events routed through syncOp().
 enum class SyncKind : uint8_t {
@@ -150,6 +175,21 @@ public:
   /// Called once after endRun(), with the assembled RunResult: checkers
   /// fill in Fault / FaultDiagnosis / Degradation (rt/Runtime.h).
   virtual void reportHealth(RunResult &R) {}
+
+  /// Streaming service mode: fills \p H with a point-in-time health view.
+  /// Callable from any thread at any moment of a run (unlike reportHealth,
+  /// which requires quiesced end-of-run state). The default leaves the
+  /// zero-initialized snapshot, meaning "this checker has no mid-run
+  /// health".
+  virtual void healthSnapshot(HealthSnapshot &H) {}
+
+  /// Streaming service mode: forces a window boundary *now* — flush
+  /// pending cycle-detection work, complete in-flight precise replays, and
+  /// retire every quiescent transaction (windowed engines override this;
+  /// the scheduled every-N-transactions boundary calls the same path).
+  /// Returns false if the flush could not fully quiesce and degraded
+  /// instead (a structured fault/Potential report, never a silent drop).
+  virtual bool windowFlush() { return true; }
 };
 
 } // namespace rt

@@ -1,0 +1,108 @@
+//===- rt/StreamingSession.h - Live service-mode event stream ---*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming service mode's observer (DESIGN.md §15). A StreamingSession
+/// turns a run's internal events into an NDJSON feed a supervisor can tail:
+///
+///   {"event":"violation", ...}   as each record is confirmed (ViolationLog
+///                                sink — all three engines route through it)
+///   {"event":"window", ...}      at every epoch boundary the windowed
+///                                engines flush (retired/pinned counts)
+///   {"event":"health", ...}      a periodic point-in-time HealthSnapshot
+///                                (every HealthEveryWindows boundaries)
+///   {"event":"fault", ...}       the first structured CheckerFault
+///   {"event":"summary", ...}     once, from finish(): final verdict counts
+///                                plus the dcheck exit-code the run maps to
+///
+/// The session is engine-agnostic: it never touches checker internals, only
+/// the records/snapshots handed to it, with sites resolved to method names
+/// through a caller-supplied resolver (so this file stays free of any
+/// compiled-program dependency). All entry points are thread-safe; one
+/// internal lock serializes lines, so the stream is valid NDJSON even with
+/// engine threads reporting concurrently.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_RT_STREAMINGSESSION_H
+#define DC_RT_STREAMINGSESSION_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <set>
+#include <string>
+
+// Header-only report types; keeps dc_rt link-independent of dc_analysis.
+#include "analysis/Violation.h"
+#include "rt/CheckerRuntime.h"
+#include "support/SpinLock.h"
+
+namespace dc {
+namespace rt {
+
+class StreamingSession {
+public:
+  struct Options {
+    /// NDJSON sink; null streams nothing (counters still accumulate).
+    std::ostream *Out = nullptr;
+    /// Emit a full health event every N window boundaries (0 = never;
+    /// window events themselves are always emitted).
+    uint32_t HealthEveryWindows = 1;
+    /// Resolves an ir::MethodId to its source name; required for readable
+    /// blame. Unset renders sites as "m<id>" / unary as "-".
+    std::function<std::string(ir::MethodId)> MethodName;
+  };
+
+  explicit StreamingSession(Options O) : Opts(std::move(O)) {}
+
+  StreamingSession(const StreamingSession &) = delete;
+  StreamingSession &operator=(const StreamingSession &) = delete;
+
+  /// ViolationLog-sink entry point (called under the log's lock, so stream
+  /// order is record order).
+  void onViolation(const analysis::ViolationRecord &R);
+
+  /// One retirement-window boundary flushed; \p H is the engine's snapshot
+  /// taken right after the flush.
+  void onWindow(const HealthSnapshot &H);
+
+  /// First structured checker fault of the run.
+  void onFault(CheckerFault F, const std::string &Diagnosis);
+
+  /// Emits a health event now (on-demand probe, same shape as periodic).
+  void emitHealth(const HealthSnapshot &H);
+
+  /// Final summary line. \p ExitCode is the dcheck contract code the run
+  /// maps to (0 clean / 1 violations / 2 fault-or-potential-only).
+  void finish(const std::set<std::string> &Blamed,
+              const std::set<std::string> &Potential, uint64_t Records,
+              CheckerFault Fault, int ExitCode);
+
+  uint64_t violationsStreamed() const {
+    return Violations.load(std::memory_order_relaxed);
+  }
+  uint64_t windowsStreamed() const {
+    return Windows.load(std::memory_order_relaxed);
+  }
+
+private:
+  void writeLine(const std::string &Line);
+  std::string siteName(ir::MethodId M) const;
+  void healthJson(std::string &S, const HealthSnapshot &H) const;
+
+  Options Opts;
+  mutable SpinLock Lock; ///< Serializes stream writes.
+  std::atomic<uint64_t> Violations{0};
+  std::atomic<uint64_t> Windows{0};
+  std::atomic<uint64_t> Seq{0}; ///< Monotonic id across all event lines.
+};
+
+} // namespace rt
+} // namespace dc
+
+#endif // DC_RT_STREAMINGSESSION_H

@@ -1,0 +1,134 @@
+//===- support/ChromeTrace.cpp --------------------------------------------===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/ChromeTrace.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace dc;
+
+void TraceRecorder::push(Event E) {
+  SpinLockGuard Guard(Lock);
+  if (Events.size() >= Opts.MaxEvents) {
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Events.push_back(std::move(E));
+}
+
+void TraceRecorder::instant(const char *Cat, std::string Name, uint32_t Tid,
+                            Args A) {
+  push({'i', Cat, std::move(Name), Tid, nowUs(), 0, std::move(A)});
+}
+
+void TraceRecorder::complete(const char *Cat, std::string Name, uint32_t Tid,
+                             uint64_t TsUs, uint64_t DurUs, Args A) {
+  push({'X', Cat, std::move(Name), Tid, TsUs, DurUs, std::move(A)});
+}
+
+void TraceRecorder::counter(const char *Cat, std::string Name, Args A) {
+  push({'C', Cat, std::move(Name), 0, nowUs(), 0, std::move(A)});
+}
+
+size_t TraceRecorder::size() const {
+  SpinLockGuard Guard(Lock);
+  return Events.size();
+}
+
+namespace {
+
+void writeEscaped(std::ostream &OS, const std::string &S) {
+  OS << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << C;
+      }
+    }
+  }
+  OS << '"';
+}
+
+} // namespace
+
+void TraceRecorder::writeJson(std::ostream &OS) const {
+  // Copy under the lock, render outside it: rendering does stream I/O and
+  // must not hold up live engine threads still appending.
+  std::vector<Event> Copy;
+  {
+    SpinLockGuard Guard(Lock);
+    Copy = Events;
+  }
+  OS << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  auto Emit = [&](const Event &E) {
+    if (!First)
+      OS << ",";
+    First = false;
+    OS << "\n{\"name\":";
+    writeEscaped(OS, E.Name);
+    OS << ",\"cat\":\"" << E.Cat << "\",\"ph\":\"" << E.Ph
+       << "\",\"pid\":1,\"tid\":" << E.Tid << ",\"ts\":" << E.Ts;
+    if (E.Ph == 'X')
+      OS << ",\"dur\":" << E.Dur;
+    if (E.Ph == 'i')
+      OS << ",\"s\":\"t\"";
+    if (!E.A.Num.empty() || !E.A.Str.empty()) {
+      OS << ",\"args\":{";
+      bool FirstArg = true;
+      for (const auto &KV : E.A.Num) {
+        if (!FirstArg)
+          OS << ",";
+        FirstArg = false;
+        writeEscaped(OS, KV.first);
+        OS << ":" << KV.second;
+      }
+      for (const auto &KV : E.A.Str) {
+        if (!FirstArg)
+          OS << ",";
+        FirstArg = false;
+        writeEscaped(OS, KV.first);
+        OS << ":";
+        writeEscaped(OS, KV.second);
+      }
+      OS << "}";
+    }
+    OS << "}";
+  };
+  for (const Event &E : Copy)
+    Emit(E);
+  // Trailing metadata: how much (if anything) the bounded buffer dropped.
+  Event Meta{'i', "meta", "trace-buffer", 0, nowUs(), 0, Args()};
+  Meta.A.num("events", Copy.size()).num("dropped", droppedEvents());
+  Emit(Meta);
+  OS << "\n]}\n";
+}
+
+bool TraceRecorder::writeJson(const std::string &Path) const {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  writeJson(Out);
+  return static_cast<bool>(Out);
+}

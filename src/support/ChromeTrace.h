@@ -1,0 +1,119 @@
+//===- support/ChromeTrace.h - chrome://tracing timeline export -*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe recorder for the Chrome trace-event JSON format
+/// (chrome://tracing, Perfetto's legacy importer). Streaming service mode
+/// (DESIGN.md §15) uses it to export a postmortem timeline of transactions,
+/// cross-thread edges, SCC merges, window flushes, degradation events, and
+/// checker faults.
+///
+/// The recorder is deliberately dumb: engines append pre-classified events
+/// (instant or complete) with numeric/string args; writeJson renders the
+/// single {"traceEvents": [...]} document. Timestamps are microseconds on
+/// the recorder's own steady clock (nowUs), so events from every component
+/// of one run share a timebase. A bounded buffer keeps an hours-long soak
+/// from accumulating unbounded trace memory: past MaxEvents the recorder
+/// drops new events and counts them (droppedEvents), which the final
+/// metadata event reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_SUPPORT_CHROMETRACE_H
+#define DC_SUPPORT_CHROMETRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "support/SpinLock.h"
+
+namespace dc {
+
+class TraceRecorder {
+public:
+  struct Options {
+    /// Hard cap on buffered events; exceeding it drops (and counts).
+    size_t MaxEvents = 1u << 20;
+  };
+
+  TraceRecorder() : TraceRecorder(Options()) {}
+  explicit TraceRecorder(Options O)
+      : Opts(O), Epoch(std::chrono::steady_clock::now()) {}
+
+  TraceRecorder(const TraceRecorder &) = delete;
+  TraceRecorder &operator=(const TraceRecorder &) = delete;
+
+  /// Microseconds since the recorder was created (the trace timebase).
+  uint64_t nowUs() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - Epoch)
+            .count());
+  }
+
+  /// One event's args: numeric and string key/value pairs.
+  struct Args {
+    std::vector<std::pair<std::string, uint64_t>> Num;
+    std::vector<std::pair<std::string, std::string>> Str;
+    Args &num(std::string K, uint64_t V) {
+      Num.emplace_back(std::move(K), V);
+      return *this;
+    }
+    Args &str(std::string K, std::string V) {
+      Str.emplace_back(std::move(K), std::move(V));
+      return *this;
+    }
+  };
+
+  /// An instant event ("ph":"i") at nowUs() on track \p Tid.
+  void instant(const char *Cat, std::string Name, uint32_t Tid,
+               Args A = Args());
+
+  /// A complete event ("ph":"X") spanning [TsUs, TsUs+DurUs) on \p Tid.
+  void complete(const char *Cat, std::string Name, uint32_t Tid, uint64_t TsUs,
+                uint64_t DurUs, Args A = Args());
+
+  /// A counter event ("ph":"C"): one sample of named series at nowUs().
+  void counter(const char *Cat, std::string Name, Args A);
+
+  size_t size() const;
+  uint64_t droppedEvents() const {
+    return Dropped.load(std::memory_order_relaxed);
+  }
+
+  /// Renders the whole buffer as a {"traceEvents": [...]} document.
+  void writeJson(std::ostream &OS) const;
+  /// Convenience wrapper; returns false if the file cannot be written.
+  bool writeJson(const std::string &Path) const;
+
+private:
+  struct Event {
+    char Ph;
+    const char *Cat;
+    std::string Name;
+    uint32_t Tid;
+    uint64_t Ts;
+    uint64_t Dur;
+    Args A;
+  };
+
+  void push(Event E);
+
+  Options Opts;
+  std::chrono::steady_clock::time_point Epoch;
+  mutable SpinLock Lock;
+  std::vector<Event> Events;
+  std::atomic<uint64_t> Dropped{0};
+};
+
+} // namespace dc
+
+#endif // DC_SUPPORT_CHROMETRACE_H

@@ -26,6 +26,7 @@ std::string FaultPlan::spec() const {
   Add("worker-die", WorkerDieAt);
   Add("queue-hold", QueueHoldUntil);
   Add("collect-delay-ms", CollectorDelayMs);
+  Add("window-stall", WindowStallAt);
   return Out.empty() ? "none" : Out;
 }
 
@@ -71,10 +72,12 @@ bool FaultPlan::parse(const std::string &Spec, FaultPlan &Out,
       Out.QueueHoldUntil = V;
     else if (Key == "collect-delay-ms")
       Out.CollectorDelayMs = static_cast<uint32_t>(V);
+    else if (Key == "window-stall")
+      Out.WindowStallAt = V;
     else {
       Error = "unknown fault key '" + Key +
               "' (expected alloc-fail, worker-stall, worker-die, "
-              "queue-hold, or collect-delay-ms)";
+              "queue-hold, collect-delay-ms, or window-stall)";
       return false;
     }
   }

@@ -58,17 +58,23 @@ struct FaultPlan {
   /// collecting; above the watchdog timeout this trips
   /// CheckerFault::CollectorStall.
   uint32_t CollectorDelayMs = 0;
+  /// The Nth retirement-window flush (streaming service mode) wedges: the
+  /// flushing thread sleeps past the stall timeout without heartbeating its
+  /// window slot, so the watchdog converts the stuck boundary into
+  /// CheckerFault::WindowFlushStall instead of the server hanging silently.
+  uint64_t WindowStallAt = 0;
 
   /// True iff any fault is armed.
   bool any() const {
     return AllocFailAt != 0 || WorkerStallAt != 0 || WorkerDieAt != 0 ||
-           QueueHoldUntil != 0 || CollectorDelayMs != 0;
+           QueueHoldUntil != 0 || CollectorDelayMs != 0 || WindowStallAt != 0;
   }
 
   bool operator==(const FaultPlan &O) const {
     return AllocFailAt == O.AllocFailAt && WorkerStallAt == O.WorkerStallAt &&
            WorkerDieAt == O.WorkerDieAt && QueueHoldUntil == O.QueueHoldUntil &&
-           CollectorDelayMs == O.CollectorDelayMs;
+           CollectorDelayMs == O.CollectorDelayMs &&
+           WindowStallAt == O.WindowStallAt;
   }
 
   /// Canonical spec string: comma-separated `key@count` tokens in a fixed
@@ -77,7 +83,7 @@ struct FaultPlan {
 
   /// Parses a spec string: "none" / "" → empty plan; otherwise tokens
   ///   alloc-fail@N, worker-stall@N, worker-die@N, queue-hold@N,
-  ///   collect-delay-ms@N
+  ///   collect-delay-ms@N, window-stall@N
   /// separated by commas. Returns false with \p Error set on bad input.
   static bool parse(const std::string &Spec, FaultPlan &Out,
                     std::string &Error);

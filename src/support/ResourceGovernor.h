@@ -119,6 +119,23 @@ public:
 
   void countBreach() { Breaches.fetch_add(1, std::memory_order_relaxed); }
 
+  /// Streaming service mode: records one retirement-window flush and how
+  /// many live transactions survived it (cross-window state the collector
+  /// had to pin into the next window rather than retire). The pinned peak
+  /// is the number bounded-memory soaks watch: if it grows monotonically,
+  /// retirement is not keeping up with admission.
+  void windowFlushed(uint64_t PinnedLiveTxs) {
+    WindowsFlushed.fetch_add(1, std::memory_order_relaxed);
+    WindowPinnedLast.store(PinnedLiveTxs, std::memory_order_relaxed);
+    bumpMax(WindowPinnedMax, PinnedLiveTxs);
+  }
+  uint64_t windowsFlushed() const {
+    return WindowsFlushed.load(std::memory_order_relaxed);
+  }
+  uint64_t windowPinnedLast() const {
+    return WindowPinnedLast.load(std::memory_order_relaxed);
+  }
+
   /// Exports the gauges/high-water marks as governor.* statistics.
   void flush(StatisticRegistry &Stats) const {
     Stats.get("governor.live_txs_peak")
@@ -129,6 +146,12 @@ public:
         .updateMax(QueueMax.load(std::memory_order_relaxed));
     Stats.get("governor.budget_breaches")
         .add(Breaches.load(std::memory_order_relaxed));
+    if (WindowsFlushed.load(std::memory_order_relaxed) != 0) {
+      Stats.get("governor.windows_flushed")
+          .add(WindowsFlushed.load(std::memory_order_relaxed));
+      Stats.get("governor.window_pinned_peak")
+          .updateMax(WindowPinnedMax.load(std::memory_order_relaxed));
+    }
   }
 
 private:
@@ -147,6 +170,9 @@ private:
   std::atomic<uint64_t> LogBytesMax{0};
   std::atomic<uint64_t> QueueMax{0};
   std::atomic<uint64_t> Breaches{0};
+  std::atomic<uint64_t> WindowsFlushed{0};
+  std::atomic<uint64_t> WindowPinnedLast{0};
+  std::atomic<uint64_t> WindowPinnedMax{0};
 };
 
 } // namespace dc

@@ -40,6 +40,32 @@ std::vector<const Statistic *> StatisticRegistry::all() const {
   return Result;
 }
 
+StatisticRegistry::Snapshot
+StatisticRegistry::snapshot(uint32_t MaxAttempts) const {
+  Snapshot S;
+  auto ReadAll = [&](std::map<std::string, uint64_t> &Out) {
+    Out.clear();
+    SpinLockGuard Guard(Lock);
+    for (const auto &Entry : Counters)
+      Out.emplace(Entry.first, Entry.second->get());
+  };
+  std::map<std::string, uint64_t> Second;
+  if (MaxAttempts == 0)
+    MaxAttempts = 1;
+  for (uint32_t A = 0; A < MaxAttempts; ++A) {
+    ReadAll(S.Values);
+    ReadAll(Second);
+    ++S.Attempts;
+    if (S.Values == Second) {
+      S.Stable = true;
+      return S;
+    }
+  }
+  // Still churning: publish the later read, flagged as torn.
+  S.Values = std::move(Second);
+  return S;
+}
+
 std::string StatisticRegistry::toString() const {
   std::ostringstream OS;
   for (const Statistic *S : all())

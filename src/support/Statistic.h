@@ -67,6 +67,27 @@ public:
   /// Returns all counters sorted by name (for reports).
   std::vector<const Statistic *> all() const;
 
+  /// A point-in-time view of every counter. End-of-run reports read each
+  /// counter once after all writers stopped, which is trivially consistent;
+  /// a *mid-run* health endpoint reading counters one by one races live
+  /// writers and can pair a post-increment value of one counter with the
+  /// pre-increment value of a related one (e.g. collector runs without the
+  /// transactions the same pass swept). snapshot() detects that tearing.
+  struct Snapshot {
+    std::map<std::string, uint64_t> Values;
+    /// True when two back-to-back reads of the whole table agreed — the
+    /// values form one consistent cut. False after MaxAttempts of live
+    /// churn; Values then holds the last (best-effort) read.
+    bool Stable = false;
+    /// Read passes it took to converge (diagnostic).
+    uint32_t Attempts = 0;
+  };
+
+  /// Returns a snapshot that is consistent whenever the counters quiesce
+  /// for one double-read, retrying up to \p MaxAttempts times otherwise.
+  /// Safe to call from any thread at any point of a run.
+  Snapshot snapshot(uint32_t MaxAttempts = 4) const;
+
   /// Renders "name = value" lines sorted by name.
   std::string toString() const;
 

@@ -76,8 +76,12 @@ public:
   /// after joins, never true on multi-entry ones.
   bool isEpoch() const { return Single >= 0 || Single == kEmpty; }
 
-  /// Slot-wise max of \p Other into this. Returns true iff any slot grew.
-  bool joinFrom(const VectorClock &Other) {
+  /// Slot-wise max of \p Other into this, reporting every grown slot:
+  /// \p OnGrow(t) runs once per thread slot whose entry increased. The
+  /// engine uses this to maintain per-slot provenance (which join partner
+  /// supplied each entry's current value), which is what the report-time
+  /// blame walk follows. Returns true iff any slot grew.
+  template <typename F> bool joinFrom(const VectorClock &Other, F &&OnGrow) {
     if (Other.Single == kEmpty)
       return false;
     uint64_t *S = slots();
@@ -88,6 +92,7 @@ public:
       if (S[T] >= Seq)
         return false;
       set(T, Seq);
+      OnGrow(T);
       return true;
     }
     const uint64_t *O = Other.slots();
@@ -95,12 +100,18 @@ public:
     for (uint32_t T = 0; T < Width; ++T) {
       if (O[T] > S[T]) {
         S[T] = O[T];
+        OnGrow(T);
         Grew = true;
       }
     }
     if (Grew)
       Single = kWide; // Conservative: recomputing exactly is not worth it.
     return Grew;
+  }
+
+  /// Slot-wise max of \p Other into this. Returns true iff any slot grew.
+  bool joinFrom(const VectorClock &Other) {
+    return joinFrom(Other, [](uint32_t) {});
   }
 
   bool operator==(const VectorClock &Other) const {

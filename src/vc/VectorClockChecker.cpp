@@ -49,6 +49,8 @@ void VectorClockRuntime::endRun(rt::Runtime &RT) {
   Stats.get("vc.collector_runs").add(CollectorRuns);
   Stats.get("vc.collector_ns").add(CollectorNs);
   Stats.get("vc.txs_swept").add(TxsSwept);
+  if (WindowsFlushed != 0)
+    Stats.get("vc.windows_flushed").add(WindowsFlushed);
 }
 
 void VectorClockRuntime::threadStarted(rt::ThreadContext &TC) {
@@ -182,7 +184,7 @@ VectorClockRuntime::newTransactionLocked(uint32_t Tid, ir::MethodId Site,
     ++Joins;
     if (Prev->Known.isEpoch())
       ++EpochJoins;
-    Tx->Known.joinFrom(Prev->Known);
+    Tx->Known.joinFrom(Prev->Known, [&](uint32_t T) { Tx->Pred[T] = Prev; });
     Prev->Subs.push_back(Tx);
   }
   PT.CurrTx.store(Tx, std::memory_order_release);
@@ -193,7 +195,10 @@ void VectorClockRuntime::endCurrentTxLocked(uint32_t Tid) {
   PerThread &PT = Threads[Tid];
   if (PT.CurrTx.load(std::memory_order_relaxed) == nullptr)
     return;
-  if (++FinishedTxs % Opts.CollectEveryTx == 0)
+  ++FinishedTxs;
+  if (Opts.WindowTxs != 0 && FinishedTxs % Opts.WindowTxs == 0)
+    windowFlushLocked();
+  else if (FinishedTxs % Opts.CollectEveryTx == 0)
     collectLocked();
 }
 
@@ -220,7 +225,8 @@ void VectorClockRuntime::addEdgeLocked(VcTxn *Src, VcTxn *Dst) {
   ++Joins;
   if (Src->Known.isEpoch())
     ++EpochJoins;
-  bool Grew = Dst->Known.joinFrom(Src->Known);
+  bool Grew =
+      Dst->Known.joinFrom(Src->Known, [&](uint32_t T) { Dst->Pred[T] = Src; });
   Src->Subs.push_back(Dst);
   if (Grew)
     propagateLocked(Dst);
@@ -236,7 +242,7 @@ void VectorClockRuntime::propagateLocked(VcTxn *From) {
     VcTxn *N = Worklist.back();
     Worklist.pop_back();
     for (VcTxn *S : N->Subs) {
-      if (S->Known.joinFrom(N->Known)) {
+      if (S->Known.joinFrom(N->Known, [&](uint32_t T) { S->Pred[T] = N; })) {
         ++Propagations;
         Worklist.push_back(S);
       }
@@ -251,17 +257,45 @@ void VectorClockRuntime::reportViolationLocked(VcTxn *Src, VcTxn *Dst) {
     return;
   Dst->Reported = true;
   ++ViolationCount;
-  // Blame the closing edge's endpoints: the engine sees no full cycle to
-  // scan, so this is coarser than graph blame but always a subset of the
-  // cycle's method set (see DESIGN.md §14). A record with Invalid blame
-  // still counts as a detection.
+  // Blame the closing edge's endpoints first, then sharpen by walking the
+  // per-slot provenance chain (VcTxn::Pred) backward from Src on Dst's
+  // thread slot. Every chain member X satisfies X.Known[Dst.Tid] >= Dst.Seq
+  // (the trigger condition, monotone through providers), so Dst reaches X
+  // via Dst's thread's program order, X reaches Src via the join edges
+  // walked, and the closing edge Src->Dst puts X on a dependence cycle —
+  // every emitted member and blame site is therefore in the oracle's cycle
+  // method set, just like graph blame. The walk is bounded and stops at
+  // null (collection truncated the chain), Dst, or a repeat; a record with
+  // Invalid blame still counts as a detection.
   ViolationRecord R;
   if (Dst->Regular)
     R.Blamed = Dst->Site;
   else if (Src->Regular)
     R.Blamed = Src->Site;
   R.Cycle.push_back(CycleMember{Dst->Tid, Dst->Site, Dst->Id});
+  constexpr size_t MaxWalk = 16;
+  std::vector<VcTxn *> Chain;
+  for (VcTxn *Cur = Src->Pred[Dst->Tid];
+       Cur != nullptr && Cur != Dst && Cur != Src && Chain.size() < MaxWalk;
+       Cur = Cur->Pred[Dst->Tid]) {
+    bool Seen = false;
+    for (VcTxn *C : Chain)
+      Seen |= C == Cur;
+    if (Seen)
+      break;
+    Chain.push_back(Cur);
+  }
+  // Pred points backward (provider <- consumer); emit in cycle order
+  // Dst -> ... -> Src.
+  for (auto It = Chain.rbegin(); It != Chain.rend(); ++It)
+    R.Cycle.push_back(CycleMember{(*It)->Tid, (*It)->Site, (*It)->Id});
   R.Cycle.push_back(CycleMember{Src->Tid, Src->Site, Src->Id});
+  if (R.Blamed == ir::InvalidMethodId)
+    for (VcTxn *C : Chain)
+      if (C->Regular) {
+        R.Blamed = C->Site;
+        break;
+      }
   Violations.report(std::move(R));
 }
 
@@ -295,6 +329,19 @@ void VectorClockRuntime::collectLocked() {
     for (VcTxn *S : Tx->Subs)
       AddRoot(S);
   }
+  // Marking follows Subs (forward), so a survivor's Pred entries can point
+  // at transactions about to be swept. Null them before deleting anything:
+  // the blame walk then stops at the truncation instead of chasing freed
+  // memory (it only ever shortens the reported cycle, never a verdict).
+  for (uint32_t T = 0; T < NumThreads; ++T) {
+    PerThread &PT = Threads[T];
+    SpinLockGuard Guard(PT.OwnedLock);
+    for (VcTxn *Tx : PT.Owned)
+      if (Tx->MarkEpoch == Epoch)
+        for (VcTxn *&Pred : Tx->Pred)
+          if (Pred != nullptr && Pred->MarkEpoch != Epoch)
+            Pred = nullptr;
+  }
   for (uint32_t T = 0; T < NumThreads; ++T) {
     PerThread &PT = Threads[T];
     SpinLockGuard Guard(PT.OwnedLock);
@@ -314,4 +361,55 @@ void VectorClockRuntime::collectLocked() {
       std::chrono::duration_cast<std::chrono::nanoseconds>(
           std::chrono::steady_clock::now() - StartTime)
           .count());
+}
+
+void VectorClockRuntime::windowFlushLocked() {
+  collectLocked();
+  ++WindowsFlushed;
+  uint64_t Live = 0;
+  for (uint32_t T = 0; T < NumThreads; ++T) {
+    SpinLockGuard Guard(Threads[T].OwnedLock);
+    Live += Threads[T].Owned.size();
+  }
+  WindowPinnedLast = Live;
+  if (Opts.WindowHook) {
+    rt::HealthSnapshot H;
+    fillHealthLocked(H);
+    Opts.WindowHook(H);
+  }
+}
+
+void VectorClockRuntime::fillHealthLocked(rt::HealthSnapshot &H) {
+  H.WindowIndex = WindowsFlushed;
+  H.FinishedTxs = FinishedTxs;
+  uint64_t Live = 0;
+  for (uint32_t T = 0; T < NumThreads; ++T) {
+    SpinLockGuard Guard(Threads[T].OwnedLock);
+    Live += Threads[T].Owned.size();
+  }
+  H.LiveTxs = Live;
+  H.RetiredTxs = TxsSwept;
+  H.PinnedTxs = WindowPinnedLast;
+  H.CrossEdges = CrossEdges;
+  H.Violations = ViolationCount;
+  // No degradation ladder and no async components here: the engine's
+  // verdicts are per-edge and synchronous, so Degradations/Fault stay zero.
+  StatisticRegistry::Snapshot Snap = Stats.snapshot();
+  H.StatsStable = Snap.Stable;
+  H.Stats = std::move(Snap.Values);
+}
+
+void VectorClockRuntime::healthSnapshot(rt::HealthSnapshot &H) {
+  if (NumThreads == 0)
+    return; // beginRun has not happened yet.
+  SpinLockGuard Guard(EngineLock);
+  fillHealthLocked(H);
+}
+
+bool VectorClockRuntime::windowFlush() {
+  if (NumThreads == 0)
+    return true;
+  SpinLockGuard Guard(EngineLock);
+  windowFlushLocked();
+  return true; // Nothing here can wedge or degrade: always clean.
 }

@@ -40,6 +40,7 @@
 #define DC_VC_VECTORCLOCKCHECKER_H
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -69,6 +70,13 @@ struct VectorClockOptions {
   /// Deterministic fault injection (only CollectorDelayMs applies here: the
   /// engine has no workers, queues, or allocation-gated paths).
   FaultPlan Faults;
+  /// Streaming service mode: run one window flush (a forced collection plus
+  /// a WindowHook callback) every this many finished transactions. The
+  /// engine's verdicts are per-edge and never deferred, so windowing cannot
+  /// change them — flushes only bound memory and pace the event stream.
+  uint32_t WindowTxs = 0;
+  /// Called after each window flush with a post-flush health snapshot.
+  std::function<void(const rt::HealthSnapshot &)> WindowHook;
 };
 
 /// The vector-clock engine attached to one execution.
@@ -89,6 +97,8 @@ public:
                           function_ref<void()> Access) override;
   void syncOp(rt::ThreadContext &TC, const rt::AccessInfo &Info,
               rt::SyncKind Kind) override;
+  void healthSnapshot(rt::HealthSnapshot &H) override;
+  bool windowFlush() override;
 
 private:
   /// One transaction's clock state. Unlike analysis::Transaction there is
@@ -98,7 +108,7 @@ private:
     VcTxn(uint64_t Id, uint32_t Tid, uint64_t Seq, ir::MethodId Site,
           bool Regular, uint32_t NumThreads)
         : Id(Id), Tid(Tid), Seq(Seq), Site(Site), Regular(Regular),
-          Known(NumThreads) {
+          Known(NumThreads), Pred(NumThreads, nullptr) {
       Known.set(Tid, Seq);
     }
     uint64_t Id;
@@ -116,6 +126,21 @@ private:
     uint64_t MarkEpoch = 0;
     /// Transactions known to reach this one, as highest-sequence-per-thread.
     VectorClock Known;
+    /// Per-slot provenance: Pred[t] is the join partner whose clock
+    /// supplied Known.get(t)'s *current* value (an immediate graph
+    /// predecessor of this transaction — every join mirrors a real PO,
+    /// conflict, or propagation edge). The report-time blame walk follows
+    /// Pred[Dst->Tid] backward from a closing edge's source: each visited
+    /// transaction X has Known[Dst->Tid] >= Dst->Seq (Dst reaches X via
+    /// program order through Dst's thread) and reaches the source via the
+    /// join edges walked, so with the closing edge Src->Dst every member of
+    /// the walk provably lies on a dependence cycle. Maintained under
+    /// EngineLock. Liveness marking follows Subs (forward), not Pred, so a
+    /// sweep can free a provider that live consumers still point at —
+    /// collectLocked nulls every Pred entry whose target is unmarked before
+    /// deleting anything. A nulled entry just truncates the walk (fewer
+    /// cycle members reported), never changes a verdict.
+    std::vector<VcTxn *> Pred;
     /// Successors to push clock growth to (both conflict and program-order
     /// edges subscribe). Consecutive duplicates are skipped at insert.
     std::vector<VcTxn *> Subs;
@@ -150,6 +175,12 @@ private:
   void propagateLocked(VcTxn *From);
   void reportViolationLocked(VcTxn *Src, VcTxn *Dst);
   void collectLocked();
+  /// One retirement-window boundary: forced collection + WindowHook. The
+  /// engine's verdicts are per-edge and never deferred, so a flush cannot
+  /// change them — it only bounds memory and paces the event stream, hence
+  /// always "clean" (no degradation ladder here).
+  void windowFlushLocked();
+  void fillHealthLocked(rt::HealthSnapshot &H);
 
   const ir::Program &P;
   VectorClockOptions Opts;
@@ -177,6 +208,9 @@ private:
   uint64_t CollectorRuns = 0;
   uint64_t CollectorNs = 0;
   uint64_t TxsSwept = 0;
+  uint64_t WindowsFlushed = 0;
+  /// Live txs surviving the latest window flush (HealthSnapshot::PinnedTxs).
+  uint64_t WindowPinnedLast = 0;
   /// Reused propagation worklist (avoids per-edge allocation).
   std::vector<VcTxn *> Worklist;
 };

@@ -169,11 +169,67 @@ TEST_P(EngineAgreementProperty, ThreeEnginesMatchOracleOnOneSchedule) {
       EXPECT_TRUE(Truth.CycleMethods.count(Name))
           << "vc blamed '" << Name << "' outside the oracle cycle, "
           << "program seed " << GetParam() << ", schedule " << Schedule;
+    // Same bound for every member of the vc engine's predecessor-walk
+    // cycle (DESIGN.md §14): each walked transaction lies on a real
+    // dependence cycle, so its site must be one of the oracle's.
+    for (const auto &R : Vc.Violations)
+      for (const auto &M : R.Cycle)
+        if (M.Site != InvalidMethodId)
+          EXPECT_TRUE(Truth.CycleMethods.count(P.Methods[M.Site].Name))
+              << "vc cycle member '" << P.Methods[M.Site].Name
+              << "' outside the oracle cycle, program seed " << GetParam()
+              << ", schedule " << Schedule;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomPrograms, EngineAgreementProperty,
                          ::testing::Range<uint64_t>(400, 412));
+
+class WindowedAgreementProperty : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(WindowedAgreementProperty, StreamingWindowsPreserveBatchVerdicts) {
+  // Service mode (DESIGN.md §15): retirement windows may only retire
+  // quiesced transactions, so running the same recorded schedule with an
+  // aggressive window cadence must reproduce the batch run's verdicts
+  // exactly — same blamed methods, same potential methods — for both
+  // windowed engines, and must actually flush windows while doing it.
+  Program P = randomProgram(GetParam(), /*SerializableOnly=*/false);
+  AtomicitySpec Spec = AtomicitySpec::initial(P);
+  rt::RunOptions RO;
+  RO.Deterministic = true;
+  RO.ScheduleSeed = GetParam();
+  oracle::RecordedTrace Trace = oracle::recordTrace(P, Spec, RO);
+  ASSERT_FALSE(Trace.Result.Aborted);
+
+  auto Replay = [&](Mode M, uint32_t WindowTxs) {
+    RunConfig Cfg = detCfg(M, GetParam());
+    Cfg.RunOpts.ExplicitSchedule = Trace.Schedule;
+    Cfg.RunOpts.OnScheduleExhausted = rt::ScheduleExhaustPolicy::HardError;
+    Cfg.WindowTxs = WindowTxs;
+    return runChecker(P, Spec, Cfg);
+  };
+  for (Mode M : {Mode::SingleRun, Mode::VectorClock}) {
+    RunOutcome Batch = Replay(M, 0);
+    RunOutcome Windowed = Replay(M, 2);
+    ASSERT_FALSE(Windowed.Result.Aborted);
+    ASSERT_FALSE(Windowed.Result.ScheduleDiverged);
+    EXPECT_EQ(Windowed.Result.Fault, rt::CheckerFault::None);
+    EXPECT_EQ(Windowed.BlamedMethods, Batch.BlamedMethods)
+        << toString(M) << ", program seed " << GetParam();
+    EXPECT_EQ(Windowed.PotentialMethods, Batch.PotentialMethods)
+        << toString(M) << ", program seed " << GetParam();
+    const char *Stat = M == Mode::VectorClock ? "vc.windows_flushed"
+                                              : "governor.windows_flushed";
+    EXPECT_GT(Windowed.stat(Stat), 0u)
+        << toString(M) << " never flushed a window, program seed "
+        << GetParam();
+    EXPECT_EQ(Batch.stat(Stat), 0u) << toString(M);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPrograms, WindowedAgreementProperty,
+                         ::testing::Range<uint64_t>(500, 510));
 
 class MultiRunProperty : public ::testing::TestWithParam<uint64_t> {};
 

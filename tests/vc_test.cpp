@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <thread>
 
 #include "ir/Builder.h"
@@ -288,6 +289,41 @@ TEST_F(VcScenario, LateEdgeCycleNeedsPropagation) {
   EXPECT_GE(Violations.count(), 1u)
       << "cycle only detectable through clock propagation";
   EXPECT_GE(Stats.value("vc.propagations"), 1u);
+}
+
+TEST_F(VcScenario, PredecessorWalkReconstructsCycleChain) {
+  // Same three-transaction cycle as LateEdgeCycleNeedsPropagation
+  // (C->A->B->C, closed by edge B->C), but checking the *report*: the
+  // predecessor walk must name the intermediate transaction A, not just
+  // the closing edge's endpoints. B learned C's clock entry through A's
+  // push, so Pred chains B -> A -> C and the reported cycle lists all
+  // three sites — each of which the oracle-subset property (checked by
+  // the fuzzer and property_test) bounds to real cycle members.
+  start();
+  begin(0, "m1"); // A
+  begin(1, "m2"); // B
+  begin(2, "m3"); // C
+  access(0, 0, 0, true);
+  access(1, 0, 0, false); // A->B.
+  access(2, 1, 0, true);
+  access(0, 1, 0, false); // C->A.
+  access(1, 2, 0, true);
+  access(2, 2, 0, false); // B->C closes the cycle.
+  end(0, "m1");
+  end(1, "m2");
+  end(2, "m3");
+  finish();
+  ASSERT_GE(Violations.count(), 1u);
+  const std::vector<analysis::ViolationRecord> Records = Violations.records();
+  const analysis::ViolationRecord &R = Records.front();
+  ASSERT_GE(R.Cycle.size(), 3u)
+      << "walk reported only the closing edge's endpoints";
+  std::set<ir::MethodId> Sites;
+  for (const analysis::CycleMember &M : R.Cycle)
+    Sites.insert(M.Site);
+  EXPECT_TRUE(Sites.count(P.findMethod("m1"))) << "intermediate A missing";
+  EXPECT_TRUE(Sites.count(P.findMethod("m2")));
+  EXPECT_TRUE(Sites.count(P.findMethod("m3")));
 }
 
 TEST_F(VcScenario, CollectorReclaimsOldTransactions) {

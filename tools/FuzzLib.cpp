@@ -16,6 +16,7 @@
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "rt/Scheduler.h"
+#include "rt/StreamingSession.h"
 #include "support/Rng.h"
 
 using namespace dc;
@@ -344,6 +345,19 @@ PairResult fuzz::checkPair(const ir::Program &Source,
       Fail("vc: blames methods outside the oracle's dependence cycles");
       return R;
     }
+    // The predecessor-walk members are a stronger claim than the blamed
+    // set: every regular transaction the walk emits into a record's cycle
+    // is asserted to lie on an actual dependence cycle — exactly what the
+    // provenance argument in VectorClockChecker.h promises.
+    for (const analysis::ViolationRecord &VR : O.Violations)
+      for (const analysis::CycleMember &M : VR.Cycle)
+        if (M.Site != ir::InvalidMethodId &&
+            !V.CycleMethods.count(Source.Methods[M.Site].Name)) {
+          Fail("vc: predecessor-walk cycle member '" +
+               Source.Methods[M.Site].Name +
+               "' outside the oracle's dependence cycles");
+          return R;
+        }
   }
 
   // Multi-run DoubleChecker: first run (ICD only, same schedule) feeding
@@ -396,6 +410,8 @@ std::string FaultCase::name() const {
     N += " batched-scc";
   if (IcdMaxRegion != 0)
     N += " icd-max-region=" + std::to_string(IcdMaxRegion);
+  if (WindowTxs != 0)
+    N += " window-txs=" + std::to_string(WindowTxs);
   if (LogTransport == Transport::Arena)
     N += " arena-log";
   else if (LogTransport == Transport::Legacy)
@@ -502,6 +518,28 @@ std::vector<FaultCase> fuzz::faultSweepCases() {
     C.IcdMaxRegion = 1;
     Cases.push_back(C);
   }
+  // Wedged retirement-window flush in streaming mode: the flush goes
+  // busy-silent on its watchdog slot mid-window; the watchdog must surface
+  // a structured WindowFlushStall — never a hang, an abort, or a lost
+  // verdict — and the flush completes once the fault is recorded. A tiny
+  // cadence makes even minimal fuzz programs cross a boundary; the short
+  // timeout keeps the sweep fast.
+  {
+    FaultCase C;
+    C.Plan.WindowStallAt = 1;
+    C.WindowTxs = 3;
+    C.PcdTimeoutMs = 100;
+    Cases.push_back(C);
+  }
+  // Shed logging layered over streaming windows: the degradation ladder
+  // must stay sound when flush-forced collection and PCD drains interleave
+  // with degraded SCCs.
+  {
+    FaultCase C;
+    C.Plan.AllocFailAt = 1;
+    C.WindowTxs = 3;
+    Cases.push_back(C);
+  }
   // Delayed collector inside the vector-clock engine, under an aggressive
   // collect cadence (every 4 finished transactions): mark-sweep over live
   // subscription lists must not change the verdict or blame.
@@ -536,6 +574,7 @@ fuzz::checkFaultCase(const ir::Program &Source,
 
   core::RunConfig Cfg = Base;
   Cfg.Faults = Case.Plan;
+  Cfg.WindowTxs = Case.WindowTxs;
   if (Case.Eng == FaultCase::Engine::Vc) {
     // Make the collector actually run on tiny fuzz programs so the delay
     // (and the mark-sweep it delays) is exercised, not just configured.
@@ -587,6 +626,78 @@ fuzz::checkFaultCase(const ir::Program &Source,
   if (!isSubset(O.BlamedMethods, V.CycleMethods))
     return Name + ": blames methods outside the oracle's dependence cycles";
 
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Streaming-window replay (batch-vs-streaming verdict equality)
+//===----------------------------------------------------------------------===//
+
+std::optional<std::string>
+fuzz::checkWindowedPair(const ir::Program &Source,
+                        const oracle::RecordedTrace &Trace,
+                        uint32_t WindowTxs) {
+  core::AtomicitySpec Spec = core::AtomicitySpec::initial(Source);
+  for (core::Mode M : {core::Mode::SingleRun, core::Mode::VectorClock}) {
+    const std::string Name = "windowed/" + core::toString(M);
+
+    core::RunConfig Batch;
+    Batch.M = M;
+    Batch.RunOpts = replayOpts(Trace.Schedule);
+    core::RunOutcome B = core::runChecker(Source, Spec, Batch);
+    if (B.Result.ScheduleDiverged || B.Result.Aborted)
+      return Name + ": batch replay failed";
+
+    // The streaming run pipes every confirmed record and window boundary
+    // through a real StreamingSession, so the NDJSON path is exercised —
+    // and its event counters cross-checked — on every windowed witness.
+    std::ostringstream Stream;
+    rt::StreamingSession::Options SOpts;
+    SOpts.Out = &Stream;
+    SOpts.MethodName = [&Source](ir::MethodId Id) {
+      return Source.Methods[Id].Name;
+    };
+    rt::StreamingSession Session(std::move(SOpts));
+
+    core::RunConfig Win = Batch;
+    Win.WindowTxs = WindowTxs;
+    Win.Session = &Session;
+    core::RunOutcome O = core::runChecker(Source, Spec, Win);
+    if (O.Result.ScheduleDiverged)
+      return Name + ": recorded schedule did not replay under windowing";
+    if (O.Result.Aborted)
+      return Name + ": windowed replay aborted";
+
+    // The retirement windows must not change *any* verdict: a healthy
+    // flush waits for in-flight PCD work instead of degrading, so both
+    // tiers match batch mode exactly.
+    if (O.BlamedMethods != B.BlamedMethods)
+      return Name + ": windowed blame differs from batch (windowed=" +
+             describeSet(O.BlamedMethods) +
+             " batch=" + describeSet(B.BlamedMethods) + ")";
+    if (O.PotentialMethods != B.PotentialMethods)
+      return Name + ": windowed potential set differs from batch (windowed=" +
+             describeSet(O.PotentialMethods) +
+             " batch=" + describeSet(B.PotentialMethods) + ")";
+    if (O.Violations.empty() != B.Violations.empty())
+      return Name + ": windowed has-records bit differs from batch";
+
+    const char *WindowStat = M == core::Mode::VectorClock
+                                 ? "vc.windows_flushed"
+                                 : "governor.windows_flushed";
+    if (O.stat(WindowStat) == 0)
+      return Name +
+             ": no retirement window flushed (window machinery inactive)";
+    if (Session.violationsStreamed() != O.Violations.size())
+      return Name + ": streamed " +
+             std::to_string(Session.violationsStreamed()) +
+             " violations but the run recorded " +
+             std::to_string(O.Violations.size());
+    if (Session.windowsStreamed() != O.stat(WindowStat))
+      return Name + ": streamed " + std::to_string(Session.windowsStreamed()) +
+             " window events but " + std::to_string(O.stat(WindowStat)) +
+             " windows flushed";
+  }
   return std::nullopt;
 }
 
@@ -749,6 +860,8 @@ bool fuzz::writeWitness(const std::string &Path, const Divergence &D,
       Out << "# fault-batched-scc: 1\n";
     if (D.Fault.IcdMaxRegion != 0)
       Out << "# fault-icd-max-region: " << D.Fault.IcdMaxRegion << "\n";
+    if (D.Fault.WindowTxs != 0)
+      Out << "# fault-window-txs: " << D.Fault.WindowTxs << "\n";
     if (D.Fault.LogTransport == FaultCase::Transport::Arena)
       Out << "# fault-transport: arena\n";
     else if (D.Fault.LogTransport == FaultCase::Transport::Legacy)
@@ -778,6 +891,7 @@ bool fuzz::readWitness(const std::string &Path, Witness &W,
   W.Schedule.clear();
   W.InjectIcdBug = false;
   W.Fault = FaultCase();
+  W.WindowTxs = 0;
   std::istringstream IS(Text);
   std::string Line;
   while (std::getline(IS, Line)) {
@@ -819,6 +933,10 @@ bool fuzz::readWitness(const std::string &Path, Witness &W,
       W.Fault.BatchedScc = V != 0;
     } else if (Tag == "fault-icd-max-region:") {
       LS >> W.Fault.IcdMaxRegion;
+    } else if (Tag == "fault-window-txs:") {
+      LS >> W.Fault.WindowTxs;
+    } else if (Tag == "window-txs:") {
+      LS >> W.WindowTxs;
     } else if (Tag == "fault-transport:") {
       std::string T;
       LS >> T;
@@ -867,7 +985,11 @@ std::optional<std::string> fuzz::replayWitness(const Witness &W) {
     return std::string("witness replay aborted");
   if (W.Fault.any())
     return checkFaultCase(W.P, T, W.Fault);
-  return checkPair(W.P, T, W.InjectIcdBug).Divergence;
+  if (auto D = checkPair(W.P, T, W.InjectIcdBug).Divergence)
+    return D;
+  if (W.WindowTxs != 0)
+    return checkWindowedPair(W.P, T, W.WindowTxs);
+  return std::nullopt;
 }
 
 //===----------------------------------------------------------------------===//

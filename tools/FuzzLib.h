@@ -126,14 +126,19 @@ struct FaultCase {
   /// Incremental detector's affected-region cap (0 = default): tiny values
   /// force the oversized-region sound-degradation valve.
   uint32_t IcdMaxRegion = 0;
+  /// Streaming service mode: retirement-window cadence for the case (0 =
+  /// batch). The window-stall fault needs a window boundary to wedge, and
+  /// any fault plan may be layered over windowing to prove the flush path
+  /// degrades as soundly as batch mode.
+  uint32_t WindowTxs = 0;
   Transport LogTransport = Transport::Ring;
   Engine Eng = Engine::DoubleChecker;
 
   bool any() const {
     return Plan.any() || ParallelPcd || PcdQueueDepth != 0 ||
            MaxSccTxs != 0 || PcdTimeoutMs != 0 || BatchedScc ||
-           IcdMaxRegion != 0 || LogTransport != Transport::Ring ||
-           Eng != Engine::DoubleChecker;
+           IcdMaxRegion != 0 || WindowTxs != 0 ||
+           LogTransport != Transport::Ring || Eng != Engine::DoubleChecker;
   }
   /// Human-readable label, also used in witness headers.
   std::string name() const;
@@ -153,6 +158,18 @@ std::vector<FaultCase> faultSweepCases();
 std::optional<std::string> checkFaultCase(const ir::Program &Source,
                                           const oracle::RecordedTrace &Trace,
                                           const FaultCase &Case);
+
+/// Replays the recorded pair through both windowed engines (single-run
+/// DoubleChecker and the vector-clock engine) in streaming mode with the
+/// given retirement-window cadence, wired into a StreamingSession, and
+/// checks batch-vs-streaming verdict equality: same blamed methods, same
+/// potential methods, same has-records bit, at least one window actually
+/// flushed, and the streamed violation/window event counts matching the
+/// run's recorded ones. Returns the violation description, or nullopt if
+/// the invariant holds.
+std::optional<std::string>
+checkWindowedPair(const ir::Program &Source,
+                  const oracle::RecordedTrace &Trace, uint32_t WindowTxs);
 
 /// A divergence, packaged for minimization and replay.
 struct Divergence {
@@ -182,6 +199,10 @@ struct Witness {
   /// Parsed from the '# fault-plan:' header block; when armed, replay runs
   /// checkFaultCase under this configuration.
   FaultCase Fault;
+  /// Parsed from '# window-txs:'; when set (and no fault is armed), replay
+  /// additionally runs checkWindowedPair at this cadence, proving the
+  /// witness's verdict survives streaming-mode retirement windows.
+  uint32_t WindowTxs = 0;
 };
 /// Returns false (with \p Error set) on I/O or parse failure.
 bool readWitness(const std::string &Path, Witness &W, std::string &Error);

@@ -106,12 +106,28 @@ FAULT_BUDGET="${DC_FAULT_BUDGET_SECONDS:-20}"
 build-ci/tools/dcfuzz --seed 3 --budget-seconds "$FAULT_BUDGET" \
   --pairs 1000000 --fault-sweep --progress 2000
 
+echo "== Streaming service-mode soak (bounded) =="
+# Service mode end to end (DESIGN.md §15): churn generated programs
+# through both windowed engines at an aggressive retirement cadence with
+# the rotating fault matrix layered over window boundaries, asserting
+# bounded RSS, zero missed seeded violations, batch-vs-streaming verdict
+# equality, and structured (never hanging) fault surfacing. The committed
+# SOAK.json records a full-length run; DC_SOAK_BUDGET_SECONDS=300 (or
+# more) is the nightly setting, the default keeps the gate fast. The
+# min-windows floor scales with the budget (the contract's 100-epoch floor
+# is calibrated to >= 60-second runs; the smoke slice still flushes
+# hundreds).
+SOAK_BUDGET="${DC_SOAK_BUDGET_SECONDS:-15}"
+build-ci/tools/dcsoak --seconds "$SOAK_BUDGET" --seed 11 \
+  --json-out build-ci/soak_smoke.json --progress 500
+
 echo "== ThreadSanitizer build + concurrency stress tests =="
 cmake -B build-ci-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DDC_SANITIZE=thread >/dev/null
 cmake --build build-ci-tsan -j "$JOBS" --target idg_stress_test \
   octet_stress_test octet_coord_test log_elision_test log_srcpos_test \
-  ring_log_test fault_injection_test icd_test vc_test property_test dcfuzz
+  ring_log_test fault_injection_test icd_test vc_test property_test \
+  streaming_test dcfuzz dcsoak
 
 echo "== Differential schedule fuzz under TSan (smoke) =="
 # Much slower per pair under TSan; a short fixed-seed slice is enough to
@@ -120,6 +136,13 @@ echo "== Differential schedule fuzz under TSan (smoke) =="
 # (shed flags, queue backpressure, join-or-detach destruction).
 build-ci-tsan/tools/dcfuzz --seed 7 --pairs 40 --strategy mixed
 build-ci-tsan/tools/dcfuzz --seed 7 --pairs 10 --fault-sweep
+# A TSan slice of the service-mode soak: window flushes synchronize the
+# mutator, the PCD pool, the ring drainer, and the collector — exactly the
+# cross-thread seams TSan exists for. Iteration-bounded (TSan's slowdown
+# makes wall-clock budgets unpredictable), with the fault rotation on and
+# the min-windows floor scaled to the short slice.
+build-ci-tsan/tools/dcsoak --iterations 60 --seconds 0 --seed 13 \
+  --min-windows 20
 # TSan slows execution ~5-15x; restrict to the tests whose whole point is
 # cross-thread synchronization rather than re-running the full suite. The
 # logging tests are in that set: LogSrcPos races a lock-free LogLen
@@ -136,7 +159,7 @@ build-ci-tsan/tools/dcfuzz --seed 7 --pairs 10 --fault-sweep
 # collector), and the three-way EngineAgreement property replays one
 # recorded schedule through all engines under TSan.
 ctest --test-dir build-ci-tsan --output-on-failure \
-  -R "Idg|Octet|ElisionFilter|LogDifferential|SrcPosSampling|FaultInjection|Icd|Ring|Vc|EngineAgreement"
+  -R "Idg|Octet|ElisionFilter|LogDifferential|SrcPosSampling|FaultInjection|Icd|Ring|Vc|EngineAgreement|Streaming"
 
 echo "== AddressSanitizer build + abort-mid-coordination regression =="
 # The seed's serial protocol could return from an aborted roundtrip while a

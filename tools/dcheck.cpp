@@ -11,6 +11,7 @@
 ///   dcheck --file prog.dcir --engine velodrome --trials 5
 ///   dcheck --workload eclipse6 --refine
 ///   dcheck --workload avrora9 --dump-ir > avrora9.dcir
+///   dcheck --workload hsqldb6 --serve --window-txs 4096 --ndjson out.ndjson
 ///
 /// The engine/mode table (--list-modes) is generated from core::allModes()
 /// + core::toString(Mode), so it cannot drift from the enum. "multi-run"
@@ -18,11 +19,22 @@
 /// pseudo mode on top; second-run needs --static-info from a prior first
 /// run's --emit-static.
 ///
+/// Exit codes are a contract (tests/exit_code_test.cpp pins them):
+///   0   clean — no violations, no checker fault
+///   1   atomicity violations found (precise blame), checker healthy
+///   2   checker fault (structured CheckerFault or aborted run), or a
+///       degraded run that reported only Potential violations — the answer
+///       is "cannot prove clean", which supervisors must not conflate with
+///       either clean or a precise report
+///   64  usage error (bad flags/input), before any checking ran
+///
 //===----------------------------------------------------------------------===//
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -30,12 +42,20 @@
 #include "core/Refinement.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
+#include "rt/StreamingSession.h"
+#include "support/ChromeTrace.h"
 #include "workloads/Workloads.h"
 
 using namespace dc;
 using namespace dc::core;
 
 namespace {
+
+/// The documented exit-code contract (file header).
+constexpr int ExitClean = 0;
+constexpr int ExitViolations = 1;
+constexpr int ExitFault = 2;
+constexpr int ExitUsage = 64;
 
 struct CliOptions {
   std::string Workload;
@@ -61,6 +81,11 @@ struct CliOptions {
   bool ArenaLog = false;
   bool SerialRoundtrips = false;
   bool BatchedScc = false;
+  bool Serve = false;
+  unsigned WindowTxs = 0;
+  unsigned HealthEvery = 1;
+  std::string NdjsonFile;
+  std::string TraceOutFile;
   bool Refine = false;
   bool DumpIr = false;
   bool DumpCompiledIr = false;
@@ -129,10 +154,28 @@ void printUsage() {
       "  --static-info <path>  second-run input (from --emit-static)\n"
       "  --emit-static <path>  write first-run static transaction info\n"
       "\n"
+      "service mode (DESIGN.md §15):\n"
+      "  --serve               stream NDJSON events (violation/window/\n"
+      "                        health/fault/summary) live as the run\n"
+      "                        progresses, to stdout or --ndjson\n"
+      "  --window-txs <n>      retirement-window cadence in finished\n"
+      "                        transactions (default 4096 under --serve,\n"
+      "                        0 = batch otherwise); windowed engines\n"
+      "                        flush+retire soundly at every boundary\n"
+      "  --health-every <n>    emit a health event every n windows\n"
+      "                        (default 1, 0 = never)\n"
+      "  --ndjson <path>       write the event stream to a file\n"
+      "  --trace-out <path>    export a chrome://tracing JSON timeline of\n"
+      "                        transactions, edges, SCC merges, window\n"
+      "                        flushes, and degradation events\n"
+      "\n"
       "output:\n"
       "  --dump-ir             print the program and exit\n"
       "  --dump-compiled-ir    print the instrumented program and exit\n"
-      "  --stats               print all statistics counters\n");
+      "  --stats               print all statistics counters\n"
+      "\n"
+      "exit codes: 0 clean; 1 violations found; 2 checker fault or\n"
+      "degraded potential-only report; 64 usage error\n");
 }
 
 bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
@@ -195,6 +238,16 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.SerialRoundtrips = true;
     else if (Arg == "--batched-scc")
       Opts.BatchedScc = true;
+    else if (Arg == "--serve")
+      Opts.Serve = true;
+    else if (Arg == "--window-txs" && Value(V))
+      Opts.WindowTxs = static_cast<unsigned>(std::atoi(V.c_str()));
+    else if (Arg == "--health-every" && Value(V))
+      Opts.HealthEvery = static_cast<unsigned>(std::atoi(V.c_str()));
+    else if (Arg == "--ndjson" && Value(V))
+      Opts.NdjsonFile = V;
+    else if (Arg == "--trace-out" && Value(V))
+      Opts.TraceOutFile = V;
     else if (Arg == "--refine")
       Opts.Refine = true;
     else if (Arg == "--dump-ir")
@@ -281,7 +334,7 @@ int main(int Argc, char **Argv) {
   CliOptions Opts;
   if (!parseArgs(Argc, Argv, Opts)) {
     printUsage();
-    return 2;
+    return ExitUsage;
   }
   if (Opts.ListModes) {
     for (Mode M : allModes())
@@ -297,7 +350,7 @@ int main(int Argc, char **Argv) {
   if (Opts.Workload.empty() == Opts.File.empty()) {
     std::fprintf(stderr, "error: pass exactly one of --workload/--file\n");
     printUsage();
-    return 2;
+    return ExitUsage;
   }
 
   // --- Load the program. ---------------------------------------------------
@@ -306,14 +359,14 @@ int main(int Argc, char **Argv) {
     if (workloads::find(Opts.Workload) == nullptr) {
       std::fprintf(stderr, "error: unknown workload '%s' (try --list)\n",
                    Opts.Workload.c_str());
-      return 2;
+      return ExitUsage;
     }
     P = workloads::build(Opts.Workload, Opts.Scale);
   } else {
     std::ifstream In(Opts.File);
     if (!In) {
       std::fprintf(stderr, "error: cannot open '%s'\n", Opts.File.c_str());
-      return 2;
+      return ExitUsage;
     }
     std::ostringstream Buf;
     Buf << In.rdbuf();
@@ -321,7 +374,7 @@ int main(int Argc, char **Argv) {
     if (!R.Ok) {
       std::fprintf(stderr, "%s:%u: error: %s\n", Opts.File.c_str(),
                    R.ErrorLine, R.Error.c_str());
-      return 2;
+      return ExitUsage;
     }
     P = std::move(R.P);
   }
@@ -360,7 +413,11 @@ int main(int Argc, char **Argv) {
                 O.StaticInfo.MethodNames.size(),
                 O.StaticInfo.AnyUnary ? "yes" : "no");
     printOutcome(P, O, Opts);
-    return O.BlamedMethods.empty() ? 0 : 1;
+    if (O.Result.Fault != rt::CheckerFault::None || O.Result.Aborted)
+      return ExitFault;
+    if (!O.BlamedMethods.empty())
+      return ExitViolations;
+    return O.PotentialMethods.empty() ? ExitClean : ExitFault;
   }
 
   // --- Single configuration. -----------------------------------------------
@@ -368,7 +425,7 @@ int main(int Argc, char **Argv) {
   if (!modeFromName(Opts.ModeName, M)) {
     std::fprintf(stderr, "error: unknown mode '%s' (expected %s)\n",
                  Opts.ModeName.c_str(), modeListString().c_str());
-    return 2;
+    return ExitUsage;
   }
 
   analysis::StaticTransactionInfo Info;
@@ -381,21 +438,21 @@ int main(int Argc, char **Argv) {
   } else if (Opts.SchedName != "random") {
     std::fprintf(stderr, "error: unknown scheduler '%s'\n",
                  Opts.SchedName.c_str());
-    return 2;
+    return ExitUsage;
   }
   if ((!Opts.ScheduleOutFile.empty() || !Opts.ScheduleInFile.empty() ||
        Opts.SchedName != "random") &&
       !Opts.Deterministic) {
     std::fprintf(stderr, "error: --sched/--schedule-out/--schedule-in need "
                          "--det\n");
-    return 2;
+    return ExitUsage;
   }
   if (!Opts.ScheduleInFile.empty() &&
       !rt::readScheduleFile(Opts.ScheduleInFile,
                             Cfg.RunOpts.ExplicitSchedule)) {
     std::fprintf(stderr, "error: cannot read schedule file '%s'\n",
                  Opts.ScheduleInFile.c_str());
-    return 2;
+    return ExitUsage;
   }
   Cfg.ParallelPcd = Opts.ParallelPcd;
   Cfg.PcdWorkers = Opts.PcdWorkers;
@@ -411,7 +468,7 @@ int main(int Argc, char **Argv) {
     if (!FaultPlan::parse(Opts.FaultPlanSpec, Cfg.Faults, PlanError)) {
       std::fprintf(stderr, "error: bad --fault-plan: %s\n",
                    PlanError.c_str());
-      return 2;
+      return ExitUsage;
     }
   }
   if (!Opts.Deterministic)
@@ -420,7 +477,7 @@ int main(int Argc, char **Argv) {
     if (Opts.StaticInfoFile.empty()) {
       std::fprintf(stderr,
                    "error: second-run modes need --static-info <file>\n");
-      return 2;
+      return ExitUsage;
     }
     std::ifstream In(Opts.StaticInfoFile);
     std::ostringstream Buf;
@@ -436,7 +493,41 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
+  // --- Streaming service mode (DESIGN.md §15). -----------------------------
+  Cfg.WindowTxs =
+      Opts.WindowTxs != 0 ? Opts.WindowTxs : (Opts.Serve ? 4096 : 0);
+  std::ofstream NdjsonOut;
+  std::unique_ptr<rt::StreamingSession> Session;
+  if (Opts.Serve) {
+    std::ostream *EventOut = &std::cout;
+    if (!Opts.NdjsonFile.empty()) {
+      NdjsonOut.open(Opts.NdjsonFile);
+      if (!NdjsonOut) {
+        std::fprintf(stderr, "error: cannot write '%s'\n",
+                     Opts.NdjsonFile.c_str());
+        return ExitUsage;
+      }
+      EventOut = &NdjsonOut;
+    }
+    rt::StreamingSession::Options SOpts;
+    SOpts.Out = EventOut;
+    SOpts.HealthEveryWindows = Opts.HealthEvery;
+    SOpts.MethodName = [&P](ir::MethodId Id) { return P.Methods[Id].Name; };
+    Session = std::make_unique<rt::StreamingSession>(std::move(SOpts));
+    Cfg.Session = Session.get();
+  }
+  std::unique_ptr<TraceRecorder> Trace;
+  if (!Opts.TraceOutFile.empty()) {
+    Trace = std::make_unique<TraceRecorder>();
+    Cfg.Trace = Trace.get();
+  }
+
   bool AnyBlame = false;
+  bool AnyPotential = false;
+  bool AnyAborted = false;
+  rt::CheckerFault FirstFault = rt::CheckerFault::None;
+  std::set<std::string> AllBlamed, AllPotential;
+  uint64_t TotalRecords = 0;
   std::vector<uint32_t> ExecutedSchedule;
   for (unsigned T = 0; T < std::max(1u, Opts.Trials); ++T) {
     Cfg.RunOpts.ScheduleSeed = Opts.Seed + T;
@@ -458,6 +549,14 @@ int main(int Argc, char **Argv) {
                   (unsigned long long)Cfg.RunOpts.ScheduleSeed);
     printOutcome(P, O, Opts);
     AnyBlame = AnyBlame || !O.BlamedMethods.empty();
+    AnyPotential = AnyPotential || !O.PotentialMethods.empty();
+    AnyAborted = AnyAborted || O.Result.Aborted;
+    if (FirstFault == rt::CheckerFault::None)
+      FirstFault = O.Result.Fault;
+    AllBlamed.insert(O.BlamedMethods.begin(), O.BlamedMethods.end());
+    AllPotential.insert(O.PotentialMethods.begin(),
+                        O.PotentialMethods.end());
+    TotalRecords += O.Violations.size();
     if (!Opts.EmitStaticFile.empty()) {
       std::ofstream OutFile(Opts.EmitStaticFile,
                             T == 0 ? std::ios::trunc : std::ios::app);
@@ -466,5 +565,19 @@ int main(int Argc, char **Argv) {
                   Opts.EmitStaticFile.c_str());
     }
   }
-  return AnyBlame ? 1 : 0;
+
+  // The documented contract: a fault (or abort) trumps everything — the
+  // answer is "checker unhealthy", regardless of what was found before the
+  // fault; precise blame is 1; a degraded potential-only report cannot
+  // prove either direction, so it maps to 2, not 0 and not 1.
+  int Exit = AnyBlame ? ExitViolations : ExitClean;
+  if (FirstFault != rt::CheckerFault::None || AnyAborted ||
+      (!AnyBlame && AnyPotential))
+    Exit = ExitFault;
+  if (Session)
+    Session->finish(AllBlamed, AllPotential, TotalRecords, FirstFault, Exit);
+  if (Trace && !Trace->writeJson(Opts.TraceOutFile))
+    std::fprintf(stderr, "error: cannot write '%s'\n",
+                 Opts.TraceOutFile.c_str());
+  return Exit;
 }
