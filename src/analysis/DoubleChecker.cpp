@@ -535,6 +535,8 @@ void DoubleCheckerRuntime::beginRun(rt::Runtime &RT) {
   if (!PcdOnlyAnalysis && Opts.DetectIcdCycles && !Opts.BatchedScc) {
     IncrementalCycleDetector::Options IOpts;
     IOpts.MaxRegion = std::max(1u, Opts.IcdMaxRegion);
+    IOpts.LockedFastPath = Opts.IcdLockedFastPath;
+    IOpts.RetryStorm = Opts.IcdSeqRetryStorm;
     Icd = std::make_unique<IncrementalCycleDetector>(IOpts);
   }
   Octet = std::make_unique<octet::OctetManager>(

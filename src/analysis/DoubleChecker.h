@@ -111,6 +111,15 @@ struct DoubleCheckerOptions {
   /// (Pcd::reportPotential) instead of being replayed. The default is
   /// unreachable for any governed live graph; tests shrink it.
   uint32_t IcdMaxRegion = 1u << 20;
+  /// Escape hatch: force every ICD cross edge through the detector's Mu
+  /// slow path instead of the default lock-free seqlock-validated fast
+  /// path for order-consistent edges (DESIGN.md §12). For
+  /// lockfree-vs-locked comparisons; violations must be identical.
+  bool IcdLockedFastPath = false;
+  /// Test/fault knob: force each ICD fast-path attempt to fail seqlock
+  /// validation this many times (0 = off), deterministically exercising
+  /// the retry counter and the retry-cap fallback.
+  uint32_t IcdSeqRetryStorm = 0;
   /// Cross-edged transactions that must finish before one batched Tarjan
   /// pass walks from all of them at once (BatchedScc mode only). Every
   /// pass takes all IDG stripes (a full-graph freeze), so batching divides

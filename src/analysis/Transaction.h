@@ -61,7 +61,8 @@ namespace dc {
 namespace analysis {
 
 class Transaction;
-struct IcdGroup; // IncrementalCycles.h
+struct IcdGroup;    // IncrementalCycles.h
+struct IcdEdgeNode; // IncrementalCycles.h
 
 /// One decoded entry of a transaction's read/write log (also the legacy
 /// path's stored representation). EdgeIn markers record the edge's *source
@@ -214,26 +215,34 @@ public:
 
   // --- Scratch state for incremental cycle detection (IncrementalCycles.h)
   //
-  // All of it is guarded by the detector's internal lock, *not* by IDG
-  // stripes: edge inserts reorder transactions owned by threads whose
-  // stripes the inserting thread does not hold, so the stripe discipline
-  // cannot cover these fields. The detector never dereferences a
-  // transaction the collector has freed — collectNow unlinks doomed nodes
-  // (IncrementalCycleDetector::removeNodes) while it still holds every
-  // stripe, before any free.
+  // Reorder-sensitive fields (order key, group pointer) are mutated only
+  // under the detector's internal lock in seqlock writer mode, but they are
+  // *read* lock-free by addEdge's consistent-edge fast path, so they are
+  // atomics validated against the detector's reorder seqlock. The adjacency
+  // heads are lock-free MPSC push chains. The stripe discipline cannot
+  // cover any of this: edge inserts reorder transactions owned by threads
+  // whose stripes the inserting thread does not hold. The detector never
+  // dereferences a transaction the collector has freed — collectNow unlinks
+  // doomed nodes (IncrementalCycleDetector::removeNodes) while it still
+  // holds every stripe, before any free.
   /// Position in the maintained topological order (vertices that were
   /// merged into a confirmed cycle share their group's order key instead).
-  uint64_t IcdOrd = 0;
+  /// Written in seqlock writer mode; fast-path reads validate via readRetry.
+  std::atomic<uint64_t> IcdOrd{0};
   /// Condensation vertex this node was merged into, once it is known to be
-  /// on a cycle; null while the node is a singleton vertex.
-  IcdGroup *IcdG = nullptr;
+  /// on a cycle; null while the node is a singleton vertex. Installed with
+  /// release order so a fast-path acquire load sees the group initialized.
+  std::atomic<IcdGroup *> IcdG{nullptr};
   /// Detector-private adjacency (the IDG's Out is stripe-guarded and
   /// append-only, so the detector keeps its own symmetric lists it can
-  /// traverse backwards and unlink from). Small-buffer storage: a typical
-  /// transaction carries one or two program-order edges and no cross
-  /// edges, so the common case never allocates.
-  InlineVec<Transaction *, 4> IcdIn;
-  InlineVec<Transaction *, 4> IcdOut;
+  /// traverse backwards and unlink from). Singly-linked push chains of
+  /// detector-owned IcdEdgeNode cells: the lock-free fast path publishes a
+  /// node with a release CAS on the head, searches under the detector lock
+  /// load the head with acquire order and walk plain Next pointers. Each
+  /// logical edge Src→Dst is two nodes: one on Src's out-chain
+  /// (Peer = Dst) and one on Dst's in-chain (Peer = Src).
+  std::atomic<IcdEdgeNode *> IcdOutHead{nullptr};
+  std::atomic<IcdEdgeNode *> IcdInHead{nullptr};
   /// Program-order chain: consecutive transactions of one thread. Kept
   /// outside IcdIn/IcdOut so linking a new transaction is lock-free — the
   /// owner writes the pointer once (release) while it still holds its own

@@ -156,6 +156,8 @@ RunOutcome core::runChecker(const ir::Program &Source,
     DOpts.BatchedScc = Cfg.BatchedScc;
     if (Cfg.IcdMaxRegion != 0)
       DOpts.IcdMaxRegion = Cfg.IcdMaxRegion;
+    DOpts.IcdLockedFastPath = Cfg.IcdLockedFastPath;
+    DOpts.IcdSeqRetryStorm = Cfg.IcdSeqRetryStorm;
     DOpts.EagerSccRoots = Cfg.EagerSccRoots;
     DOpts.ElideDuplicates = Cfg.ElideDuplicates;
     DOpts.TestOnlyUnsoundFilter = Cfg.TestOnlyUnsoundIcdFilter;

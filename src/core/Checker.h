@@ -107,6 +107,13 @@ struct RunConfig {
   /// degradation valve: oversized regions report Potential instead of
   /// reordering.
   uint32_t IcdMaxRegion = 0;
+  /// Escape hatch: force every ICD cross edge through the detector's lock
+  /// instead of the default lock-free consistent-edge fast path. For
+  /// lockfree-vs-locked comparisons; violations must be identical.
+  bool IcdLockedFastPath = false;
+  /// Force each ICD fast-path attempt to fail seqlock validation this many
+  /// times (0 = off); exercises retry counting and the cap fallback.
+  uint32_t IcdSeqRetryStorm = 0;
   /// Escape hatch (BatchedScc only): pend every cross-touched transaction
   /// as a Tarjan root and walk every chain node, instead of the out-cross
   /// root filter with chain compression. Same detected components either

@@ -1,0 +1,95 @@
+//===- support/SeqLock.h - Sequence lock for optimistic readers -*- C++ -*-===//
+//
+// Part of the DoubleChecker reproduction. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A sequence lock: a single epoch word that is even while the protected
+/// state is stable and odd while a writer is mutating it. Readers snapshot
+/// the epoch, read the state optimistically, and retry if the epoch moved or
+/// was odd. Writers flip the epoch odd, mutate, and flip it back even;
+/// mutual exclusion between writers is the caller's job (the incremental
+/// cycle detector enters writer mode only while holding its `Mu`).
+///
+/// The reader-side validation uses a seq_cst fence before the re-read. A
+/// reader that (a) publishes data with a release/seq_cst operation, then
+/// (b) fences, then (c) observes the pre-write epoch, is ordered before the
+/// writer's post-`writeBegin` fence in the single total order of seq_cst
+/// operations ([atomics.fences]) — so the writer's critical section is
+/// guaranteed to observe the reader's publication. DESIGN.md §12 spells out
+/// how the cycle detector leans on this for its lock-free consistent-edge
+/// fast path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_SUPPORT_SEQLOCK_H
+#define DC_SUPPORT_SEQLOCK_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/SpinLock.h"
+
+namespace dc {
+
+/// A one-word sequence lock. Writer mutual exclusion is external.
+class SeqLock {
+public:
+  /// Begin an optimistic read section: returns an even epoch to validate
+  /// against. Spins (with yielding backoff) while a writer is in progress.
+  uint64_t readBegin() const {
+    YieldBackoff Backoff;
+    for (;;) {
+      uint64_t E = Epoch.load(std::memory_order_acquire);
+      if ((E & 1) == 0)
+        return E;
+      Backoff.pause();
+    }
+  }
+
+  /// Validate an optimistic read section begun at epoch \p E. Returns true
+  /// if the section raced with a writer and must be retried. The seq_cst
+  /// fence also orders any store the reader made before this call ahead of
+  /// a writer whose writeBegin() this load does not observe.
+  bool readRetry(uint64_t E) const {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    return Epoch.load(std::memory_order_relaxed) != E;
+  }
+
+  /// Enter writer mode: epoch becomes odd. Caller must hold the external
+  /// writer mutex. The fence pairs with readRetry's fence (see \file docs).
+  void writeBegin() {
+    Epoch.fetch_add(1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+  }
+
+  /// Leave writer mode: epoch becomes even again, releasing the mutations
+  /// to subsequent readBegin() acquires.
+  void writeEnd() { Epoch.fetch_add(1, std::memory_order_release); }
+
+  /// True while a writer section is open (diagnostics only).
+  bool writeActive() const {
+    return (Epoch.load(std::memory_order_relaxed) & 1) != 0;
+  }
+
+private:
+  std::atomic<uint64_t> Epoch{0};
+};
+
+/// RAII writer section. The caller must already hold the external mutex
+/// that serializes writers.
+class SeqWriteGuard {
+public:
+  explicit SeqWriteGuard(SeqLock &L) : Lock(L) { Lock.writeBegin(); }
+  ~SeqWriteGuard() { Lock.writeEnd(); }
+  SeqWriteGuard(const SeqWriteGuard &) = delete;
+  SeqWriteGuard &operator=(const SeqWriteGuard &) = delete;
+
+private:
+  SeqLock &Lock;
+};
+
+} // namespace dc
+
+#endif // DC_SUPPORT_SEQLOCK_H

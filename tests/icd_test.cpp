@@ -33,6 +33,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 
@@ -57,6 +58,9 @@ struct DetectorHarness {
   explicit DetectorHarness(uint32_t MaxRegion = 1u << 20) {
     IncrementalCycleDetector::Options O;
     O.MaxRegion = MaxRegion;
+    D = std::make_unique<IncrementalCycleDetector>(O);
+  }
+  explicit DetectorHarness(const IncrementalCycleDetector::Options &O) {
     D = std::make_unique<IncrementalCycleDetector>(O);
   }
 
@@ -177,8 +181,8 @@ TEST(IcdDetectorTest, RegionCapDegradesToOversizedClaims) {
   ASSERT_EQ(Claims.size(), 1u);
   EXPECT_TRUE(Claims[0].Oversized);
   EXPECT_EQ(members(Claims[0]), (std::set<Transaction *>{A, B}));
-  ASSERT_NE(A->IcdG, nullptr);
-  EXPECT_TRUE(A->IcdG->Oversized);
+  ASSERT_NE(A->IcdG.load(), nullptr);
+  EXPECT_TRUE(A->IcdG.load()->Oversized);
   // Any edge touching the poisoned region absorbs the other endpoint (and
   // its undirected closure) — reported as a fresh Oversized claim.
   Claims = H.edge(C, A);
@@ -251,11 +255,107 @@ TEST(IcdDetectorTest, RemoveNodesUnlinksSweptTransactions) {
   // Sweep the middle of the chain (in the runtime only unreachable
   // finished transactions are doomed; the detector must not care which).
   H.D->removeNodes({B});
-  EXPECT_TRUE(A->IcdOut.empty());
-  EXPECT_TRUE(C->IcdIn.empty());
+  EXPECT_EQ(A->IcdOutHead.load(), nullptr);
+  EXPECT_EQ(C->IcdInHead.load(), nullptr);
   // The survivors keep working: a back edge among them still reorders.
   EXPECT_TRUE(H.edge(C, A).empty());
   EXPECT_TRUE(H.retire(C).empty());
+}
+
+//===----------------------------------------------------------------------===//
+// The lock-free consistent-edge fast path (seqlock validation)
+//===----------------------------------------------------------------------===//
+
+TEST(IcdDetectorTest, ConsistentEdgesCompleteLockFree) {
+  DetectorHarness H;
+  Transaction *A = H.node(0), *B = H.node(1), *C = H.node(2);
+  EXPECT_TRUE(H.edge(A, B).empty());
+  EXPECT_TRUE(H.edge(B, C).empty());
+  EXPECT_TRUE(H.edge(A, C).empty());
+  // A consecutive duplicate also rides the fast path (the existing cell
+  // already carries the edge; nothing new is published).
+  EXPECT_TRUE(H.edge(A, C).empty());
+  StatisticRegistry Stats;
+  H.D->flushStats(Stats);
+  EXPECT_EQ(Stats.value("icd.inc_edges"), 4u);
+  EXPECT_EQ(Stats.value("icd.fastpath_lockfree"), 4u);
+  EXPECT_EQ(Stats.value("icd.inc_fast_edges"), 4u);
+  EXPECT_EQ(Stats.value("icd.seqlock_retries"), 0u);
+  EXPECT_EQ(Stats.value("icd.lock_waits"), 0u);
+}
+
+TEST(IcdDetectorTest, LockedFastPathKeepsConsistentEdgesOnMu) {
+  IncrementalCycleDetector::Options O;
+  O.LockedFastPath = true;
+  DetectorHarness H(O);
+  Transaction *A = H.node(0), *B = H.node(1);
+  EXPECT_TRUE(H.edge(A, B).empty());
+  StatisticRegistry Stats;
+  H.D->flushStats(Stats);
+  // The differential partner never touches the seqlock machinery: the
+  // edge is classified (and counted consistent) under Mu.
+  EXPECT_EQ(Stats.value("icd.fastpath_lockfree"), 0u);
+  EXPECT_EQ(Stats.value("icd.seqlock_retries"), 0u);
+  EXPECT_EQ(Stats.value("icd.inc_edges"), 1u);
+  EXPECT_EQ(Stats.value("icd.inc_fast_edges"), 1u);
+}
+
+TEST(IcdDetectorTest, RetryStormCountsRetriesThenCompletesLockFree) {
+  IncrementalCycleDetector::Options O;
+  O.RetryStorm = 3; // Below the retry cap: the attempt still succeeds.
+  DetectorHarness H(O);
+  Transaction *A = H.node(0), *B = H.node(1);
+  EXPECT_TRUE(H.edge(A, B).empty());
+  StatisticRegistry Stats;
+  H.D->flushStats(Stats);
+  EXPECT_EQ(Stats.value("icd.seqlock_retries"), 3u);
+  EXPECT_EQ(Stats.value("icd.fastpath_lockfree"), 1u);
+  EXPECT_EQ(Stats.value("icd.lock_waits"), 0u);
+}
+
+TEST(IcdDetectorTest, RetryStormPastCapFallsBackToSlowPath) {
+  IncrementalCycleDetector::Options O;
+  O.RetryStorm = 100; // Exhausts every fast-path attempt.
+  DetectorHarness H(O);
+  Transaction *A = H.node(0), *B = H.node(1);
+  EXPECT_TRUE(H.edge(A, B).empty());
+  StatisticRegistry Stats;
+  H.D->flushStats(Stats);
+  // Eight attempts (the liveness cap), then classification under Mu: the
+  // edge is still recorded and still consistent, just not lock-free.
+  EXPECT_EQ(Stats.value("icd.seqlock_retries"), 8u);
+  EXPECT_EQ(Stats.value("icd.fastpath_lockfree"), 0u);
+  EXPECT_EQ(Stats.value("icd.inc_edges"), 1u);
+  EXPECT_EQ(Stats.value("icd.inc_fast_edges"), 1u);
+}
+
+/// Satellite fix: lock-wait accounting. A blocked lockMu() must charge the
+/// wait only after the lock is held (ns before count; flush drains count
+/// before ns), so a racing flush can never observe a torn pair. The hook
+/// runs under Mu, so the main thread's retire() below provably blocks.
+TEST(IcdDetectorTest, LockWaitAccountingChargesHeldWaits) {
+  DetectorHarness H;
+  Transaction *A = H.node(0), *B = H.node(1);
+  std::atomic<bool> InHook{false};
+  H.D->setReorderHook([&](size_t) {
+    InHook.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
+  std::thread T([&] { H.edge(B, A); }); // Inconsistent: reorders under Mu.
+  while (!InHook.load(std::memory_order_acquire))
+    std::this_thread::yield();
+  // Mu is held for the rest of the hook's sleep: this acquisition waits.
+  H.retire(A);
+  T.join();
+  StatisticRegistry Stats;
+  H.D->flushStats(Stats);
+  EXPECT_GE(Stats.value("icd.lock_waits"), 1u);
+  EXPECT_GT(Stats.value("icd.lock_wait_ns"), 0u);
+  // The counters drain: a second flush starts from zero.
+  StatisticRegistry Drained;
+  H.D->flushStats(Drained);
+  EXPECT_EQ(Drained.value("icd.lock_waits"), 0u);
+  EXPECT_EQ(Drained.value("icd.lock_wait_ns"), 0u);
 }
 
 //===----------------------------------------------------------------------===//
@@ -284,6 +384,12 @@ TEST(IcdTest, CycleFreeRunNeedsNoSccPasses) {
   EXPECT_EQ(O.stat("icd.sccs"), 0u);
   EXPECT_EQ(O.stat("icd.finalize_claims"), 0u);
   EXPECT_TRUE(O.BlamedMethods.empty());
+  // This workload is consistent-only (zero reorders), so the lock-free
+  // fast path must carry *every* cross edge and the detector lock must
+  // never be contended — the structural form of the perf claim.
+  EXPECT_EQ(O.stat("icd.reorders"), 0u);
+  EXPECT_EQ(O.stat("icd.fastpath_lockfree"), O.stat("icd.idg_cross_edges"));
+  EXPECT_EQ(O.stat("icd.lock_waits"), 0u);
 }
 
 TEST(IcdTest, IncrementalMatchesBatchedOnWorkloads) {
@@ -408,6 +514,41 @@ TEST_P(IcdEquivalenceProperty, IncrementalMatchesBatchedOnSameSchedule) {
 
 INSTANTIATE_TEST_SUITE_P(Programs, IcdEquivalenceProperty,
                          ::testing::Range<uint64_t>(1, 16));
+
+/// Differential contract for the lock-free fast path: on any replayed
+/// schedule, the default (lock-free), the `--icd-locked-fastpath` partner
+/// (every cross edge under Mu), a forced retry storm (every fast-path
+/// attempt re-validates), and the batched Tarjan escape hatch blame
+/// identical method sets.
+TEST(IcdTest, LockFreeFastPathMatchesLockedAndBatchedOnReplayedSchedules) {
+  for (uint64_t Prog : {2u, 5u, 9u}) {
+    ir::Program P = randomProgram(Prog);
+    for (uint64_t Seed = 1; Seed <= 2; ++Seed) {
+      core::RunOutcome Inc = runWorkload(P, Seed, false);
+      core::RunConfig LockedCfg;
+      LockedCfg.IcdLockedFastPath = true;
+      core::RunOutcome Locked = runWorkload(P, Seed, false, LockedCfg);
+      core::RunConfig StormCfg;
+      StormCfg.IcdSeqRetryStorm = 3;
+      core::RunOutcome Storm = runWorkload(P, Seed, false, StormCfg);
+      core::RunOutcome Bat = runWorkload(P, Seed, true);
+      const std::string Tag =
+          "program " + std::to_string(Prog) + " schedule " +
+          std::to_string(Seed);
+      EXPECT_EQ(Inc.BlamedMethods, Locked.BlamedMethods) << Tag;
+      EXPECT_EQ(Inc.PotentialMethods, Locked.PotentialMethods) << Tag;
+      EXPECT_EQ(Inc.BlamedMethods, Storm.BlamedMethods) << Tag;
+      EXPECT_EQ(Inc.PotentialMethods, Storm.PotentialMethods) << Tag;
+      EXPECT_EQ(Inc.BlamedMethods, Bat.BlamedMethods) << Tag;
+      EXPECT_EQ(Inc.PotentialMethods, Bat.PotentialMethods) << Tag;
+      // The partner really stayed on Mu, and the storm really retried.
+      EXPECT_EQ(Locked.stat("icd.fastpath_lockfree"), 0u) << Tag;
+      EXPECT_EQ(Locked.stat("icd.seqlock_retries"), 0u) << Tag;
+      if (Storm.stat("icd.fastpath_lockfree") > 0)
+        EXPECT_GT(Storm.stat("icd.seqlock_retries"), 0u) << Tag;
+    }
+  }
+}
 
 /// Regression: a delayed collector (CollectorDelayMs fault) racing live
 /// order maintenance under a tiny live-transaction budget — sweeps overlap
@@ -561,6 +702,93 @@ TEST(IcdStressTest, ReorderNeverHoldsAllStripes) {
   EXPECT_LT(MaxStripesHeld.load(), NumStripes);
   // The batched machinery stayed cold.
   EXPECT_EQ(Stats.value("icd.scc_passes"), 0u);
+  EXPECT_EQ(Stats.value("icd.finalize_claims"), 0u);
+}
+
+/// The tentpole's race: concurrent lock-free consistent-edge publications
+/// hammered against forced reorders (the hook widens every writer section
+/// so fast-path snapshots observably fail validation and reconcile).
+/// After quiescence the Pearce–Kelly invariant must hold for every
+/// recorded edge — either internal to a merged component or pointing up
+/// the maintained order. Run under TSan in CI.
+TEST(IcdStressTest, LockFreeFastPathSurvivesForcedReorders) {
+  constexpr uint32_t FastThreads = 4;
+  constexpr uint32_t Universe = 192;
+  constexpr uint64_t EdgesPerThread = 3000;
+
+  DetectorHarness H;
+  std::vector<Transaction *> Nodes;
+  Nodes.reserve(Universe);
+  for (uint32_t I = 0; I < Universe; ++I)
+    Nodes.push_back(H.node(I % 8)); // Creation order == initial key order.
+
+  std::atomic<uint64_t> Reorders{0};
+  H.D->setReorderHook([&](size_t) {
+    Reorders.fetch_add(1, std::memory_order_relaxed);
+    // Stretch the seqlock writer section so concurrent fast paths land
+    // inside it and take the retry/reconcile route.
+    for (volatile int Spin = 0; Spin < 400; ++Spin) {
+    }
+  });
+
+  std::atomic<bool> Stop{false};
+  std::thread Chaos([&] {
+    SplitMix64 Rng(97);
+    while (!Stop.load(std::memory_order_relaxed)) {
+      const uint32_t I = Rng.nextBelow(Universe - 1);
+      const uint32_t J = I + 1 + Rng.nextBelow(Universe - I - 1);
+      IncrementalCycleDetector::ClaimList Claims;
+      // Against creation order: inconsistent unless a prior reorder or
+      // merge already fixed it — a steady supply of writer sections.
+      H.D->addEdge(Nodes[J], Nodes[I], Claims);
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> Fast;
+  for (uint32_t T = 0; T < FastThreads; ++T) {
+    Fast.emplace_back([&, T] {
+      SplitMix64 Rng(T * 7919 + 11);
+      for (uint64_t E = 0; E < EdgesPerThread; ++E) {
+        const uint32_t I = Rng.nextBelow(Universe - 1);
+        const uint32_t J = I + 1 + Rng.nextBelow(Universe - I - 1);
+        IncrementalCycleDetector::ClaimList Claims;
+        // With creation order: consistent (the lock-free fast path)
+        // unless a reorder has permuted the pair since.
+        H.D->addEdge(Nodes[I], Nodes[J], Claims);
+      }
+    });
+  }
+  for (std::thread &W : Fast)
+    W.join();
+  Stop.store(true, std::memory_order_relaxed);
+  Chaos.join();
+
+  EXPECT_GT(Reorders.load(), 0u);
+  // Post-quiescence order audit over the real published chains.
+  const auto KeyOf = [](Transaction *Tx) {
+    IcdGroup *G = Tx->IcdG.load();
+    return G != nullptr ? G->Ord.load() : Tx->IcdOrd.load();
+  };
+  uint64_t Audited = 0;
+  for (Transaction *Tx : Nodes) {
+    IcdGroup *G = Tx->IcdG.load();
+    for (IcdEdgeNode *C = Tx->IcdOutHead.load(); C != nullptr;
+         C = C->Next) {
+      Transaction *Peer = C->Peer;
+      if (G != nullptr && G == Peer->IcdG.load())
+        continue; // Internal to a merged component.
+      EXPECT_LT(KeyOf(Tx), KeyOf(Peer))
+          << "edge " << Tx->Id << "->" << Peer->Id
+          << " violates the maintained order";
+      ++Audited;
+    }
+  }
+  EXPECT_GT(Audited, 0u);
+  StatisticRegistry Stats;
+  H.D->flushStats(Stats);
+  EXPECT_GT(Stats.value("icd.fastpath_lockfree"), 0u);
+  EXPECT_GT(Stats.value("icd.reorders"), 0u);
   EXPECT_EQ(Stats.value("icd.finalize_claims"), 0u);
 }
 

@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
@@ -302,6 +303,17 @@ PairResult fuzz::checkPair(const ir::Program &Source,
       return R;
     }
   }
+  // Incremental detector with the lock-free consistent-edge fast path
+  // disabled: every cross edge takes the detector lock (the pre-seqlock
+  // behaviour). The fast path must be a pure performance change — blamed
+  // and potential sets stay bit-equal to the default config's.
+  {
+    core::RunConfig Cfg = BaseCfg(core::Mode::SingleRun, false, 0, false);
+    Cfg.IcdLockedFastPath = true;
+    core::RunOutcome O = core::runChecker(Source, Spec, Cfg);
+    if (!Admit("single/icd-locked-fastpath", O))
+      return R;
+  }
 
   // Velodrome baseline (its own instrumentation; no DC knobs, no injected
   // bug — it is one of the two references the bug must diverge from).
@@ -410,6 +422,10 @@ std::string FaultCase::name() const {
     N += " batched-scc";
   if (IcdMaxRegion != 0)
     N += " icd-max-region=" + std::to_string(IcdMaxRegion);
+  if (IcdLockedFastPath)
+    N += " icd-locked-fastpath";
+  if (IcdSeqRetryStorm != 0)
+    N += " icd-retry-storm=" + std::to_string(IcdSeqRetryStorm);
   if (WindowTxs != 0)
     N += " window-txs=" + std::to_string(WindowTxs);
   if (LogTransport == Transport::Arena)
@@ -518,6 +534,31 @@ std::vector<FaultCase> fuzz::faultSweepCases() {
     C.IcdMaxRegion = 1;
     Cases.push_back(C);
   }
+  // Shedding with the consistent-edge fast path forced onto the detector
+  // lock: degradation must be identical on the locked and lock-free edge
+  // insertion paths.
+  {
+    FaultCase C;
+    C.Plan.AllocFailAt = 1;
+    C.IcdLockedFastPath = true;
+    Cases.push_back(C);
+  }
+  // Seqlock retry storm: every fast-path attempt fails validation three
+  // times before succeeding, exercising the snapshot-retry loop and its
+  // accounting without changing any verdict.
+  {
+    FaultCase C;
+    C.IcdSeqRetryStorm = 3;
+    Cases.push_back(C);
+  }
+  // Retry storm past the cap: validation never succeeds within the retry
+  // budget, so every consistent edge falls back to the exclusive slow
+  // path — the fallback must preserve verdicts bit-for-bit.
+  {
+    FaultCase C;
+    C.IcdSeqRetryStorm = 100;
+    Cases.push_back(C);
+  }
   // Wedged retirement-window flush in streaming mode: the flush goes
   // busy-silent on its watchdog slot mid-window; the watchdog must surface
   // a structured WindowFlushStall — never a hang, an abort, or a lost
@@ -586,6 +627,8 @@ fuzz::checkFaultCase(const ir::Program &Source,
     Cfg.PcdTimeoutMs = Case.PcdTimeoutMs;
     Cfg.BatchedScc = Case.BatchedScc;
     Cfg.IcdMaxRegion = Case.IcdMaxRegion;
+    Cfg.IcdLockedFastPath = Case.IcdLockedFastPath;
+    Cfg.IcdSeqRetryStorm = Case.IcdSeqRetryStorm;
     Cfg.ThreadArenaLog = Case.LogTransport == FaultCase::Transport::Arena;
     Cfg.LegacyLog = Case.LogTransport == FaultCase::Transport::Legacy;
   }
@@ -860,6 +903,11 @@ bool fuzz::writeWitness(const std::string &Path, const Divergence &D,
       Out << "# fault-batched-scc: 1\n";
     if (D.Fault.IcdMaxRegion != 0)
       Out << "# fault-icd-max-region: " << D.Fault.IcdMaxRegion << "\n";
+    if (D.Fault.IcdLockedFastPath)
+      Out << "# fault-icd-lockfree: locked\n";
+    if (D.Fault.IcdSeqRetryStorm != 0)
+      Out << "# fault-icd-lockfree: storm=" << D.Fault.IcdSeqRetryStorm
+          << "\n";
     if (D.Fault.WindowTxs != 0)
       Out << "# fault-window-txs: " << D.Fault.WindowTxs << "\n";
     if (D.Fault.LogTransport == FaultCase::Transport::Arena)
@@ -933,6 +981,22 @@ bool fuzz::readWitness(const std::string &Path, Witness &W,
       W.Fault.BatchedScc = V != 0;
     } else if (Tag == "fault-icd-max-region:") {
       LS >> W.Fault.IcdMaxRegion;
+    } else if (Tag == "fault-icd-lockfree:") {
+      std::string V;
+      LS >> V;
+      if (V == "locked") {
+        W.Fault.IcdLockedFastPath = true;
+      } else if (V.rfind("storm=", 0) == 0) {
+        W.Fault.IcdSeqRetryStorm =
+            static_cast<uint32_t>(std::strtoul(V.c_str() + 6, nullptr, 10));
+        if (W.Fault.IcdSeqRetryStorm == 0) {
+          Error = "bad '# fault-icd-lockfree:' storm count: " + V;
+          return false;
+        }
+      } else {
+        Error = "bad '# fault-icd-lockfree:' value: " + V;
+        return false;
+      }
     } else if (Tag == "fault-window-txs:") {
       LS >> W.Fault.WindowTxs;
     } else if (Tag == "window-txs:") {

@@ -18,7 +18,7 @@
 ///               + sharded/ring/SerialRoundtrips
 ///   + batched-Tarjan extras + Velodrome + the vector-clock engine
 ///
-/// — asserting that all twenty-three agree with each other and with the
+/// — asserting that all twenty-four agree with each other and with the
 /// ground-truth serializability oracle (src/support/Oracle.h). The
 /// vector-clock engine is held to verdict equality plus oracle-subset
 /// blame (its closing-edge blame is legitimately coarser than the graph
@@ -126,6 +126,13 @@ struct FaultCase {
   /// Incremental detector's affected-region cap (0 = default): tiny values
   /// force the oversized-region sound-degradation valve.
   uint32_t IcdMaxRegion = 0;
+  /// Force every ICD cross edge through the detector lock instead of the
+  /// lock-free consistent-edge fast path (the pre-seqlock behaviour).
+  bool IcdLockedFastPath = false;
+  /// Force each ICD fast-path attempt to fail seqlock validation this many
+  /// times (0 = off): a deterministic retry storm that exercises the retry
+  /// accounting and — past the retry cap — the Mu fallback.
+  uint32_t IcdSeqRetryStorm = 0;
   /// Streaming service mode: retirement-window cadence for the case (0 =
   /// batch). The window-stall fault needs a window boundary to wedge, and
   /// any fault plan may be layered over windowing to prove the flush path
@@ -137,8 +144,9 @@ struct FaultCase {
   bool any() const {
     return Plan.any() || ParallelPcd || PcdQueueDepth != 0 ||
            MaxSccTxs != 0 || PcdTimeoutMs != 0 || BatchedScc ||
-           IcdMaxRegion != 0 || WindowTxs != 0 ||
-           LogTransport != Transport::Ring || Eng != Engine::DoubleChecker;
+           IcdMaxRegion != 0 || IcdLockedFastPath || IcdSeqRetryStorm != 0 ||
+           WindowTxs != 0 || LogTransport != Transport::Ring ||
+           Eng != Engine::DoubleChecker;
   }
   /// Human-readable label, also used in witness headers.
   std::string name() const;

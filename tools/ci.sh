@@ -46,6 +46,27 @@ echo "== Incremental cycle detection (bounded) =="
 DC_BENCH_SCALE=0.02 DC_BENCH_TRIALS=1 \
   build-ci/bench/cycle_detection build-ci/bench_icd_smoke.json
 
+echo "== ICD lock-free fast path (default-mode stats gate) =="
+# A consistent-only workload (sor at this scale produces no reorders) must
+# complete every cross edge on the seqlock fast path without ever touching
+# the detector lock: icd.lock_waits stays 0 and icd.fastpath_lockfree
+# covers the full cross-edge count. A regression that silently reroutes
+# consistent edges through Mu shows up here, not just in the bench tables.
+ICD_STATS=$(build-ci/tools/dcheck --workload sor --scale 0.4 --det --seed 1 \
+  --stats)
+LOCK_WAITS=$(echo "$ICD_STATS" | awk '$1 == "icd.lock_waits" {print $2}')
+LF_EDGES=$(echo "$ICD_STATS" | awk '$1 == "icd.fastpath_lockfree" {print $2}')
+CROSS_EDGES=$(echo "$ICD_STATS" | awk '$1 == "icd.idg_cross_edges" {print $2}')
+if [ "$LOCK_WAITS" != "0" ]; then
+  echo "error: consistent-only workload took the ICD lock ($LOCK_WAITS waits)"
+  exit 1
+fi
+if [ -z "$LF_EDGES" ] || [ "$LF_EDGES" = "0" ] || \
+   [ "$LF_EDGES" != "$CROSS_EDGES" ]; then
+  echo "error: ICD fast path covered $LF_EDGES of $CROSS_EDGES cross edges"
+  exit 1
+fi
+
 echo "== Vector-clock engine smoke (engine axis) =="
 # The third backend end-to-end: a clean workload, the paper's outlier with
 # a known violation (expected exit 1), and the generated-from-enum mode
@@ -136,6 +157,14 @@ echo "== Differential schedule fuzz under TSan (smoke) =="
 # (shed flags, queue backpressure, join-or-detach destruction).
 build-ci-tsan/tools/dcfuzz --seed 7 --pairs 40 --strategy mixed
 build-ci-tsan/tools/dcfuzz --seed 7 --pairs 10 --fault-sweep
+# The seqlock fast path's memory-ordering argument (DESIGN.md §12) is
+# exactly the kind of claim TSan falsifies: hammer concurrent consistent
+# edges from real OS threads against a chaos thread forcing reorders, with
+# the reorder hook widening the writer sections. Runs here explicitly (in
+# addition to the Icd slice of the ctest run below) so a fast-path race is
+# attributed to this stage by name.
+build-ci-tsan/tests/icd_test \
+  --gtest_filter='IcdStressTest.LockFreeFastPathSurvivesForcedReorders'
 # A TSan slice of the service-mode soak: window flushes synchronize the
 # mutator, the PCD pool, the ring drainer, and the collector — exactly the
 # cross-thread seams TSan exists for. Iteration-bounded (TSan's slowdown

@@ -81,6 +81,7 @@ struct CliOptions {
   bool ArenaLog = false;
   bool SerialRoundtrips = false;
   bool BatchedScc = false;
+  bool IcdLockedFastPath = false;
   bool Serve = false;
   unsigned WindowTxs = 0;
   unsigned HealthEvery = 1;
@@ -151,6 +152,8 @@ void printUsage() {
       "                        only Octet coordination (for comparisons)\n"
       "  --batched-scc         pre-incremental escape hatch: batched\n"
       "                        stop-the-world Tarjan cycle passes\n"
+      "  --icd-locked-fastpath pre-seqlock escape hatch: every ICD cross\n"
+      "                        edge takes the detector lock\n"
       "  --static-info <path>  second-run input (from --emit-static)\n"
       "  --emit-static <path>  write first-run static transaction info\n"
       "\n"
@@ -238,6 +241,8 @@ bool parseArgs(int Argc, char **Argv, CliOptions &Opts) {
       Opts.SerialRoundtrips = true;
     else if (Arg == "--batched-scc")
       Opts.BatchedScc = true;
+    else if (Arg == "--icd-locked-fastpath")
+      Opts.IcdLockedFastPath = true;
     else if (Arg == "--serve")
       Opts.Serve = true;
     else if (Arg == "--window-txs" && Value(V))
@@ -461,6 +466,7 @@ int main(int Argc, char **Argv) {
   Cfg.ThreadArenaLog = Opts.ArenaLog;
   Cfg.SerialRoundtrips = Opts.SerialRoundtrips;
   Cfg.BatchedScc = Opts.BatchedScc;
+  Cfg.IcdLockedFastPath = Opts.IcdLockedFastPath;
   Cfg.MemBudgetMB = Opts.MemBudgetMB;
   Cfg.PcdTimeoutMs = Opts.PcdTimeoutMs;
   if (!Opts.FaultPlanSpec.empty()) {
